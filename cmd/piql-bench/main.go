@@ -1,0 +1,146 @@
+// Command piql-bench regenerates every table and figure from the
+// paper's evaluation (Section 8) on the simulated cluster:
+//
+//	piql-bench -experiment all
+//	piql-bench -experiment table1
+//	piql-bench -experiment fig1|fig6|fig7|fig8-9|fig10-11|fig12
+//
+// Absolute numbers come from the latency model of the simulated
+// key/value store, not EC2 hardware; the shapes (linear scaling, flat
+// tails, conservative predictions, bounded-vs-unbounded crossover,
+// executor ordering) are the reproduction targets. See EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"piql/internal/harness"
+	"piql/internal/predict"
+	"piql/internal/workload/scadr"
+	"piql/internal/workload/tpcw"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"which experiment to run: all, table1, fig1, fig6, fig7, fig8-9, fig10-11, fig12")
+	quick := flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
+	flag.Parse()
+
+	run := func(name string) bool {
+		return *experiment == "all" || strings.EqualFold(*experiment, name)
+	}
+	out := os.Stdout
+	start := time.Now()
+
+	var model *predict.Model
+	needModel := run("table1") || run("fig6")
+	if needModel {
+		fmt.Fprintln(out, "training SLO prediction model (Section 6)...")
+		cfg := predict.DefaultTrainConfig()
+		if *quick {
+			cfg.Intervals = 8
+			cfg.RepsPerInterval = 5
+		}
+		m, err := predict.Train(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		model = m
+		fmt.Fprintf(out, "model trained in %v\n\n", time.Since(start).Round(time.Second))
+	}
+
+	if run("table1") {
+		cfg := harness.DefaultTable1Config()
+		if *quick {
+			cfg.Intervals = 5
+			cfg.PerQuery = 20
+		}
+		rows, err := harness.RunTable1(model, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		harness.PrintTable1(out, rows)
+	}
+
+	if run("fig1") {
+		sizes := []int{100, 1000, 10000, 50000}
+		if *quick {
+			sizes = []int{100, 1000, 5000}
+		}
+		rows, err := harness.RunFig1(sizes, 5)
+		if err != nil {
+			fatal(err)
+		}
+		harness.PrintFig1(out, rows)
+	}
+
+	if run("fig6") {
+		cfg := harness.DefaultFig6Config()
+		if *quick {
+			cfg.Executions = 60
+		}
+		res, err := harness.RunFig6(model, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		res.Print(out)
+	}
+
+	if run("fig7") {
+		cfg := harness.DefaultFig7Config()
+		if *quick {
+			cfg.Subscribers = []int{0, 1000, 3000, 5000}
+			cfg.Executions = 120
+		}
+		points, err := harness.RunFig7(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		harness.PrintFig7(out, points)
+	}
+
+	if run("fig8-9") {
+		cfg := harness.DefaultScaleConfig()
+		if *quick {
+			cfg.NodeCounts = []int{10, 20, 40}
+			cfg.Measure = 2 * time.Second
+		}
+		res, err := harness.RunScale(harness.TPCWWorkload(tpcw.DefaultConfig()), cfg)
+		if err != nil {
+			fatal(err)
+		}
+		res.Print(out, "Fig 8", "Fig 9")
+	}
+
+	if run("fig10-11") {
+		cfg := harness.DefaultScaleConfig()
+		if *quick {
+			cfg.NodeCounts = []int{10, 20, 40}
+			cfg.Measure = 2 * time.Second
+		}
+		res, err := harness.RunScale(harness.SCADrWorkload(scadr.DefaultConfig()), cfg)
+		if err != nil {
+			fatal(err)
+		}
+		res.Print(out, "Fig 10", "Fig 11")
+	}
+
+	if run("fig12") {
+		res, err := harness.RunFig12(9)
+		if err != nil {
+			fatal(err)
+		}
+		res.Print(out)
+	}
+
+	fmt.Fprintf(out, "total: %v\n", time.Since(start).Round(time.Second))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "piql-bench:", err)
+	os.Exit(1)
+}

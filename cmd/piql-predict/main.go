@@ -1,0 +1,68 @@
+// Command piql-predict trains the SLO compliance model and prints the
+// Figure 6 heatmap for the SCADr thoughtstream query, plus per-cell SLO
+// verdicts — the Performance Insight Assistant's cardinality-sizing
+// tool (Section 6.4):
+//
+//	piql-predict -slo 500ms -quantile 0.9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"piql/internal/predict"
+)
+
+func main() {
+	slo := flag.Duration("slo", 500*time.Millisecond, "target 99th-percentile response time")
+	quantile := flag.Float64("quantile", 0.9, "required fraction of compliant intervals")
+	quick := flag.Bool("quick", false, "faster, coarser training")
+	flag.Parse()
+
+	cfg := predict.DefaultTrainConfig()
+	if *quick {
+		cfg.Intervals = 8
+		cfg.RepsPerInterval = 5
+	}
+	fmt.Fprintf(os.Stderr, "training operator models (%d intervals)...\n", cfg.Intervals)
+	model, err := predict.Train(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "piql-predict:", err)
+		os.Exit(1)
+	}
+
+	subsGrid := []int{100, 150, 200, 250, 300, 350, 400, 450, 500}
+	pageGrid := []int{10, 15, 20, 25, 30, 35, 40, 45, 50}
+	const subBytes, thoughtBytes = 44, 186
+
+	fmt.Printf("thoughtstream predicted p99 (ms); * = meets %v SLO in >=%.0f%% of intervals\n",
+		*slo, *quantile*100)
+	fmt.Printf("%10s", "subs\\page")
+	for _, p := range pageGrid {
+		fmt.Printf("%7d", p)
+	}
+	fmt.Println()
+	for _, subs := range subsGrid {
+		fmt.Printf("%10d", subs)
+		for _, page := range pageGrid {
+			pred, err := model.PredictOps([]predict.Op{
+				{Kind: predict.KindScan, Alpha: subs, Beta: subBytes},
+				{Kind: predict.KindSortedJoin, Alpha: subs, AlphaJ: page, Beta: thoughtBytes},
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "piql-predict:", err)
+				os.Exit(1)
+			}
+			mark := " "
+			if pred.MeetsSLO(*slo, *quantile) {
+				mark = "*"
+			}
+			fmt.Printf("%6.0f%s", float64(pred.Max99)/float64(time.Millisecond), mark)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\npick any starred (subscriptions, page) pair to satisfy the SLO;")
+	fmt.Println("the paper recommends treating it as a starting point and loosening later.")
+}

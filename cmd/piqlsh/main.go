@@ -1,0 +1,111 @@
+// Command piqlsh is a minimal interactive PIQL shell over a fresh
+// simulated cluster:
+//
+//	piql> CREATE TABLE users (name VARCHAR(20), bio VARCHAR(140), PRIMARY KEY (name));
+//	piql> INSERT INTO users VALUES ('ann', 'hello');
+//	piql> SELECT * FROM users WHERE name = 'ann';
+//	piql> EXPLAIN SELECT * FROM users WHERE name = 'ann';
+//	piql> EXPLAIN LOGICAL SELECT ...;
+//
+// Statements end with a semicolon and may span lines. Unbounded queries
+// print the Performance Insight Assistant's suggestions.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"piql"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 4, "simulated storage nodes")
+	flag.Parse()
+
+	db := piql.Open(piql.Config{Nodes: *nodes})
+	fmt.Printf("PIQL shell — %d simulated storage nodes. End statements with ';'. Ctrl-D exits.\n", *nodes)
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("piql> ")
+		} else {
+			fmt.Print("  ... ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			prompt()
+			continue
+		}
+		stmt := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(buf.String()), ";"))
+		buf.Reset()
+		if stmt != "" {
+			runStatement(db, stmt)
+		}
+		prompt()
+	}
+	fmt.Println()
+}
+
+func runStatement(db *piql.DB, stmt string) {
+	upper := strings.ToUpper(stmt)
+	switch {
+	case strings.HasPrefix(upper, "EXPLAIN LOGICAL "):
+		q, err := db.Prepare(stmt[len("EXPLAIN LOGICAL "):])
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Print(q.ExplainLogical())
+	case strings.HasPrefix(upper, "EXPLAIN "):
+		q, err := db.Prepare(stmt[len("EXPLAIN "):])
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Print(q.Explain())
+	case strings.HasPrefix(upper, "SELECT"):
+		res, err := db.Query(stmt)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		printResult(res)
+	default:
+		if err := db.Exec(stmt); err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Println("ok")
+	}
+}
+
+func printResult(res *piql.Result) {
+	for i, name := range res.Names {
+		if i > 0 {
+			fmt.Print(" | ")
+		}
+		fmt.Print(name)
+	}
+	fmt.Println()
+	for _, row := range res.Rows {
+		for i, v := range row {
+			if i > 0 {
+				fmt.Print(" | ")
+			}
+			fmt.Print(v)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+}

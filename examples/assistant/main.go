@@ -1,0 +1,78 @@
+// Assistant: the Performance Insight Assistant workflow of Section 6.4.
+// A developer writes an unbounded query, the compiler rejects it with
+// concrete suggestions, and each fix is applied until the query both
+// compiles and is predicted to meet its SLO.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"piql"
+)
+
+func main() {
+	db := piql.Open(piql.Config{Nodes: 4})
+	db.MustExec(`CREATE TABLE events (
+		room VARCHAR(20),
+		starts INT,
+		title VARCHAR(80),
+		PRIMARY KEY (room, starts))`)
+
+	// Attempt 1: list a room's events — unbounded (a room can have any
+	// number of events), so the compiler rejects it and explains why.
+	fmt.Println("attempt 1: SELECT * FROM events WHERE room = ?")
+	_, err := db.Prepare(`SELECT * FROM events WHERE room = ?`)
+	var ube *piql.UnboundedQueryError
+	if !errors.As(err, &ube) {
+		log.Fatalf("expected an unbounded-query rejection, got %v", err)
+	}
+	fmt.Printf("rejected: %s\n", ube.Reason)
+	for _, s := range ube.Suggestions {
+		fmt.Println("  assistant:", s)
+	}
+	fmt.Println()
+
+	// Attempt 2: follow the pagination suggestion. Now every interaction
+	// does bounded work no matter how many events exist.
+	fmt.Println("attempt 2: ... ORDER BY starts DESC PAGINATE 10")
+	paged, err := db.Prepare(`SELECT * FROM events WHERE room = ?
+		ORDER BY starts DESC PAGINATE 10`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("accepted: bounded by %d key/value operations per page\n\n", paged.OpBound())
+
+	// Attempt 3: the schema-constraint route. With a cardinality limit
+	// on room the full (bounded) list compiles too.
+	db.MustExec(`CREATE TABLE bookings (
+		room VARCHAR(20),
+		day INT,
+		who VARCHAR(20),
+		PRIMARY KEY (room, day),
+		CARDINALITY LIMIT 30 (room))`)
+	fmt.Println("attempt 3: bookings with CARDINALITY LIMIT 30 (room)")
+	all, err := db.Prepare(`SELECT day, who FROM bookings WHERE room = ?`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("accepted: bounded by %d operations (the schema's cardinality limit)\n", all.OpBound())
+	fmt.Println(all.ExplainLogical())
+
+	// Finally: is the bounded query fast enough for the SLO? (This is
+	// how Figure 6's heatmap helps developers size their limits.)
+	fmt.Println("training the SLO model (a few seconds)...")
+	model, err := piql.TrainSLOModel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := model.Predict(all)
+	if err != nil {
+		log.Fatal(err)
+	}
+	slo := 500 * time.Millisecond
+	fmt.Printf("predicted worst-interval p99 = %v; meets %v SLO: %v\n",
+		pred.Max99.Round(time.Millisecond), slo, pred.MeetsSLO(slo, 0.9))
+}

@@ -1,0 +1,99 @@
+// Bookstore: the TPC-W scenario on the public API — token-indexed title
+// search, foreign-key joins to authors, and an order history page, all
+// with compile-time operation bounds printed per query.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"piql"
+)
+
+func main() {
+	db := piql.Open(piql.Config{Nodes: 6})
+
+	db.MustExec(`CREATE TABLE author (
+		a_id INT, a_name VARCHAR(40), PRIMARY KEY (a_id))`)
+	db.MustExec(`CREATE TABLE item (
+		i_id INT,
+		i_title VARCHAR(80),
+		i_a_id INT,
+		i_cost INT,
+		PRIMARY KEY (i_id),
+		FOREIGN KEY (i_a_id) REFERENCES author)`)
+	db.MustExec(`CREATE TABLE orders (
+		o_id INT,
+		o_uname VARCHAR(20),
+		o_date INT,
+		o_total INT,
+		PRIMARY KEY (o_id),
+		CARDINALITY LIMIT 200 (o_uname))`)
+
+	authors := []string{"Codd", "Gray", "Stonebraker", "Lamport"}
+	for i, a := range authors {
+		db.MustExec(`INSERT INTO author VALUES (?, ?)`, piql.Int(int64(i)), piql.Str(a))
+	}
+	books := []struct {
+		title  string
+		author int64
+		cost   int64
+	}{
+		{"A Relational Model of Data", 0, 1200},
+		{"Transaction Processing Concepts", 1, 4500},
+		{"Readings in Database Systems", 2, 3300},
+		{"Time Clocks and Ordering", 3, 900},
+		{"The Transaction Concept", 1, 700},
+		{"One Size Fits All? Database Architectures", 2, 1100},
+	}
+	for i, b := range books {
+		db.MustExec(`INSERT INTO item VALUES (?, ?, ?, ?)`,
+			piql.Int(int64(i)), piql.Str(b.title), piql.Int(b.author), piql.Int(b.cost))
+	}
+	for o := 0; o < 8; o++ {
+		db.MustExec(`INSERT INTO orders VALUES (?, 'alice', ?, ?)`,
+			piql.Int(int64(o)), piql.Int(int64(7000+o)), piql.Int(int64(100*o+50)))
+	}
+
+	// Title search: LIKE is rejected, CONTAINS uses an inverted
+	// full-text index the compiler creates automatically (Section 5.3).
+	if _, err := db.Prepare(`SELECT * FROM item WHERE i_title LIKE '%data%' LIMIT 10`); err != nil {
+		fmt.Printf("LIKE rejected as expected:\n  %v\n\n", err)
+	}
+	search, err := db.Prepare(`
+		SELECT i.i_title, i.i_cost, a.a_name
+		FROM item i JOIN author a
+		WHERE i.i_a_id = a.a_id AND i.i_title CONTAINS [1: word]
+		ORDER BY i.i_title LIMIT 10`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("title search is bounded by %d key/value operations; plan:\n%s\n",
+		search.OpBound(), search.Explain())
+	res, err := search.Execute(piql.Str("transaction"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(`books matching "transaction":`)
+	for _, row := range res.Rows {
+		fmt.Printf("  %-42s $%-6d by %s\n", row[0].S, row[1].I/100, row[2].S)
+	}
+	fmt.Println()
+
+	// Order history: newest first, bounded by the schema's cardinality
+	// limit and the LIMIT clause.
+	history, err := db.Prepare(`
+		SELECT o_id, o_date, o_total FROM orders
+		WHERE o_uname = ? ORDER BY o_date DESC LIMIT 5`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hres, err := history.Execute(piql.Str("alice"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("alice's most recent orders:")
+	for _, row := range hres.Rows {
+		fmt.Printf("  order %2d at t=%d total=%d\n", row[0].I, row[1].I, row[2].I)
+	}
+}

@@ -1,0 +1,114 @@
+// Microblog: the paper's SCADr scenario built on the public API — a
+// Twitter-like service whose every page is served by scale-independent
+// queries. Demonstrates the thoughtstream query of Figure 3, cardinality
+// enforcement at the write path, and SLO prediction.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"piql"
+)
+
+const maxSubscriptions = 20
+
+func main() {
+	db := piql.Open(piql.Config{Nodes: 6})
+
+	db.MustExec(`CREATE TABLE users (
+		username VARCHAR(20),
+		bio VARCHAR(140),
+		PRIMARY KEY (username))`)
+	db.MustExec(fmt.Sprintf(`CREATE TABLE subscriptions (
+		owner VARCHAR(20),
+		target VARCHAR(20),
+		approved BOOLEAN,
+		PRIMARY KEY (owner, target),
+		FOREIGN KEY (target) REFERENCES users,
+		CARDINALITY LIMIT %d (owner))`, maxSubscriptions))
+	db.MustExec(`CREATE TABLE thoughts (
+		owner VARCHAR(20),
+		timestamp INT,
+		text VARCHAR(140),
+		PRIMARY KEY (owner, timestamp))`)
+
+	// A little social graph.
+	people := []string{"ann", "bob", "carol", "dave", "erin"}
+	for _, p := range people {
+		db.MustExec(`INSERT INTO users VALUES (?, ?)`, piql.Str(p), piql.Str("hi, i am "+p))
+	}
+	follow := func(who string, whom ...string) {
+		for _, w := range whom {
+			db.MustExec(`INSERT INTO subscriptions VALUES (?, ?, true)`, piql.Str(who), piql.Str(w))
+		}
+	}
+	follow("ann", "bob", "carol", "erin")
+	follow("bob", "ann")
+	ts := int64(1000)
+	post := func(who, text string) {
+		ts++
+		db.MustExec(`INSERT INTO thoughts VALUES (?, ?, ?)`, piql.Str(who), piql.Int(ts), piql.Str(text))
+	}
+	post("bob", "compiling a query should tell you what it costs")
+	post("carol", "success disasters are real")
+	post("erin", "data independence and scale independence!")
+	post("bob", "bounded plans or it didn't happen")
+	post("carol", "my thoughtstream is always fast")
+
+	// The thoughtstream query (Figure 3 of the paper), with EXPLAIN.
+	stream, err := db.Prepare(`
+		SELECT thoughts.owner, thoughts.text
+		FROM subscriptions s JOIN thoughts
+		WHERE thoughts.owner = s.target
+		  AND s.owner = [1: me]
+		  AND s.approved = true
+		ORDER BY thoughts.timestamp DESC
+		LIMIT 10`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("thoughtstream physical plan:")
+	fmt.Println(indent(stream.Explain()))
+
+	res, err := stream.Execute(piql.Str("ann"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ann's thoughtstream (most recent first):")
+	for _, row := range res.Rows {
+		fmt.Printf("  @%-6s %s\n", row[0].S, row[1].S)
+	}
+	fmt.Println()
+
+	// The cardinality constraint is enforced when the database writes:
+	// the 21st subscription is rejected and rolled back.
+	for i := 0; i < maxSubscriptions+5; i++ {
+		err := db.Exec(`INSERT INTO subscriptions VALUES (?, ?, true)`,
+			piql.Str("dave"), piql.Str(fmt.Sprintf("bot%02d", i)))
+		if err != nil {
+			fmt.Printf("subscription %d rejected: %v\n", i+1, err)
+			break
+		}
+	}
+
+	// SLO prediction: will the thoughtstream meet a 500 ms objective?
+	fmt.Println("\ntraining the SLO model (a few seconds)...")
+	model, err := piql.TrainSLOModel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := model.Predict(stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	slo := 500 * time.Millisecond
+	fmt.Printf("predicted worst-interval 99th percentile: %v\n", pred.Max99.Round(time.Millisecond))
+	fmt.Printf("meets %v SLO in >=90%% of intervals: %v\n", slo, pred.MeetsSLO(slo, 0.9))
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n  ")
+}

@@ -1,0 +1,105 @@
+// Quickstart: open a PIQL database, define a schema with a cardinality
+// constraint, insert data, and run bounded queries — including a
+// paginated traversal with a serializable client-side cursor.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"piql"
+)
+
+func main() {
+	db := piql.Open(piql.Config{Nodes: 4})
+
+	// Schema: a cardinality constraint bounds how many tags any one
+	// article may have, making tag queries scale-independent.
+	db.MustExec(`CREATE TABLE articles (
+		slug VARCHAR(40),
+		title VARCHAR(120),
+		views INT,
+		PRIMARY KEY (slug))`)
+	db.MustExec(`CREATE TABLE tags (
+		slug VARCHAR(40),
+		tag VARCHAR(20),
+		PRIMARY KEY (slug, tag),
+		FOREIGN KEY (slug) REFERENCES articles,
+		CARDINALITY LIMIT 20 (slug))`)
+
+	articles := []struct {
+		slug, title string
+		views       int64
+	}{
+		{"go-generics", "Understanding Go Generics", 1200},
+		{"go-channels", "Channels In Depth", 3400},
+		{"kv-stores", "Key/Value Stores for Web Apps", 800},
+		{"scale-indep", "What Is Scale Independence?", 5600},
+		{"btrees", "B-Trees from Scratch", 950},
+	}
+	for _, a := range articles {
+		db.MustExec(`INSERT INTO articles VALUES (?, ?, ?)`,
+			piql.Str(a.slug), piql.Str(a.title), piql.Int(a.views))
+		db.MustExec(`INSERT INTO tags VALUES (?, 'engineering')`, piql.Str(a.slug))
+	}
+	db.MustExec(`INSERT INTO tags VALUES ('go-generics', 'go')`)
+	db.MustExec(`INSERT INTO tags VALUES ('go-channels', 'go')`)
+
+	// A Class I query: constant work regardless of database size.
+	q, err := db.Prepare(`SELECT title, views FROM articles WHERE slug = ?`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("point lookup is bounded by %d key/value operations\n", q.OpBound())
+	res, err := q.Execute(piql.Str("go-channels"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("-> %s (%d views)\n\n", res.Rows[0][0].S, res.Rows[0][1].I)
+
+	// A bounded join: tags of an article -> article details.
+	joined, err := db.Query(`
+		SELECT t.tag, a.title FROM tags t JOIN articles a
+		WHERE a.slug = t.slug AND t.slug = ?`, piql.Str("go-generics"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("tags of go-generics:")
+	for _, row := range joined.Rows {
+		fmt.Printf("  %-12s %s\n", row[0].S, row[1].S)
+	}
+	fmt.Println()
+
+	// PAGINATE: traverse an unbounded result one bounded page at a time.
+	// The cursor serializes to a small byte string that can ship to the
+	// browser and resume on any application server.
+	pageQ, err := db.Prepare(`SELECT slug, title FROM articles
+		WHERE slug > '' ORDER BY slug PAGINATE 2`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cur, err := pageQ.Paginate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	page := 1
+	for !cur.Done() {
+		res, err := cur.Next()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res == nil || len(res.Rows) == 0 {
+			break
+		}
+		fmt.Printf("page %d (cursor is %d bytes serialized):\n", page, len(cur.Serialize()))
+		for _, row := range res.Rows {
+			fmt.Printf("  %-14s %s\n", row[0].S, row[1].S)
+		}
+		// Round-trip the cursor through bytes, as a web app would.
+		cur, err = db.RestoreCursor(cur.Serialize())
+		if err != nil {
+			log.Fatal(err)
+		}
+		page++
+	}
+}

@@ -1,0 +1,257 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%08d", i)) }
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatal("new tree not empty")
+	}
+	if _, ok := tr.Get([]byte("x")); ok {
+		t.Fatal("Get on empty tree returned ok")
+	}
+	if tr.Delete([]byte("x")) {
+		t.Fatal("Delete on empty tree returned true")
+	}
+	n := 0
+	tr.Ascend(nil, nil, func(Item) bool { n++; return true })
+	if n != 0 {
+		t.Fatal("Ascend on empty tree visited items")
+	}
+}
+
+func TestPutGetOverwrite(t *testing.T) {
+	tr := New()
+	if !tr.Put([]byte("a"), []byte("1")) {
+		t.Fatal("first Put not reported as insert")
+	}
+	if tr.Put([]byte("a"), []byte("2")) {
+		t.Fatal("overwrite reported as insert")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+	v, ok := tr.Get([]byte("a"))
+	if !ok || string(v) != "2" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+}
+
+func TestLargeSequentialAndReverse(t *testing.T) {
+	const n = 10000
+	for _, reverse := range []bool{false, true} {
+		tr := New()
+		for i := 0; i < n; i++ {
+			j := i
+			if reverse {
+				j = n - 1 - i
+			}
+			tr.Put(key(j), key(j))
+		}
+		if tr.Len() != n {
+			t.Fatalf("Len = %d, want %d", tr.Len(), n)
+		}
+		prev := []byte(nil)
+		count := 0
+		tr.Ascend(nil, nil, func(it Item) bool {
+			if prev != nil && bytes.Compare(prev, it.Key) >= 0 {
+				t.Fatalf("out of order: %q then %q", prev, it.Key)
+			}
+			prev = it.Key
+			count++
+			return true
+		})
+		if count != n {
+			t.Fatalf("Ascend visited %d, want %d", count, n)
+		}
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Put(key(i), nil)
+	}
+	var got []string
+	tr.Ascend(key(10), key(15), func(it Item) bool {
+		got = append(got, string(it.Key))
+		return true
+	})
+	want := []string{"key-00000010", "key-00000011", "key-00000012", "key-00000013", "key-00000014"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Descending over the same range.
+	got = got[:0]
+	tr.Descend(key(10), key(15), func(it Item) bool {
+		got = append(got, string(it.Key))
+		return true
+	})
+	for i := range want {
+		if got[i] != want[len(want)-1-i] {
+			t.Fatalf("descend got %v", got)
+		}
+	}
+	if tr.Count(key(10), key(15)) != 5 {
+		t.Fatalf("Count = %d, want 5", tr.Count(key(10), key(15)))
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Put(key(i), nil)
+	}
+	n := 0
+	tr.Ascend(nil, nil, func(Item) bool { n++; return n < 7 })
+	if n != 7 {
+		t.Fatalf("early stop visited %d, want 7", n)
+	}
+	n = 0
+	tr.Descend(nil, nil, func(Item) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("descend early stop visited %d, want 3", n)
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	const n = 5000
+	tr := New()
+	perm := rand.New(rand.NewSource(7)).Perm(n)
+	for _, i := range perm {
+		tr.Put(key(i), key(i))
+	}
+	for _, i := range perm {
+		if !tr.Delete(key(i)) {
+			t.Fatalf("Delete(%d) = false", i)
+		}
+		if tr.Delete(key(i)) {
+			t.Fatalf("double Delete(%d) = true", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+}
+
+// TestAgainstReferenceModel drives the tree with a random op sequence and
+// compares every observable against a map + sorted-slice reference model.
+func TestAgainstReferenceModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := New()
+		ref := map[string]string{}
+		const keySpace = 200
+		for op := 0; op < 500; op++ {
+			k := fmt.Sprintf("k%03d", r.Intn(keySpace))
+			switch r.Intn(4) {
+			case 0, 1: // put
+				v := fmt.Sprintf("v%d", op)
+				_, existed := ref[k]
+				if ins := tr.Put([]byte(k), []byte(v)); ins == existed {
+					return false
+				}
+				ref[k] = v
+			case 2: // delete
+				_, existed := ref[k]
+				if tr.Delete([]byte(k)) != existed {
+					return false
+				}
+				delete(ref, k)
+			default: // get
+				v, ok := tr.Get([]byte(k))
+				rv, rok := ref[k]
+				if ok != rok || (ok && string(v) != rv) {
+					return false
+				}
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		// Full ascending scan must equal the sorted reference.
+		keys := make([]string, 0, len(ref))
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		i := 0
+		okScan := true
+		tr.Ascend(nil, nil, func(it Item) bool {
+			if i >= len(keys) || string(it.Key) != keys[i] || string(it.Value) != ref[keys[i]] {
+				okScan = false
+				return false
+			}
+			i++
+			return true
+		})
+		if !okScan || i != len(keys) {
+			return false
+		}
+		// Random subrange, both directions.
+		lo := []byte(fmt.Sprintf("k%03d", r.Intn(keySpace)))
+		hi := []byte(fmt.Sprintf("k%03d", r.Intn(keySpace)))
+		if bytes.Compare(lo, hi) > 0 {
+			lo, hi = hi, lo
+		}
+		var want []string
+		for _, k := range keys {
+			if k >= string(lo) && k < string(hi) {
+				want = append(want, k)
+			}
+		}
+		var gotAsc, gotDesc []string
+		tr.Ascend(lo, hi, func(it Item) bool { gotAsc = append(gotAsc, string(it.Key)); return true })
+		tr.Descend(lo, hi, func(it Item) bool { gotDesc = append(gotDesc, string(it.Key)); return true })
+		if len(gotAsc) != len(want) || len(gotDesc) != len(want) {
+			return false
+		}
+		for i := range want {
+			if gotAsc[i] != want[i] || gotDesc[i] != want[len(want)-1-i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	tr := New()
+	keys := make([][]byte, b.N)
+	for i := range keys {
+		keys[i] = key(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Put(keys[i], keys[i])
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		tr.Put(key(i), key(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(key(i % n))
+	}
+}

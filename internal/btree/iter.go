@@ -1,0 +1,88 @@
+package btree
+
+import "bytes"
+
+// Ascend visits items with start <= key < end in ascending order, calling
+// fn for each; iteration stops early when fn returns false. A nil start
+// means "from the beginning"; a nil end means "to the end".
+func (t *Tree) Ascend(start, end []byte, fn func(Item) bool) {
+	t.root.ascend(start, end, fn)
+}
+
+func (n *node) ascend(start, end []byte, fn func(Item) bool) bool {
+	i := 0
+	if start != nil {
+		i, _ = search(n.items, start)
+	}
+	for ; i < len(n.items); i++ {
+		it := n.items[i]
+		if !n.leaf() {
+			if !n.children[i].ascend(start, end, fn) {
+				return false
+			}
+		}
+		if start != nil && bytes.Compare(it.Key, start) < 0 {
+			continue
+		}
+		if end != nil && bytes.Compare(it.Key, end) >= 0 {
+			return false
+		}
+		if !fn(it) {
+			return false
+		}
+		// Items after the first visited one are all >= start; skip the
+		// bound check on deeper recursion by clearing start.
+		start = nil
+	}
+	if !n.leaf() {
+		return n.children[len(n.items)].ascend(start, end, fn)
+	}
+	return true
+}
+
+// Descend visits items with start <= key < end in descending order
+// (greatest first), calling fn for each; stops early when fn returns
+// false. Bounds have the same meaning as in Ascend.
+func (t *Tree) Descend(start, end []byte, fn func(Item) bool) {
+	t.root.descend(start, end, fn)
+}
+
+func (n *node) descend(start, end []byte, fn func(Item) bool) bool {
+	i := len(n.items)
+	if end != nil {
+		i, _ = search(n.items, end)
+	}
+	for ; i > 0; i-- {
+		it := n.items[i-1]
+		if !n.leaf() {
+			if !n.children[i].descend(start, end, fn) {
+				return false
+			}
+		}
+		if end != nil && bytes.Compare(it.Key, end) >= 0 {
+			continue
+		}
+		if start != nil && bytes.Compare(it.Key, start) < 0 {
+			return false
+		}
+		if !fn(it) {
+			return false
+		}
+		end = nil
+	}
+	if !n.leaf() {
+		return n.children[0].descend(start, end, fn)
+	}
+	return true
+}
+
+// Count returns the number of items with start <= key < end. Bounds have
+// the same meaning as in Ascend.
+func (t *Tree) Count(start, end []byte) int {
+	n := 0
+	t.Ascend(start, end, func(Item) bool {
+		n++
+		return true
+	})
+	return n
+}

@@ -1,0 +1,222 @@
+package codec
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"piql/internal/value"
+)
+
+func randomValue(r *rand.Rand) value.Value {
+	switch r.Intn(6) {
+	case 0:
+		return value.Null()
+	case 1:
+		return value.Bool(r.Intn(2) == 0)
+	case 2:
+		return value.Int(r.Int63() - r.Int63())
+	case 3:
+		return value.Float(math.Float64frombits(r.Uint64()))
+	case 4:
+		n := r.Intn(10)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(r.Intn(256))
+		}
+		return value.Str(string(b))
+	default:
+		n := r.Intn(10)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(r.Intn(256))
+		}
+		return value.Bytes(b)
+	}
+}
+
+func randomRow(r *rand.Rand, n int) value.Row {
+	row := make(value.Row, n)
+	for i := range row {
+		row[i] = randomValue(r)
+	}
+	return row
+}
+
+// TestOrderPreservingProperty is the load-bearing invariant of the module:
+// byte order of encodings equals semantic order of rows.
+func TestOrderPreservingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(4)
+		a, b := randomRow(r, n), randomRow(r, n)
+		ea, eb := EncodeKey(a, nil), EncodeKey(b, nil)
+		return sign(bytes.Compare(ea, eb)) == sign(value.CompareRows(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDescendingInvertsOrder checks that a DESC component reverses order.
+func TestDescendingInvertsOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomValue(r), randomValue(r)
+		ea := EncodeKey(value.Row{a}, []bool{Desc})
+		eb := EncodeKey(value.Row{b}, []bool{Desc})
+		return sign(bytes.Compare(ea, eb)) == -sign(value.Compare(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMixedDirectionComposite exercises ASC+DESC composite keys like the
+// (owner ASC, timestamp DESC) thoughts index from the paper.
+func TestMixedDirectionComposite(t *testing.T) {
+	desc := []bool{Asc, Desc}
+	k := func(owner string, ts int64) []byte {
+		return EncodeKey(value.Row{value.Str(owner), value.Int(ts)}, desc)
+	}
+	// Same owner: later timestamps sort first.
+	if bytes.Compare(k("bob", 10), k("bob", 5)) >= 0 {
+		t.Error("DESC timestamp did not invert within owner")
+	}
+	// Different owners: owner ASC dominates regardless of timestamp.
+	if bytes.Compare(k("alice", 1), k("bob", 100)) >= 0 {
+		t.Error("ASC owner did not dominate")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(4)
+		row := randomRow(r, n)
+		desc := make([]bool, n)
+		for i := range desc {
+			desc[i] = r.Intn(2) == 0
+		}
+		enc := EncodeKey(row, desc)
+		dec, err := DecodeKey(enc, n, desc)
+		if err != nil {
+			return false
+		}
+		// NaN compares equal to NaN under value.Compare, so CompareRows
+		// handles the one non-reflexive float case for us.
+		return value.CompareRows(row, dec) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringPrefixOrdering(t *testing.T) {
+	// "a" < "ab" must hold even with the terminator in place, and a string
+	// containing 0x00 must not escape its field.
+	a := EncodeKey(value.Row{value.Str("a")}, nil)
+	ab := EncodeKey(value.Row{value.Str("ab")}, nil)
+	if bytes.Compare(a, ab) >= 0 {
+		t.Error(`"a" >= "ab" after encoding`)
+	}
+	zero := EncodeKey(value.Row{value.Str("a\x00b"), value.Int(1)}, nil)
+	row, err := DecodeKey(zero, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0].S != "a\x00b" || row[1].I != 1 {
+		t.Errorf("NUL-containing string corrupted: %v", row)
+	}
+}
+
+func TestPrefixEnd(t *testing.T) {
+	cases := []struct {
+		in   []byte
+		want []byte
+	}{
+		{[]byte{1, 2, 3}, []byte{1, 2, 4}},
+		{[]byte{1, 0xFF}, []byte{2}},
+		{[]byte{0xFF, 0xFF}, nil},
+		{[]byte{}, nil},
+	}
+	for _, c := range cases {
+		if got := PrefixEnd(c.in); !bytes.Equal(got, c.want) {
+			t.Errorf("PrefixEnd(% x) = % x, want % x", c.in, got, c.want)
+		}
+	}
+}
+
+// TestPrefixEndBoundsProperty: every key extending prefix sorts < PrefixEnd.
+func TestPrefixEndBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		prefix := EncodeKey(randomRow(r, 1+r.Intn(2)), nil)
+		ext := EncodeKey(randomRow(r, 1), nil)
+		full := append(append([]byte{}, prefix...), ext...)
+		end := PrefixEnd(prefix)
+		if end == nil {
+			return true // all-0xFF prefix: unbounded above
+		}
+		return bytes.Compare(full, end) < 0 && bytes.Compare(prefix, end) < 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeKeyErrors(t *testing.T) {
+	good := EncodeKey(value.Row{value.Str("hi"), value.Int(1)}, nil)
+	if _, err := DecodeKey(good[:3], 2, nil); err == nil {
+		t.Error("truncated key accepted")
+	}
+	if _, err := DecodeKey(good, 1, nil); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	if _, err := DecodeKey([]byte{0x63}, 1, nil); err == nil {
+		t.Error("unknown tag accepted")
+	}
+	if _, err := DecodeKey([]byte{tagString, 'a'}, 1, nil); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := DecodeKey([]byte{tagString, escByte, 0x55}, 1, nil); err == nil {
+		t.Error("bad escape accepted")
+	}
+	if _, err := DecodeKey([]byte{tagInt, 1, 2}, 1, nil); err == nil {
+		t.Error("short int accepted")
+	}
+	if _, err := DecodeKey([]byte{tagFloat, 1, 2}, 1, nil); err == nil {
+		t.Error("short float accepted")
+	}
+	if _, err := DecodeKey([]byte{tagBool}, 1, nil); err == nil {
+		t.Error("short bool accepted")
+	}
+	if _, err := DecodeKey(nil, 1, nil); err == nil {
+		t.Error("empty key accepted")
+	}
+}
+
+func TestIntBoundaries(t *testing.T) {
+	vals := []int64{math.MinInt64, math.MinInt64 + 1, -1, 0, 1, math.MaxInt64 - 1, math.MaxInt64}
+	var prev []byte
+	for i, v := range vals {
+		enc := EncodeKey(value.Row{value.Int(v)}, nil)
+		if i > 0 && bytes.Compare(prev, enc) >= 0 {
+			t.Errorf("int ordering broken at %d", v)
+		}
+		prev = enc
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}

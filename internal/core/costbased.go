@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"piql/internal/parser"
+	"piql/internal/schema"
+)
+
+// Stats holds the table statistics a traditional cost-based optimizer
+// would consult: the average number of rows sharing one value of a
+// column. Keys are "table.column" (lower case).
+type Stats struct {
+	AvgRowsPerKey map[string]float64
+}
+
+// AvgFor returns the average rows per distinct value of table.column,
+// defaulting to 1.
+func (s Stats) AvgFor(table, column string) float64 {
+	if s.AvgRowsPerKey == nil {
+		return 1
+	}
+	if v, ok := s.AvgRowsPerKey[strings.ToLower(table+"."+column)]; ok {
+		return v
+	}
+	return 1
+}
+
+// CompileCostBased is the Section 8.3 baseline: a traditional optimizer
+// that minimizes the *average* number of key/value operations using
+// table statistics, with no regard for worst-case bounds. For queries
+// like the subscriber-intersection query it will happily pick an
+// unbounded index scan (cheap for the average user, catastrophic for
+// Lady GaGa); the PIQL compiler never does.
+//
+// Only single-relation queries are supported — enough for the paper's
+// comparison; joins fall back to the PIQL plan.
+func CompileCostBased(cat *schema.Catalog, stmt *parser.Select, stats Stats) (*Plan, error) {
+	piqlPlan, piqlErr := Compile(cat, stmt)
+
+	q, _, err := bind(cat, stmt)
+	if err != nil {
+		return nil, err
+	}
+	if len(q.rels) != 1 {
+		if piqlErr != nil {
+			return nil, piqlErr
+		}
+		return piqlPlan, nil
+	}
+	r := q.rels[0]
+	order, err := phase1(q, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// Candidate: for each simple equality predicate, an unbounded scan
+	// over an index on that column, filtering the rest locally. The
+	// average cost is ~1 range request plus the average matching rows
+	// for dereferencing.
+	type candidate struct {
+		plan Physical
+		cost float64
+	}
+	var cands []candidate
+	if piqlErr == nil {
+		cands = append(cands, candidate{plan: piqlPlan.Root, cost: avgCostOf(piqlPlan.Root, stats)})
+	}
+	ctx := &phase2Ctx{cat: cat, q: q, order: order}
+	for _, p := range r.eqPreds {
+		if p.Op != parser.OpEq || p.InList != nil {
+			continue
+		}
+		col := r.colName(p.Col)
+		// A covering index (the equality column followed by every other
+		// column) turns the scan into a single range RPC on average —
+		// the plan the paper's cost-based optimizer picks.
+		fields := []schema.IndexField{{Column: col}}
+		for _, c := range r.table.Columns {
+			if !strings.EqualFold(c.Name, col) {
+				fields = append(fields, schema.IndexField{Column: c.Name})
+			}
+		}
+		ix, reversed := ctx.ensureIndex(r.table, fields, 1)
+		var residual []LocalPred
+		for _, o := range append(append([]LocalPred{}, r.eqPreds...), r.otherPreds...) {
+			if o.Col == p.Col && o.Op == parser.OpEq && o.InList == nil {
+				continue
+			}
+			residual = append(residual, o)
+		}
+		scan := &IndexScan{
+			Table:       r.table,
+			TableOffset: r.offset,
+			Index:       ix,
+			Eq:          []KeyExpr{p.RHS},
+			Ascending:   !reversed,
+			Residual:    residual,
+			Unbounded:   true,
+			NeedDeref:   false, // covering: entries embed the whole row
+		}
+		_ = stats.AvgFor(r.table.Name, col) // retained for future per-byte costing
+		cost := 1.0                         // one range RPC on average
+		var plan Physical = scan
+		if len(q.sort) > 0 {
+			plan = &LocalSort{ChildPlan: plan, Keys: q.sort}
+		}
+		if q.stopK > 0 {
+			plan = &LocalStop{ChildPlan: plan, K: q.stopK}
+		}
+		plan = &LocalProject{ChildPlan: plan, Cols: q.projCols, Names: q.projNames}
+		cands = append(cands, candidate{plan: plan, cost: cost})
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("core: cost-based optimizer found no plan")
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.cost < best.cost {
+			best = c
+		}
+	}
+	width := len(r.table.Columns)
+	return &Plan{
+		Root:            best.plan,
+		Stmt:            stmt,
+		NumParams:       q.numParams,
+		OutputNames:     q.projNames,
+		RequiredIndexes: ctx.required,
+		RowWidth:        width,
+		order:           order,
+		q:               q,
+	}, nil
+}
+
+// avgCostOf estimates the expected operations of a bounded plan using
+// average (not worst-case) cardinalities: bounded random lookups cost
+// one get per key.
+func avgCostOf(n Physical, stats Stats) float64 {
+	switch n := n.(type) {
+	case nil:
+		return 0
+	case *PKLookup:
+		return float64(len(n.Keys))
+	case *IndexScan:
+		c := 1.0
+		if n.NeedDeref {
+			c += float64(n.Bounds().Tuples)
+		}
+		return c
+	case *IndexFKJoin:
+		return avgCostOf(n.ChildPlan, stats) + float64(n.ChildPlan.Bounds().Tuples)
+	case *SortedIndexJoin:
+		return avgCostOf(n.ChildPlan, stats) + float64(n.ChildPlan.Bounds().Tuples)
+	default:
+		if n.Child() != nil {
+			return avgCostOf(n.Child(), stats)
+		}
+		return 0
+	}
+}

@@ -1,0 +1,686 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"piql/internal/parser"
+	"piql/internal/schema"
+)
+
+// phase2 implements Algorithm 2 (PlanGenerate): it maps each relation's
+// access chain onto one of the three bounded remote operators —
+// PKLookup/IndexScan for the base relation, IndexFKJoin or
+// SortedIndexJoin for joined relations — wrapping residual predicates,
+// sort, stop, aggregation, and projection as local operators. Any
+// section it cannot bound aborts compilation with assistant feedback.
+type phase2Ctx struct {
+	cat      *schema.Catalog
+	q        *boundQuery
+	order    []*rel
+	required []*schema.Index
+	ordered  bool // current plan emits rows in q.sort order
+}
+
+func phase2(cat *schema.Catalog, q *boundQuery, order []*rel) (Physical, []*schema.Index, error) {
+	ctx := &phase2Ctx{cat: cat, q: q, order: order}
+	plan, err := ctx.matchBase(order[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, r := range order[1:] {
+		plan, err = ctx.matchJoin(plan, r)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(q.sort) > 0 && !ctx.ordered {
+		plan = &LocalSort{ChildPlan: plan, Keys: q.sort}
+	}
+	if len(q.aggs) > 0 {
+		names := make([]string, len(q.aggs))
+		for i, a := range q.aggs {
+			names[i] = a.Name
+		}
+		plan = &LocalAgg{ChildPlan: plan, GroupBy: q.groupBy, Aggs: q.aggs, Names: names}
+	}
+	if q.stopK > 0 {
+		plan = &LocalStop{ChildPlan: plan, K: q.stopK}
+	}
+	if len(q.aggs) == 0 {
+		plan = &LocalProject{ChildPlan: plan, Cols: q.projCols, Names: q.projNames}
+	}
+	return plan, ctx.required, nil
+}
+
+// splitPreds partitions a relation's own predicates for access-path
+// selection.
+type predSplit struct {
+	eqSimple []LocalPred         // col = const/param
+	eqIn     []LocalPred         // col IN (...)
+	token    []LocalPred         // col CONTAINS word
+	ranges   map[int][]LocalPred // inequalities by column ordinal
+	other    []LocalPred         // != and anything unusable for access
+}
+
+func splitPreds(r *rel) predSplit {
+	s := predSplit{ranges: make(map[int][]LocalPred)}
+	all := append(append([]LocalPred{}, r.eqPreds...), r.otherPreds...)
+	for _, p := range all {
+		switch {
+		case p.Op == parser.OpEq && p.InList != nil:
+			s.eqIn = append(s.eqIn, p)
+		case p.Op == parser.OpEq:
+			s.eqSimple = append(s.eqSimple, p)
+		case p.Op == parser.OpContains:
+			s.token = append(s.token, p)
+		case p.Op == parser.OpLt || p.Op == parser.OpLe || p.Op == parser.OpGt || p.Op == parser.OpGe:
+			s.ranges[p.Col] = append(s.ranges[p.Col], p)
+		default:
+			s.other = append(s.other, p)
+		}
+	}
+	return s
+}
+
+// --- base relation access ---
+
+func (ctx *phase2Ctx) matchBase(r *rel) (Physical, error) {
+	split := splitPreds(r)
+
+	// Case 1: equality (or IN) coverage of the full primary key —
+	// bounded random lookups (Fig. 7's PIQL plan).
+	if plan, ok := ctx.tryPKLookup(r, split); ok {
+		return plan, nil
+	}
+	// Case 2: a data-stop bounds the matching tuples.
+	if r.dataStopCard > 0 {
+		return ctx.boundedIndexScan(r, split)
+	}
+	// Case 3: no schema bound; a stop with a fully index-expressible
+	// predicate set still yields a bounded plan (Class I: fixed LIMIT
+	// without joins). With joins, the stop may push below them only when
+	// every later join is provably non-reductive (a declared foreign key
+	// covering the target's primary key, with no extra predicates) — the
+	// rule that admits the paper's search-by-title plan, where the stop
+	// of 50 sits under the author join.
+	if ctx.q.stopK > 0 && ctx.stopPushableToBase() {
+		return ctx.limitHintScan(r, split)
+	}
+	return nil, ctx.unboundedRelation(r)
+}
+
+// stopPushableToBase reports whether the query-level stop may act as the
+// base scan's limit hint: every subsequent relation must join 1:1
+// through a declared foreign key (guaranteed existence, so the join
+// never drops rows) and carry no predicates of its own.
+func (ctx *phase2Ctx) stopPushableToBase() bool {
+	for _, r := range ctx.order[1:] {
+		if len(r.eqPreds) > 0 || len(r.otherPreds) > 0 {
+			return false
+		}
+		// The join columns must cover r's full primary key...
+		covered := make(map[string]bool)
+		var outerCols []int
+		for _, jp := range r.joinPreds {
+			covered[strings.ToLower(r.colName(jp.col))] = true
+			outerCols = append(outerCols, jp.outerCol)
+		}
+		for _, pk := range r.table.PrimaryKey {
+			if !covered[strings.ToLower(pk)] {
+				return false
+			}
+		}
+		// ...and come from a declared FOREIGN KEY on the source relation.
+		if !ctx.backedByForeignKey(r, outerCols) {
+			return false
+		}
+	}
+	return true
+}
+
+// backedByForeignKey reports whether the outer columns feeding the join
+// into r are a declared foreign key referencing r's table.
+func (ctx *phase2Ctx) backedByForeignKey(r *rel, outerCols []int) bool {
+	for _, src := range ctx.order {
+		if src == r {
+			continue
+		}
+		for _, fk := range src.table.ForeignKeys {
+			if !strings.EqualFold(fk.RefTable, r.table.Name) {
+				continue
+			}
+			all := true
+			for _, oc := range outerCols {
+				ci := oc - src.offset
+				if ci < 0 || ci >= len(src.table.Columns) {
+					all = false
+					break
+				}
+				if !containsFold(fk.Columns, src.table.Columns[ci].Name) {
+					all = false
+					break
+				}
+			}
+			if all && len(outerCols) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// tryPKLookup matches equality predicates against the full primary key.
+func (ctx *phase2Ctx) tryPKLookup(r *rel, split predSplit) (Physical, bool) {
+	byCol := make(map[int]LocalPred)
+	for _, p := range split.eqSimple {
+		byCol[p.Col] = p
+	}
+	for _, p := range split.eqIn {
+		byCol[p.Col] = p
+	}
+	keyed := make(map[int]bool)
+	keys := []KeySpec{{}}
+	for _, pk := range r.table.PrimaryKey {
+		ci := r.table.ColumnIndex(pk)
+		p, ok := byCol[ci]
+		if !ok {
+			return nil, false
+		}
+		keyed[ci] = true
+		if p.InList == nil {
+			for i := range keys {
+				keys[i] = append(keys[i], p.RHS)
+			}
+			continue
+		}
+		// IN-list: cartesian expansion.
+		expanded := make([]KeySpec, 0, len(keys)*len(p.InList))
+		for _, k := range keys {
+			for _, e := range p.InList {
+				nk := make(KeySpec, len(k), len(k)+1)
+				copy(nk, k)
+				expanded = append(expanded, append(nk, e))
+			}
+		}
+		keys = expanded
+	}
+	var residual []LocalPred
+	for _, p := range append(append([]LocalPred{}, r.eqPreds...), r.otherPreds...) {
+		if keyed[p.Col] && (p.Op == parser.OpEq) {
+			continue
+		}
+		residual = append(residual, p)
+	}
+	plan := Physical(&PKLookup{Table: r.table, TableOffset: r.offset, Keys: keys, Residual: residual})
+	ctx.ordered = len(ctx.q.sort) == 0
+	return plan, true
+}
+
+// boundedIndexScan builds the access path when a data-stop bounds the
+// relation: an index over the constraint columns (extended with sort
+// columns when that unlocks a limit hint), fetching at most the
+// cardinality, with remaining predicates as a local selection — the
+// paper's preferred shape, since it avoids indexing volatile attributes
+// like SCADr's `approved` flag.
+func (ctx *phase2Ctx) boundedIndexScan(r *rel, split predSplit) (Physical, error) {
+	var fields []schema.IndexField
+	var eq []KeyExpr
+	for _, p := range r.belowPreds {
+		if p.InList != nil {
+			// IN over constraint columns: fall back to fetching the whole
+			// per-element section; expansion handled via residual checks.
+			return ctx.inExpandedScan(r, split)
+		}
+		fields = append(fields, schema.IndexField{Column: r.colName(p.Col)})
+		eq = append(eq, p.RHS)
+	}
+	residual := append([]LocalPred{}, r.abovePreds...)
+
+	limitHint := 0
+	sortSatisfied := false
+	if len(residual) == 0 {
+		if sortCols, ok := ctx.sortOnRelation(r); ok {
+			// Extend the index with the sort columns: the scan then
+			// yields rows in query order and the stop becomes a fetch
+			// limit.
+			fields = append(fields, sortCols...)
+			sortSatisfied = true
+			if ctx.q.stopK > 0 {
+				limitHint = boundMin(ctx.q.stopK, r.dataStopCard)
+			}
+		} else if len(ctx.q.sort) == 0 && ctx.q.stopK > 0 {
+			limitHint = boundMin(ctx.q.stopK, r.dataStopCard)
+		}
+	}
+	ix, reversed := ctx.ensureIndex(r.table, fields, len(eq))
+	scan := &IndexScan{
+		Table:        r.table,
+		TableOffset:  r.offset,
+		Index:        ix,
+		Eq:           eq,
+		Ascending:    !reversed,
+		LimitHint:    limitHint,
+		DataStopCard: r.dataStopCard,
+		Residual:     residual,
+		NeedDeref:    !ix.Primary,
+	}
+	ctx.ordered = sortSatisfied || len(ctx.q.sort) == 0
+	return scan, nil
+}
+
+// inExpandedScan handles a data-stop whose covering predicates include an
+// IN list: one bounded scan per list element, unioned. Modeled as a
+// PKLookup-style expansion over the constraint prefix.
+func (ctx *phase2Ctx) inExpandedScan(r *rel, split predSplit) (Physical, error) {
+	return nil, &NotScaleIndependentError{
+		Query:   ctx.q.stmt.String(),
+		Segment: fmt.Sprintf("relation %s", r.ref.Name()),
+		Reason:  "IN predicates over cardinality-constraint columns are only supported when the full primary key is covered",
+		Suggestions: []string{
+			"cover the full primary key with equality predicates so the IN list expands to bounded random lookups",
+		},
+	}
+}
+
+// limitHintScan builds a purely limit-hint-bounded scan: every predicate
+// must be expressible as a contiguous index section.
+func (ctx *phase2Ctx) limitHintScan(r *rel, split predSplit) (Physical, error) {
+	if len(split.other) > 0 || len(split.eqIn) > 0 || len(split.token) > 1 || len(split.ranges) > 1 {
+		return nil, ctx.unboundedRelation(r)
+	}
+	var fields []schema.IndexField
+	var eq []KeyExpr
+	for _, p := range split.token {
+		fields = append(fields, schema.IndexField{Column: r.colName(p.Col), Token: true})
+		eq = append(eq, p.RHS)
+	}
+	for _, p := range split.eqSimple {
+		fields = append(fields, schema.IndexField{Column: r.colName(p.Col)})
+		eq = append(eq, p.RHS)
+	}
+	// The single range column, if any.
+	var rangeCol = -1
+	var lower, upper *RangeBound
+	for ci, preds := range split.ranges {
+		rangeCol = ci
+		for _, p := range preds {
+			switch p.Op {
+			case parser.OpGt:
+				lower = &RangeBound{Expr: p.RHS}
+			case parser.OpGe:
+				lower = &RangeBound{Expr: p.RHS, Inclusive: true}
+			case parser.OpLt:
+				upper = &RangeBound{Expr: p.RHS}
+			case parser.OpLe:
+				upper = &RangeBound{Expr: p.RHS, Inclusive: true}
+			}
+		}
+	}
+	sortSatisfied := true
+	if sortCols, ok := ctx.sortOnRelation(r); ok {
+		// The range column, if present, must be the first sort column
+		// (otherwise the matching entries are non-contiguous).
+		if rangeCol >= 0 {
+			first := ctx.q.sort[0]
+			if first.Col != r.offset+rangeCol {
+				return nil, ctx.unboundedRelation(r)
+			}
+		}
+		fields = append(fields, sortCols...)
+	} else if len(ctx.q.sort) > 0 {
+		// Sort references other relations; with a bare limit hint we
+		// cannot fetch "the right" K rows before sorting.
+		return nil, ctx.unboundedRelation(r)
+	} else if rangeCol >= 0 {
+		fields = append(fields, schema.IndexField{Column: r.colName(rangeCol)})
+	}
+	ix, reversed := ctx.ensureIndex(r.table, fields, len(eq))
+	scan := &IndexScan{
+		Table:       r.table,
+		TableOffset: r.offset,
+		Index:       ix,
+		Eq:          eq,
+		Lower:       lower,
+		Upper:       upper,
+		Ascending:   !reversed,
+		LimitHint:   ctx.q.stopK,
+		NeedDeref:   !ix.Primary,
+	}
+	ctx.ordered = sortSatisfied
+	return scan, nil
+}
+
+// --- joined relation access ---
+
+func (ctx *phase2Ctx) matchJoin(child Physical, r *rel) (Physical, error) {
+	if len(r.joinPreds) == 0 {
+		return nil, &NotScaleIndependentError{
+			Query:   ctx.q.stmt.String(),
+			Segment: "relation " + r.ref.Name(),
+			Reason:  "relation has no join predicate linking it to the rest of the plan",
+			Suggestions: []string{
+				"add an equality join predicate",
+			},
+		}
+	}
+	split := splitPreds(r)
+
+	// IndexFKJoin: join columns (plus constant equalities) cover the
+	// target primary key, so each child row matches at most one record.
+	if plan, ok := ctx.tryFKJoin(child, r, split); ok {
+		return plan, nil
+	}
+	// SortedIndexJoin (sort+stop flavor): the query's sort is entirely on
+	// this relation and a stop exists; pre-sorted composite index entries
+	// let us fetch only the top-K per join key.
+	if plan, ok := ctx.trySortedJoin(child, r, split); ok {
+		return plan, nil
+	}
+	// SortedIndexJoin (cardinality flavor): the schema bounds tuples per
+	// join key; fetch them all and filter/sort locally.
+	if r.dataStopCard > 0 {
+		return ctx.cardBoundedJoin(child, r)
+	}
+	return nil, ctx.unboundedJoin(r)
+}
+
+func (ctx *phase2Ctx) tryFKJoin(child Physical, r *rel, split predSplit) (Physical, bool) {
+	exprByCol := make(map[int]KeyExpr)
+	for _, p := range split.eqSimple {
+		exprByCol[p.Col] = p.RHS
+	}
+	for _, jp := range r.joinPreds {
+		exprByCol[jp.col] = childColExpr(jp.outerCol, jp.outerStr)
+	}
+	var keys KeySpec
+	used := make(map[int]bool)
+	for _, pk := range r.table.PrimaryKey {
+		ci := r.table.ColumnIndex(pk)
+		e, ok := exprByCol[ci]
+		if !ok {
+			return nil, false
+		}
+		keys = append(keys, e)
+		used[ci] = true
+	}
+	var residual []LocalPred
+	for _, p := range append(append([]LocalPred{}, r.eqPreds...), r.otherPreds...) {
+		if used[p.Col] && p.Op == parser.OpEq && p.InList == nil {
+			continue
+		}
+		residual = append(residual, p)
+	}
+	// A 1:1 join preserves the child's ordering; ctx.ordered unchanged.
+	return &IndexFKJoin{
+		ChildPlan:   child,
+		Table:       r.table,
+		TableOffset: r.offset,
+		Keys:        keys,
+		Residual:    residual,
+	}, true
+}
+
+// trySortedJoin matches the thoughtstream pattern: ORDER BY columns all
+// on r, a stop above, and no residual predicates on r outside the index.
+func (ctx *phase2Ctx) trySortedJoin(child Physical, r *rel, split predSplit) (Physical, bool) {
+	if ctx.q.stopK == 0 || len(ctx.q.sort) == 0 {
+		return nil, false
+	}
+	sortCols, ok := ctx.sortOnRelation(r)
+	if !ok {
+		return nil, false
+	}
+	// Residuals (IN lists, !=, inequalities, tokens) would invalidate the
+	// per-key top-K shortcut.
+	if len(split.eqIn) > 0 || len(split.token) > 0 || len(split.ranges) > 0 || len(split.other) > 0 {
+		return nil, false
+	}
+	var fields []schema.IndexField
+	var jk KeySpec
+	for _, jp := range r.joinPreds {
+		fields = append(fields, schema.IndexField{Column: r.colName(jp.col)})
+		jk = append(jk, childColExpr(jp.outerCol, jp.outerStr))
+	}
+	for _, p := range split.eqSimple {
+		fields = append(fields, schema.IndexField{Column: r.colName(p.Col)})
+		jk = append(jk, p.RHS)
+	}
+	fields = append(fields, sortCols...)
+	ix, reversed := ctx.ensureIndex(r.table, fields, len(jk))
+	ctx.ordered = true
+	return &SortedIndexJoin{
+		ChildPlan:   child,
+		Table:       r.table,
+		TableOffset: r.offset,
+		Index:       ix,
+		JoinKey:     jk,
+		PerKeyLimit: ctx.q.stopK,
+		Ascending:   !reversed,
+		MergeSort:   ctx.q.sort,
+		NeedDeref:   !ix.Primary,
+	}, true
+}
+
+// cardBoundedJoin fetches all (at most dataStopCard) matches per join
+// key and applies the remaining predicates locally.
+func (ctx *phase2Ctx) cardBoundedJoin(child Physical, r *rel) (Physical, error) {
+	var fields []schema.IndexField
+	var jk KeySpec
+	seen := make(map[int]bool)
+	for _, jp := range r.joinPreds {
+		if seen[jp.col] {
+			continue
+		}
+		seen[jp.col] = true
+		fields = append(fields, schema.IndexField{Column: r.colName(jp.col)})
+		jk = append(jk, childColExpr(jp.outerCol, jp.outerStr))
+	}
+	for _, p := range r.belowPreds {
+		if seen[p.Col] || p.InList != nil {
+			continue
+		}
+		seen[p.Col] = true
+		fields = append(fields, schema.IndexField{Column: r.colName(p.Col)})
+		jk = append(jk, p.RHS)
+	}
+	ix, reversed := ctx.ensureIndex(r.table, fields, len(jk))
+	ctx.ordered = false // per-key fetch order is not the query order
+	join := &SortedIndexJoin{
+		ChildPlan:   child,
+		Table:       r.table,
+		TableOffset: r.offset,
+		Index:       ix,
+		JoinKey:     jk,
+		PerKeyLimit: r.dataStopCard,
+		Ascending:   !reversed,
+		Residual:    r.abovePreds,
+		NeedDeref:   !ix.Primary,
+	}
+	return join, nil
+}
+
+// --- helpers ---
+
+// sortOnRelation returns the ORDER BY columns as index fields when every
+// sort column belongs to relation r.
+func (ctx *phase2Ctx) sortOnRelation(r *rel) ([]schema.IndexField, bool) {
+	if len(ctx.q.sort) == 0 {
+		return nil, false
+	}
+	var fields []schema.IndexField
+	for _, k := range ctx.q.sort {
+		ci := k.Col - r.offset
+		if ci < 0 || ci >= len(r.table.Columns) {
+			return nil, false
+		}
+		fields = append(fields, schema.IndexField{Column: r.colName(ci), Desc: k.Desc})
+	}
+	return fields, true
+}
+
+// ensureIndex finds or registers an index serving the given fields, of
+// which the first prefixLen components are bound by equality (their
+// direction is irrelevant). An existing index — including the table's
+// primary index — whose suffix directions are all inverted serves the
+// same scan in reverse, e.g. thoughts' primary key (owner, timestamp)
+// scanned backwards yields ORDER BY timestamp DESC per owner.
+func (ctx *phase2Ctx) ensureIndex(t *schema.Table, fields []schema.IndexField, prefixLen int) (*schema.Index, bool) {
+	fields = ctx.completeWithPK(t, fields)
+	for _, ix := range ctx.cat.Indexes(t.Name) {
+		if matchIndex(ix, fields, prefixLen, false) {
+			ctx.noteRequired(ix)
+			return ix, false
+		}
+		if matchIndex(ix, fields, prefixLen, true) {
+			ctx.noteRequired(ix)
+			return ix, true
+		}
+	}
+	name := fmt.Sprintf("auto_%s_%s", strings.ToLower(t.Name), fieldsSlug(fields))
+	ix, err := ctx.cat.AddIndex(&schema.Index{Name: name, Table: t.Name, Fields: fields})
+	if err != nil {
+		// Field names were validated during binding; AddIndex cannot fail.
+		panic(fmt.Sprintf("core: internal: %v", err))
+	}
+	ctx.noteRequired(ix)
+	return ix, false
+}
+
+// matchIndex reports whether ix serves a scan over fields: identical
+// columns/token flags throughout; equal suffix directions (or, with
+// reversed, all-inverted suffix directions, served by a backward scan).
+// Directions within the equality prefix never matter.
+func matchIndex(ix *schema.Index, fields []schema.IndexField, prefixLen int, reversed bool) bool {
+	if len(ix.Fields) != len(fields) {
+		return false
+	}
+	for i, f := range fields {
+		g := ix.Fields[i]
+		if g.Token != f.Token || !strings.EqualFold(g.Column, f.Column) {
+			return false
+		}
+		if i < prefixLen {
+			continue
+		}
+		want := f.Desc
+		if reversed {
+			want = !want
+		}
+		if g.Desc != want {
+			return false
+		}
+	}
+	return true
+}
+
+// completeWithPK appends any missing primary key columns so index
+// entries are unique and dereferenceable.
+func (ctx *phase2Ctx) completeWithPK(t *schema.Table, fields []schema.IndexField) []schema.IndexField {
+	have := make(map[string]bool)
+	for _, f := range fields {
+		if !f.Token {
+			have[strings.ToLower(f.Column)] = true
+		}
+	}
+	out := append([]schema.IndexField{}, fields...)
+	for _, pk := range t.PrimaryKey {
+		if !have[strings.ToLower(pk)] {
+			out = append(out, schema.IndexField{Column: pk})
+		}
+	}
+	return out
+}
+
+func fieldsSlug(fields []schema.IndexField) string {
+	parts := make([]string, len(fields))
+	for i, f := range fields {
+		s := strings.ToLower(f.Column)
+		if f.Token {
+			s = "tok_" + s
+		}
+		if f.Desc {
+			s += "_desc"
+		}
+		parts[i] = s
+	}
+	return strings.Join(parts, "_")
+}
+
+func (ctx *phase2Ctx) noteRequired(ix *schema.Index) {
+	for _, e := range ctx.required {
+		if e == ix {
+			return
+		}
+	}
+	ctx.required = append(ctx.required, ix)
+}
+
+// --- assistant feedback ---
+
+func (ctx *phase2Ctx) unboundedRelation(r *rel) error {
+	eqCols := eqColNames(r)
+	sug := []string{}
+	if len(eqCols) > 0 {
+		sug = append(sug, fmt.Sprintf("add `CARDINALITY LIMIT n (%s)` to table %s so the matching tuples are bounded",
+			strings.Join(eqCols, ", "), r.table.Name))
+	}
+	if ctx.q.stopK == 0 {
+		sug = append(sug, "add a LIMIT or PAGINATE clause to bound the result size")
+	}
+	if hasOp(r, parser.OpLike) {
+		sug = append(sug, "rewrite the LIKE predicate as a tokenized search with CONTAINS (served by an inverted full-text index)")
+	}
+	if hasOp(r, parser.OpNe) {
+		sug = append(sug, "inequality (!=) predicates cannot bound an index section; combine them with a cardinality constraint")
+	}
+	if len(sug) == 0 {
+		sug = append(sug, "add an equality predicate on an indexed column, plus a LIMIT or PAGINATE clause")
+	}
+	return &NotScaleIndependentError{
+		Query:       ctx.q.stmt.String(),
+		Segment:     fmt.Sprintf("access to relation %s (%s)", r.ref.Name(), describePreds(r)),
+		Reason:      "the number of tuples produced by this relation has no compile-time bound",
+		Suggestions: sug,
+	}
+}
+
+func (ctx *phase2Ctx) unboundedJoin(r *rel) error {
+	var joinCols []string
+	for _, jp := range r.joinPreds {
+		joinCols = append(joinCols, r.table.Columns[jp.col].Name)
+	}
+	sug := []string{
+		fmt.Sprintf("add `CARDINALITY LIMIT n (%s)` to table %s to bound tuples per join key",
+			strings.Join(joinCols, ", "), r.table.Name),
+	}
+	if ctx.q.stopK == 0 {
+		sug = append(sug, "add a LIMIT or PAGINATE clause; with an ORDER BY on the joined relation the compiler can use a pre-sorted composite index (SortedIndexJoin)")
+	}
+	return &NotScaleIndependentError{
+		Query:       ctx.q.stmt.String(),
+		Segment:     fmt.Sprintf("join into relation %s on (%s)", r.ref.Name(), strings.Join(joinCols, ", ")),
+		Reason:      "the number of tuples produced per join key has no compile-time bound",
+		Suggestions: sug,
+	}
+}
+
+func hasOp(r *rel, op parser.CompareOp) bool {
+	for _, p := range append(append([]LocalPred{}, r.eqPreds...), r.otherPreds...) {
+		if p.Op == op {
+			return true
+		}
+	}
+	return false
+}
+
+func describePreds(r *rel) string {
+	var parts []string
+	for _, p := range append(append([]LocalPred{}, r.eqPreds...), r.otherPreds...) {
+		parts = append(parts, p.String())
+	}
+	if len(parts) == 0 {
+		return "no predicates"
+	}
+	return strings.Join(parts, " AND ")
+}

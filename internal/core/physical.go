@@ -1,0 +1,323 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"piql/internal/schema"
+	"piql/internal/value"
+)
+
+// Physical is a node of a compiled physical plan. Remote nodes (PKLookup,
+// IndexScan, IndexFKJoin, SortedIndexJoin) issue key/value store
+// operations; local nodes run entirely in the application tier.
+type Physical interface {
+	// Bounds returns the static guarantees for this subtree.
+	Bounds() Bounds
+	// Child returns the input subtree (nil for leaves).
+	Child() Physical
+	// Label renders just this node for EXPLAIN output.
+	Label() string
+}
+
+// Bounds is the static analysis result for a plan subtree: the maximum
+// number of tuples it can emit and the maximum number of key/value store
+// operations it can issue, both independent of database size. Unbounded
+// (-1) never appears in a successfully compiled plan.
+type Bounds struct {
+	Tuples int
+	Ops    int
+}
+
+// RangeBound is an inequality limit on the scan component following the
+// equality prefix.
+type RangeBound struct {
+	Expr      KeyExpr
+	Inclusive bool
+}
+
+// KeySpec is a full key binding: one expression per key column.
+type KeySpec []KeyExpr
+
+// PKLookup fetches at most one record per key via batched random gets:
+// the access path when equality predicates (or an IN list) cover the
+// whole primary key. This is the bounded-random-lookup plan of Fig. 7.
+type PKLookup struct {
+	Table       *schema.Table
+	TableOffset int
+	Keys        []KeySpec // cartesian expansion of IN lists
+	Residual    []LocalPred
+}
+
+func (n *PKLookup) Child() Physical { return nil }
+
+func (n *PKLookup) Bounds() Bounds {
+	return Bounds{Tuples: len(n.Keys), Ops: len(n.Keys)}
+}
+
+func (n *PKLookup) Label() string {
+	return fmt.Sprintf("PKLookup(%s, keys=%d%s)", n.Table.Name, len(n.Keys), residualStr(n.Residual))
+}
+
+// IndexScan reads one contiguous index section: equality prefix, optional
+// range bounds on the next component, optional limit hint. If the index
+// is secondary, matching records are dereferenced through the primary
+// key (one extra batched round of gets).
+type IndexScan struct {
+	Table        *schema.Table
+	TableOffset  int
+	Index        *schema.Index
+	Eq           []KeyExpr   // values for the index prefix (token value first if the index is tokenized)
+	Lower        *RangeBound // on the component after the prefix
+	Upper        *RangeBound
+	Ascending    bool
+	LimitHint    int // fetch at most this many entries (0 = use DataStopCard)
+	DataStopCard int // schema-derived bound on matching entries (0 = none)
+	Residual     []LocalPred
+	NeedDeref    bool // secondary index: fetch records via primary key
+	// Unbounded marks a scan with no static bound — only the cost-based
+	// baseline optimizer (Section 8.3) ever emits one; the PIQL compiler
+	// rejects such plans.
+	Unbounded bool
+}
+
+func (n *IndexScan) Child() Physical { return nil }
+
+// fetchBound is how many index entries the scan may pull.
+func (n *IndexScan) fetchBound() int {
+	if n.Unbounded {
+		return Unbounded
+	}
+	switch {
+	case n.LimitHint > 0 && n.DataStopCard > 0:
+		return boundMin(n.LimitHint, n.DataStopCard)
+	case n.LimitHint > 0:
+		return n.LimitHint
+	default:
+		return n.DataStopCard
+	}
+}
+
+func (n *IndexScan) Bounds() Bounds {
+	t := n.fetchBound()
+	if t == Unbounded {
+		return Bounds{Tuples: Unbounded, Ops: Unbounded}
+	}
+	ops := 1 // one range request
+	if n.NeedDeref {
+		ops = boundAdd(ops, t) // one get per matching entry, batched
+	}
+	return Bounds{Tuples: t, Ops: ops}
+}
+
+func (n *IndexScan) Label() string {
+	var parts []string
+	parts = append(parts, n.Index.String())
+	if len(n.Eq) > 0 {
+		keys := make([]string, len(n.Eq))
+		for i, e := range n.Eq {
+			keys[i] = e.String()
+		}
+		parts = append(parts, "key=("+strings.Join(keys, ", ")+")")
+	}
+	if n.Lower != nil {
+		op := ">"
+		if n.Lower.Inclusive {
+			op = ">="
+		}
+		parts = append(parts, fmt.Sprintf("range%s%s", op, n.Lower.Expr))
+	}
+	if n.Upper != nil {
+		op := "<"
+		if n.Upper.Inclusive {
+			op = "<="
+		}
+		parts = append(parts, fmt.Sprintf("range%s%s", op, n.Upper.Expr))
+	}
+	if n.Ascending {
+		parts = append(parts, "ascending=true")
+	} else {
+		parts = append(parts, "ascending=false")
+	}
+	switch {
+	case n.Unbounded:
+		parts = append(parts, "UNBOUNDED")
+	case n.LimitHint > 0:
+		parts = append(parts, fmt.Sprintf("limitHint=%d", n.LimitHint))
+	default:
+		parts = append(parts, fmt.Sprintf("limitHint=card(%d)", n.DataStopCard))
+	}
+	return fmt.Sprintf("IndexScan(%s%s)", strings.Join(parts, ", "), residualStr(n.Residual))
+}
+
+// IndexFKJoin joins each child tuple to at most one record of Table via
+// equality on the full primary key (the foreign-key direction bound).
+type IndexFKJoin struct {
+	ChildPlan   Physical
+	Table       *schema.Table
+	TableOffset int
+	Keys        KeySpec // child columns / constants forming the target primary key
+	Residual    []LocalPred
+}
+
+func (n *IndexFKJoin) Child() Physical { return n.ChildPlan }
+
+func (n *IndexFKJoin) Bounds() Bounds {
+	c := n.ChildPlan.Bounds()
+	return Bounds{Tuples: c.Tuples, Ops: boundAdd(c.Ops, c.Tuples)}
+}
+
+func (n *IndexFKJoin) Label() string {
+	keys := make([]string, len(n.Keys))
+	for i, e := range n.Keys {
+		keys[i] = e.String()
+	}
+	return fmt.Sprintf("IndexFKJoin(%s, key=(%s)%s)", n.Table.Name, strings.Join(keys, ", "), residualStr(n.Residual))
+}
+
+// SortedIndexJoin joins each child tuple to at most PerKeyLimit records
+// of Table through a composite index whose entries are pre-sorted per
+// join key, then merges the per-key streams. With a sort+stop above, the
+// limit hint caps the per-key fetch (the thoughtstream optimization);
+// otherwise PerKeyLimit comes from a cardinality constraint.
+type SortedIndexJoin struct {
+	ChildPlan   Physical
+	Table       *schema.Table
+	TableOffset int
+	Index       *schema.Index
+	JoinKey     KeySpec // child columns / constants forming the index prefix
+	PerKeyLimit int
+	Ascending   bool
+	// MergeSort is the output ordering (combined-row indexes) produced
+	// by merging the per-key sorted streams; empty when the join output
+	// needs no ordering.
+	MergeSort []SortKey
+	Residual  []LocalPred
+	NeedDeref bool
+}
+
+func (n *SortedIndexJoin) Child() Physical { return n.ChildPlan }
+
+func (n *SortedIndexJoin) Bounds() Bounds {
+	c := n.ChildPlan.Bounds()
+	t := boundMul(c.Tuples, n.PerKeyLimit)
+	ops := boundAdd(c.Ops, c.Tuples) // one range request per child tuple
+	if n.NeedDeref {
+		ops = boundAdd(ops, t)
+	}
+	return Bounds{Tuples: t, Ops: ops}
+}
+
+func (n *SortedIndexJoin) Label() string {
+	var sortProj []string
+	for _, k := range n.MergeSort {
+		sortProj = append(sortProj, k.String())
+	}
+	keys := make([]string, len(n.JoinKey))
+	for i, e := range n.JoinKey {
+		keys[i] = e.String()
+	}
+	return fmt.Sprintf("SortedIndexJoin(%s, key=(%s), sortProjection=(%s), ascending=%v, limitHint=%d%s)",
+		n.Index.String(), strings.Join(keys, ", "), strings.Join(sortProj, ", "),
+		n.Ascending, n.PerKeyLimit, residualStr(n.Residual))
+}
+
+// LocalSelection filters tuples in the application tier.
+type LocalSelection struct {
+	ChildPlan Physical
+	Preds     []LocalPred
+}
+
+func (n *LocalSelection) Child() Physical { return n.ChildPlan }
+func (n *LocalSelection) Bounds() Bounds  { return n.ChildPlan.Bounds() }
+func (n *LocalSelection) Label() string {
+	return fmt.Sprintf("LocalSelection(%s)", predsStr(n.Preds))
+}
+
+// LocalSort sorts the (bounded) input in the application tier.
+type LocalSort struct {
+	ChildPlan Physical
+	Keys      []SortKey
+}
+
+func (n *LocalSort) Child() Physical { return n.ChildPlan }
+func (n *LocalSort) Bounds() Bounds  { return n.ChildPlan.Bounds() }
+func (n *LocalSort) Label() string {
+	var keys []string
+	for _, k := range n.Keys {
+		keys = append(keys, k.String())
+	}
+	return fmt.Sprintf("LocalSort(%s)", strings.Join(keys, ", "))
+}
+
+// LocalStop truncates the stream after K tuples (the standard stop
+// operator of Carey & Kossmann).
+type LocalStop struct {
+	ChildPlan Physical
+	K         int
+}
+
+func (n *LocalStop) Child() Physical { return n.ChildPlan }
+func (n *LocalStop) Bounds() Bounds {
+	c := n.ChildPlan.Bounds()
+	return Bounds{Tuples: boundMin(n.K, c.Tuples), Ops: c.Ops}
+}
+func (n *LocalStop) Label() string { return fmt.Sprintf("Stop(%d)", n.K) }
+
+// LocalProject narrows the combined row to the projected columns.
+type LocalProject struct {
+	ChildPlan Physical
+	Cols      []int
+	Names     []string
+}
+
+func (n *LocalProject) Child() Physical { return n.ChildPlan }
+func (n *LocalProject) Bounds() Bounds  { return n.ChildPlan.Bounds() }
+func (n *LocalProject) Label() string {
+	return fmt.Sprintf("Project(%s)", strings.Join(n.Names, ", "))
+}
+
+// LocalAgg computes grouped aggregates over the bounded input.
+type LocalAgg struct {
+	ChildPlan Physical
+	GroupBy   []int
+	Aggs      []AggSpec
+	Names     []string
+}
+
+func (n *LocalAgg) Child() Physical { return n.ChildPlan }
+func (n *LocalAgg) Bounds() Bounds {
+	c := n.ChildPlan.Bounds()
+	return Bounds{Tuples: c.Tuples, Ops: c.Ops} // at most one group per input tuple
+}
+func (n *LocalAgg) Label() string {
+	return fmt.Sprintf("LocalAgg(groups=%d, aggs=%s)", len(n.GroupBy), strings.Join(n.Names, ", "))
+}
+
+func residualStr(preds []LocalPred) string {
+	if len(preds) == 0 {
+		return ""
+	}
+	return ", residual: " + predsStr(preds)
+}
+
+func predsStr(preds []LocalPred) string {
+	parts := make([]string, len(preds))
+	for i, p := range preds {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// Eval resolves a KeySpec against query parameters and an outer row.
+func (ks KeySpec) Eval(params []value.Value, outer value.Row) (value.Row, error) {
+	row := make(value.Row, len(ks))
+	for i, e := range ks {
+		v, err := e.Eval(params, outer)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = v
+	}
+	return row, nil
+}

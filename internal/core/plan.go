@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"piql/internal/parser"
+	"piql/internal/schema"
+)
+
+// Plan is a compiled, scale-independent physical query plan.
+type Plan struct {
+	// Root is the physical operator tree.
+	Root Physical
+	// Stmt is the source statement.
+	Stmt *parser.Select
+	// NumParams is how many parameters the query takes.
+	NumParams int
+	// OutputNames are the result column names.
+	OutputNames []string
+	// RequiredIndexes are the secondary indexes the plan reads; the
+	// engine must build (and backfill) any that are new (Section 5.3).
+	RequiredIndexes []*schema.Index
+	// PageSize is the PAGINATE page size (0 for non-paginated queries).
+	PageSize int
+	// RowWidth is the width of the combined row during execution.
+	RowWidth int
+
+	order []*rel // join order, for explain output
+	q     *boundQuery
+}
+
+// Compile runs the full PIQL compilation pipeline on a parsed SELECT:
+// bind → Phase I (Algorithm 1) → Phase II (Algorithm 2) → static bound
+// verification. New secondary indexes required by the plan are registered
+// in the catalog; the caller (engine) must backfill them before running
+// the plan.
+func Compile(cat *schema.Catalog, stmt *parser.Select) (*Plan, error) {
+	q, edges, err := bind(cat, stmt)
+	if err != nil {
+		return nil, err
+	}
+	order, err := phase1(q, edges)
+	if err != nil {
+		return nil, err
+	}
+	root, required, err := phase2(cat, q, order)
+	if err != nil {
+		return nil, err
+	}
+	b := root.Bounds()
+	if b.Ops == Unbounded || b.Tuples == Unbounded {
+		// Phase II only emits bounded operators; reaching this means a
+		// compiler bug, not a user error.
+		return nil, fmt.Errorf("core: internal: compiled plan is unbounded:\n%s", ExplainPhysical(root))
+	}
+	width := 0
+	for _, r := range q.rels {
+		width += len(r.table.Columns)
+	}
+	return &Plan{
+		Root:            root,
+		Stmt:            stmt,
+		NumParams:       q.numParams,
+		OutputNames:     q.projNames,
+		RequiredIndexes: required,
+		PageSize: func() int {
+			if q.page {
+				return q.stopK
+			}
+			return 0
+		}(),
+		RowWidth: width,
+		order:    order,
+		q:        q,
+	}, nil
+}
+
+// OpBound returns the static upper bound on key/value store operations
+// for one execution of the plan (one page, for paginated queries) — the
+// core scale-independence guarantee.
+func (p *Plan) OpBound() int { return p.Root.Bounds().Ops }
+
+// TupleBound returns the static upper bound on tuples flowing through
+// the plan's widest remote cut.
+func (p *Plan) TupleBound() int { return p.Root.Bounds().Tuples }
+
+// Explain renders the physical plan with per-operator bounds.
+func (p *Plan) Explain() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "-- bound: %d key/value operations, %d tuples\n", p.OpBound(), p.TupleBound())
+	sb.WriteString(ExplainPhysical(p.Root))
+	return sb.String()
+}
+
+// ExplainPhysical renders a physical operator tree, one operator per
+// line, children indented (remote operators are the indented leaves).
+func ExplainPhysical(root Physical) string {
+	var sb strings.Builder
+	depth := 0
+	for n := root; n != nil; n = n.Child() {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(n.Label())
+		b := n.Bounds()
+		fmt.Fprintf(&sb, "   [tuples<=%s ops<=%s]\n", boundStr(b.Tuples), boundStr(b.Ops))
+		depth++
+	}
+	return sb.String()
+}
+
+func boundStr(b int) string {
+	if b == Unbounded {
+		return "∞"
+	}
+	return fmt.Sprintf("%d", b)
+}
+
+// ExplainLogical renders the Phase I result — the logical plan after
+// predicate pushdown and data-stop insertion, in the normal form of the
+// paper's Figure 3(c).
+func (p *Plan) ExplainLogical() string {
+	var sb strings.Builder
+	depth := 0
+	line := func(s string) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(s)
+		sb.WriteByte('\n')
+		depth++
+	}
+	if p.q.stopK > 0 {
+		kind := "Stop"
+		if p.q.page {
+			kind = "PageStop"
+		}
+		line(fmt.Sprintf("%s %d", kind, p.q.stopK))
+	}
+	if len(p.q.aggs) > 0 {
+		names := make([]string, len(p.q.aggs))
+		for i, a := range p.q.aggs {
+			names[i] = a.Name
+		}
+		line("Aggregate " + strings.Join(names, ", "))
+	}
+	if len(p.q.sort) > 0 {
+		keys := make([]string, len(p.q.sort))
+		for i, k := range p.q.sort {
+			keys[i] = k.String()
+		}
+		line("Sort " + strings.Join(keys, ", "))
+	}
+	// Joins nest left-deep: render from the last join downward.
+	for i := len(p.order) - 1; i >= 1; i-- {
+		r := p.order[i]
+		preds := make([]string, len(r.joinPreds))
+		for j, jp := range r.joinPreds {
+			preds[j] = jp.String()
+		}
+		line(fmt.Sprintf("Join %s (%s)", r.ref.Name(), strings.Join(preds, " AND ")))
+		renderChain(&sb, depth, r)
+	}
+	renderChain(&sb, depth, p.order[0])
+	return sb.String()
+}
+
+// renderChain renders one relation's access chain:
+// abovePreds → DataStop → belowPreds → Relation.
+func renderChain(sb *strings.Builder, depth int, r *rel) {
+	line := func(s string) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(s)
+		sb.WriteByte('\n')
+		depth++
+	}
+	if len(r.abovePreds) > 0 {
+		line("Selection " + predsStr(r.abovePreds))
+	}
+	if r.dataStopCard > 0 {
+		line(fmt.Sprintf("DataStop %d", r.dataStopCard))
+	}
+	if len(r.belowPreds) > 0 {
+		line("Selection " + predsStr(r.belowPreds))
+	}
+	line("Relation " + r.ref.String())
+}
+
+// RemoteOps returns the remote operators of the plan from the leaf
+// upward; the SLO prediction model composes per-operator latency
+// distributions in this order.
+func (p *Plan) RemoteOps() []Physical {
+	var out []Physical
+	for n := p.Root; n != nil; n = n.Child() {
+		switch n.(type) {
+		case *PKLookup, *IndexScan, *IndexFKJoin, *SortedIndexJoin:
+			out = append(out, n)
+		}
+	}
+	// Reverse: leaf (executed first) comes first.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// Tables returns the tables referenced by the plan in join order.
+func (p *Plan) Tables() []*schema.Table {
+	out := make([]*schema.Table, len(p.order))
+	for i, r := range p.order {
+		out[i] = r.table
+	}
+	return out
+}
+
+// GroupBy exposes the aggregate grouping columns for the executor.
+func (p *Plan) GroupBy() []int { return p.q.groupBy }
+
+// Aggs exposes the aggregate outputs for the executor.
+func (p *Plan) Aggs() []AggSpec { return p.q.aggs }
+
+// SortKeys exposes the resolved ORDER BY for cursor serialization.
+func (p *Plan) SortKeys() []SortKey { return p.q.sort }

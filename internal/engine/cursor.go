@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"piql/internal/exec"
+	"piql/internal/value"
+)
+
+// Cursor is a client-side cursor over a PAGINATE query (Section 4.1).
+// It is resumable: Serialize captures its full state in a small byte
+// string that can be shipped to the user with the page and restored on
+// any application server with Engine.RestoreCursor — no server-side
+// cursor state exists anywhere.
+type Cursor struct {
+	prepared *Prepared
+	params   value.Row
+	resume   exec.ResumeState
+	done     bool
+}
+
+// Paginate opens a cursor over a PAGINATE query.
+func (p *Prepared) Paginate(params ...value.Value) (*Cursor, error) {
+	if p.plan.PageSize == 0 {
+		return nil, fmt.Errorf("engine: %q has no PAGINATE clause", p.sql)
+	}
+	return &Cursor{prepared: p, params: params}, nil
+}
+
+// Next fetches the next page. It returns nil when the cursor is
+// exhausted.
+func (c *Cursor) Next(s *Session) (*exec.Result, error) {
+	if c.done {
+		return nil, nil
+	}
+	ctx := &exec.Ctx{
+		Client:   s.client,
+		Params:   c.params,
+		Strategy: s.strat,
+		Resume:   c.resume,
+	}
+	res, err := exec.Run(c.prepared.plan, ctx)
+	if err != nil {
+		return nil, err
+	}
+	if res.More {
+		c.resume = res.Resume
+	} else {
+		c.done = true
+	}
+	return res, nil
+}
+
+// Done reports whether the cursor is exhausted.
+func (c *Cursor) Done() bool { return c.done }
+
+// cursorVersion guards the serialized layout.
+const cursorVersion = 1
+
+// Serialize captures the cursor's state: query text, parameters, and
+// the per-scan resume keys. The result is small — typically under a
+// hundred bytes plus the query text.
+func (c *Cursor) Serialize() []byte {
+	buf := []byte{cursorVersion}
+	if c.done {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = appendBytes(buf, []byte(c.prepared.sql))
+	buf = appendBytes(buf, value.EncodeRow(c.params))
+	buf = binary.AppendUvarint(buf, uint64(len(c.resume)))
+	for ord, key := range c.resume {
+		buf = binary.AppendUvarint(buf, uint64(ord))
+		buf = appendBytes(buf, key)
+	}
+	return buf
+}
+
+// RestoreCursor reconstructs a cursor from Serialize output on any
+// engine instance (re-preparing the query if needed).
+func (e *Engine) RestoreCursor(s *Session, data []byte) (*Cursor, error) {
+	if len(data) < 2 || data[0] != cursorVersion {
+		return nil, fmt.Errorf("engine: unsupported cursor version")
+	}
+	done := data[1] == 1
+	rest := data[2:]
+	sqlBytes, rest, err := readBytes(rest)
+	if err != nil {
+		return nil, fmt.Errorf("engine: corrupt cursor: %w", err)
+	}
+	paramBytes, rest, err := readBytes(rest)
+	if err != nil {
+		return nil, fmt.Errorf("engine: corrupt cursor: %w", err)
+	}
+	params, err := value.DecodeRow(paramBytes)
+	if err != nil {
+		return nil, fmt.Errorf("engine: corrupt cursor params: %w", err)
+	}
+	n, sz := binary.Uvarint(rest)
+	if sz <= 0 {
+		return nil, fmt.Errorf("engine: corrupt cursor resume count")
+	}
+	rest = rest[sz:]
+	resume := exec.ResumeState{}
+	for i := uint64(0); i < n; i++ {
+		ord, sz := binary.Uvarint(rest)
+		if sz <= 0 {
+			return nil, fmt.Errorf("engine: corrupt cursor resume entry")
+		}
+		rest = rest[sz:]
+		var key []byte
+		key, rest, err = readBytes(rest)
+		if err != nil {
+			return nil, fmt.Errorf("engine: corrupt cursor resume key: %w", err)
+		}
+		resume[int(ord)] = key
+	}
+	p, err := s.Prepare(string(sqlBytes))
+	if err != nil {
+		return nil, err
+	}
+	if p.plan.PageSize == 0 {
+		return nil, fmt.Errorf("engine: restored cursor for non-paginated query")
+	}
+	c := &Cursor{prepared: p, params: params, done: done}
+	if len(resume) > 0 {
+		c.resume = resume
+	}
+	return c, nil
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+func readBytes(b []byte) (payload, rest []byte, err error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || uint64(len(b)-sz) < n {
+		return nil, nil, fmt.Errorf("truncated length-prefixed field")
+	}
+	return b[sz : sz+int(n)], b[sz+int(n):], nil
+}

@@ -1,0 +1,361 @@
+// Package engine assembles the PIQL database library of Figure 2: the
+// catalog, the compiler, the execution engine, and the write path, all
+// running stateless in the application tier against the key/value store.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"piql/internal/core"
+	"piql/internal/exec"
+	"piql/internal/index"
+	"piql/internal/kvstore"
+	"piql/internal/parser"
+	"piql/internal/schema"
+	"piql/internal/sim"
+	"piql/internal/value"
+)
+
+// Engine is one application-tier PIQL library instance. It is stateless
+// between requests apart from the catalog and compiled-plan cache; all
+// data lives in the key/value store.
+type Engine struct {
+	cluster *kvstore.Cluster
+	cat     *schema.Catalog
+	maint   *index.Maintainer
+
+	mu       sync.Mutex
+	plans    map[string]*Prepared // by SQL text
+	built    map[string]bool      // index signatures already backfilled
+	defStrat exec.Strategy
+}
+
+// New creates an engine over a cluster.
+func New(cluster *kvstore.Cluster) *Engine {
+	cat := schema.NewCatalog()
+	return &Engine{
+		cluster:  cluster,
+		cat:      cat,
+		maint:    index.NewMaintainer(cat),
+		plans:    make(map[string]*Prepared),
+		built:    make(map[string]bool),
+		defStrat: exec.Parallel,
+	}
+}
+
+// SetDefaultStrategy changes the execution strategy used by sessions
+// that do not override it (Section 8.5's executor comparison).
+func (e *Engine) SetDefaultStrategy(s exec.Strategy) { e.defStrat = s }
+
+// Catalog exposes the schema catalog (read-mostly).
+func (e *Engine) Catalog() *schema.Catalog { return e.cat }
+
+// Cluster exposes the underlying store.
+func (e *Engine) Cluster() *kvstore.Cluster { return e.cluster }
+
+// Session is a per-process handle: it owns a key/value client (and thus
+// a virtual-time identity in simulated mode).
+type Session struct {
+	eng    *Engine
+	client *kvstore.Client
+	strat  exec.Strategy
+}
+
+// Session creates a session. proc may be nil for immediate mode.
+func (e *Engine) Session(proc *sim.Proc) *Session {
+	return &Session{eng: e, client: e.cluster.NewClient(proc), strat: e.defStrat}
+}
+
+// SetStrategy overrides the execution strategy for this session.
+func (s *Session) SetStrategy(st exec.Strategy) { s.strat = st }
+
+// Client exposes the session's store client (op counting, timing).
+func (s *Session) Client() *kvstore.Client { return s.client }
+
+// Exec runs a DDL or DML statement. Queries must go through Prepare.
+func (s *Session) Exec(sql string, params ...value.Value) error {
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		return err
+	}
+	switch stmt := stmt.(type) {
+	case *parser.CreateTable:
+		return s.eng.createTable(stmt.Table)
+	case *parser.CreateIndex:
+		return s.eng.createIndex(s, stmt.Index)
+	case *parser.Insert:
+		return s.insert(stmt, params)
+	case *parser.Update:
+		return s.update(stmt, params)
+	case *parser.Delete:
+		return s.delete(stmt, params)
+	case *parser.Select:
+		return fmt.Errorf("engine: use Prepare/Query for SELECT statements")
+	default:
+		return fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}
+
+func (e *Engine) createTable(t *schema.Table) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cat.AddTable(t)
+}
+
+func (e *Engine) createIndex(s *Session, ix *schema.Index) error {
+	e.mu.Lock()
+	canonical, err := e.cat.AddIndex(ix)
+	e.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return e.ensureBuilt(s, []*schema.Index{canonical})
+}
+
+// ensureBuilt backfills any indexes not yet materialized in the store.
+func (e *Engine) ensureBuilt(s *Session, ixs []*schema.Index) error {
+	for _, ix := range ixs {
+		e.mu.Lock()
+		done := e.built[ix.Signature()]
+		if !done {
+			e.built[ix.Signature()] = true
+		}
+		e.mu.Unlock()
+		if done || ix.Primary {
+			continue
+		}
+		if err := e.maint.Backfill(s.client, ix); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Prepared is a compiled, reusable query.
+type Prepared struct {
+	eng  *Engine
+	plan *core.Plan
+	sql  string
+}
+
+// Prepare compiles a SELECT (building any new indexes the plan needs)
+// or returns the cached plan for previously prepared text.
+func (s *Session) Prepare(sql string) (*Prepared, error) {
+	s.eng.mu.Lock()
+	if p, ok := s.eng.plans[sql]; ok {
+		s.eng.mu.Unlock()
+		return p, nil
+	}
+	s.eng.mu.Unlock()
+
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*parser.Select)
+	if !ok {
+		return nil, fmt.Errorf("engine: Prepare expects a SELECT, got %T", stmt)
+	}
+	s.eng.mu.Lock()
+	plan, err := core.Compile(s.eng.cat, sel)
+	s.eng.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.eng.ensureBuilt(s, plan.RequiredIndexes); err != nil {
+		return nil, err
+	}
+	p := &Prepared{eng: s.eng, plan: plan, sql: sql}
+	s.eng.mu.Lock()
+	s.eng.plans[sql] = p
+	s.eng.mu.Unlock()
+	return p, nil
+}
+
+// Plan exposes the compiled plan (bounds, explain output).
+func (p *Prepared) Plan() *core.Plan { return p.plan }
+
+// SQL returns the source text.
+func (p *Prepared) SQL() string { return p.sql }
+
+// Execute runs the query and returns all rows (the single page, for
+// paginated queries — use Paginate for cursors).
+func (p *Prepared) Execute(s *Session, params ...value.Value) (*exec.Result, error) {
+	return exec.Run(p.plan, &exec.Ctx{Client: s.client, Params: params, Strategy: s.strat})
+}
+
+// Query is shorthand for Prepare + Execute.
+func (s *Session) Query(sql string, params ...value.Value) (*exec.Result, error) {
+	p, err := s.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return p.Execute(s, params...)
+}
+
+// --- write path ---
+
+func (s *Session) insert(stmt *parser.Insert, params []value.Value) error {
+	t := s.eng.cat.Table(stmt.Table)
+	if t == nil {
+		return fmt.Errorf("engine: unknown table %q", stmt.Table)
+	}
+	row, err := buildRow(t, stmt.Columns, stmt.Values, params)
+	if err != nil {
+		return err
+	}
+	return s.eng.maint.Insert(s.client, t, row)
+}
+
+func (s *Session) update(stmt *parser.Update, params []value.Value) error {
+	t := s.eng.cat.Table(stmt.Table)
+	if t == nil {
+		return fmt.Errorf("engine: unknown table %q", stmt.Table)
+	}
+	pk, err := pkFromWhere(t, stmt.Where, params)
+	if err != nil {
+		return err
+	}
+	rkey := index.RecordKeyFromPK(t, pk)
+	rec, ok := s.client.Get(rkey)
+	if !ok {
+		return fmt.Errorf("engine: no row in %s with primary key %s", t.Name, pk)
+	}
+	row, err := value.DecodeRow(rec)
+	if err != nil {
+		return fmt.Errorf("engine: corrupt record: %w", err)
+	}
+	for _, a := range stmt.Set {
+		ci := t.ColumnIndex(a.Column)
+		if ci < 0 {
+			return fmt.Errorf("engine: unknown column %q in %s", a.Column, t.Name)
+		}
+		v, err := evalExpr(a.Value, params)
+		if err != nil {
+			return err
+		}
+		row[ci] = v
+	}
+	// Primary key columns must not change through UPDATE.
+	for i, col := range t.PrimaryKey {
+		if !value.Equal(row[t.ColumnIndex(col)], pk[i]) {
+			return fmt.Errorf("engine: UPDATE may not modify primary key column %q", col)
+		}
+	}
+	return s.eng.maint.Update(s.client, t, row)
+}
+
+func (s *Session) delete(stmt *parser.Delete, params []value.Value) error {
+	t := s.eng.cat.Table(stmt.Table)
+	if t == nil {
+		return fmt.Errorf("engine: unknown table %q", stmt.Table)
+	}
+	pk, err := pkFromWhere(t, stmt.Where, params)
+	if err != nil {
+		return err
+	}
+	return s.eng.maint.Delete(s.client, t, pk)
+}
+
+// buildRow assembles a full table row from INSERT columns and values.
+func buildRow(t *schema.Table, cols []string, exprs []parser.Expr, params []value.Value) (value.Row, error) {
+	row := make(value.Row, len(t.Columns))
+	if len(cols) == 0 {
+		if len(exprs) != len(t.Columns) {
+			return nil, fmt.Errorf("engine: INSERT into %s needs %d values, got %d", t.Name, len(t.Columns), len(exprs))
+		}
+		for i, e := range exprs {
+			v, err := evalExpr(e, params)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		return checkTypes(t, row)
+	}
+	for i, col := range cols {
+		ci := t.ColumnIndex(col)
+		if ci < 0 {
+			return nil, fmt.Errorf("engine: unknown column %q in %s", col, t.Name)
+		}
+		v, err := evalExpr(exprs[i], params)
+		if err != nil {
+			return nil, err
+		}
+		row[ci] = v
+	}
+	return checkTypes(t, row)
+}
+
+func checkTypes(t *schema.Table, row value.Row) (value.Row, error) {
+	for i, col := range t.Columns {
+		v := row[i]
+		if v.IsNull() {
+			continue
+		}
+		if col.Type == value.TypeFloat && v.T == value.TypeInt {
+			row[i] = value.Float(float64(v.I))
+			continue
+		}
+		if v.T != col.Type {
+			return nil, fmt.Errorf("engine: column %s.%s is %s, got %s", t.Name, col.Name, col.Type, v.T)
+		}
+		if col.MaxLen > 0 && v.T == value.TypeString && len(v.S) > col.MaxLen {
+			return nil, fmt.Errorf("engine: value for %s.%s exceeds VARCHAR(%d)", t.Name, col.Name, col.MaxLen)
+		}
+	}
+	return row, nil
+}
+
+// pkFromWhere requires the WHERE clause to be exactly an equality on the
+// full primary key — PIQL's scale-independent contract for point writes.
+func pkFromWhere(t *schema.Table, where []parser.Predicate, params []value.Value) (value.Row, error) {
+	byCol := make(map[string]value.Value)
+	for _, p := range where {
+		if p.Op != parser.OpEq || p.InList != nil {
+			return nil, fmt.Errorf("engine: writes require equality predicates on the primary key, got %s", p)
+		}
+		v, err := evalExpr(p.Right, params)
+		if err != nil {
+			return nil, err
+		}
+		byCol[lower(p.Left.Column)] = v
+	}
+	if len(byCol) != len(t.PrimaryKey) {
+		return nil, fmt.Errorf("engine: writes to %s must name exactly the primary key (%v)", t.Name, t.PrimaryKey)
+	}
+	pk := make(value.Row, len(t.PrimaryKey))
+	for i, col := range t.PrimaryKey {
+		v, ok := byCol[lower(col)]
+		if !ok {
+			return nil, fmt.Errorf("engine: writes to %s must constrain primary key column %q", t.Name, col)
+		}
+		pk[i] = v
+	}
+	return pk, nil
+}
+
+func evalExpr(e parser.Expr, params []value.Value) (value.Value, error) {
+	switch e := e.(type) {
+	case parser.Literal:
+		return e.Val, nil
+	case parser.Param:
+		if e.Index < 1 || e.Index > len(params) {
+			return value.Value{}, fmt.Errorf("engine: parameter %d not supplied (%d given)", e.Index, len(params))
+		}
+		return params[e.Index-1], nil
+	default:
+		return value.Value{}, fmt.Errorf("engine: unsupported expression %s", e)
+	}
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}

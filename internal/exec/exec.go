@@ -1,0 +1,212 @@
+// Package exec is the PIQL execution engine (Section 7): it runs
+// compiled physical plans against the key/value store. Remote operators
+// exploit the compiler's limit hints to batch their requests and can
+// issue them in parallel; the three strategies of Section 8.5 —
+// LazyExecutor, SimpleExecutor, ParallelExecutor — differ only in how
+// those requests are issued.
+//
+// Because every compiled plan is statically bounded, operators
+// materialize their (small) outputs; the Rows facade exposes the
+// classic open/next/close iterator interface on top.
+package exec
+
+import (
+	"fmt"
+
+	"piql/internal/core"
+	"piql/internal/kvstore"
+	"piql/internal/value"
+)
+
+// Strategy selects how remote operators issue key/value requests.
+type Strategy int
+
+const (
+	// Lazy requests one tuple at a time, like a traditional disk-based
+	// engine — no batching, no parallelism.
+	Lazy Strategy = iota
+	// Simple batches each operator's requests using the compiler's limit
+	// hints but waits for each batch before issuing the next.
+	Simple
+	// Parallel batches and issues all of an operator's requests to the
+	// key/value store concurrently (the default).
+	Parallel
+)
+
+// String returns the executor name used in the paper's Figure 12.
+func (s Strategy) String() string {
+	switch s {
+	case Lazy:
+		return "LazyExecutor"
+	case Simple:
+		return "SimpleExecutor"
+	case Parallel:
+		return "ParallelExecutor"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Ctx carries one execution's environment.
+type Ctx struct {
+	Client   *kvstore.Client
+	Params   []value.Value
+	Strategy Strategy
+	// Resume holds per-remote-operator resume keys for paginated
+	// queries; nil means start from the beginning. Run replaces it with
+	// the state to pass to the next page.
+	Resume ResumeState
+}
+
+// ResumeState maps a remote operator's ordinal (leaf first) to the
+// serialized position after the last tuple it returned. It is the whole
+// of a client-side cursor's stored state, matching the paper's
+// observation that only the last key of each uncompleted index scan
+// needs to be remembered.
+type ResumeState map[int][]byte
+
+// Result is one (fully materialized) query result page.
+type Result struct {
+	// Rows are the projected output rows.
+	Rows []value.Row
+	// Names are the output column names.
+	Names []string
+	// More reports whether a paginated query may have further pages.
+	More bool
+	// Resume is the cursor state for the next page (nil when done or
+	// not paginated).
+	Resume ResumeState
+}
+
+// Run executes a compiled plan and returns its result (one page, for
+// paginated queries).
+func Run(plan *core.Plan, ctx *Ctx) (*Result, error) {
+	if ctx.Params == nil {
+		ctx.Params = value.Row{}
+	}
+	if len(ctx.Params) < plan.NumParams {
+		return nil, fmt.Errorf("exec: query needs %d parameters, got %d", plan.NumParams, len(ctx.Params))
+	}
+	e := &executor{plan: plan, ctx: ctx, nextResume: ResumeState{}, driverOrd: driverOrdinal(plan)}
+	rows, err := e.run(plan.Root)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Rows: rows, Names: plan.OutputNames}
+	if plan.PageSize > 0 {
+		res.More = len(rows) == plan.PageSize
+		if res.More {
+			res.Resume = e.nextResume
+		}
+	}
+	return res, nil
+}
+
+type executor struct {
+	plan       *core.Plan
+	ctx        *Ctx
+	remoteSeq  int
+	nextResume ResumeState
+	driverOrd  int
+}
+
+// driverOrdinal identifies the remote operator that drives pagination:
+// the last SortedIndexJoin (it re-merges output order, so only its
+// per-key positions advance between pages — the child scan re-runs in
+// full each page), or the base scan otherwise. Remote ordinals are
+// assigned leaf-first in execution order, matching plan.RemoteOps.
+func driverOrdinal(plan *core.Plan) int {
+	driver := 0
+	for i, op := range plan.RemoteOps() {
+		if _, ok := op.(*core.SortedIndexJoin); ok {
+			driver = i
+		}
+	}
+	return driver
+}
+
+// nextRemoteOrdinal returns the next remote operator's ordinal and its
+// incoming resume key. Only the pagination-driving operator receives
+// (and stores) resume state.
+func (e *executor) nextRemoteOrdinal() (ord int, resume []byte) {
+	ord = e.remoteSeq
+	e.remoteSeq++
+	if e.ctx.Resume != nil && ord == e.driverOrd {
+		resume = e.ctx.Resume[ord]
+	}
+	return ord, resume
+}
+
+// storeResume records an operator's outgoing cursor position if it is
+// the pagination driver.
+func (e *executor) storeResume(ord int, key []byte) {
+	if ord == e.driverOrd && key != nil {
+		e.nextResume[ord] = key
+	}
+}
+
+func (e *executor) run(n core.Physical) ([]value.Row, error) {
+	switch n := n.(type) {
+	case *core.PKLookup:
+		return e.runPKLookup(n)
+	case *core.IndexScan:
+		return e.runIndexScan(n)
+	case *core.IndexFKJoin:
+		return e.runFKJoin(n)
+	case *core.SortedIndexJoin:
+		return e.runSortedJoin(n)
+	case *core.LocalSelection:
+		return e.runSelection(n)
+	case *core.LocalSort:
+		return e.runSort(n)
+	case *core.LocalStop:
+		return e.runStop(n)
+	case *core.LocalProject:
+		return e.runProject(n)
+	case *core.LocalAgg:
+		return e.runAgg(n)
+	default:
+		return nil, fmt.Errorf("exec: unknown physical operator %T", n)
+	}
+}
+
+// filterResidual applies an operator's residual predicates.
+func (e *executor) filterResidual(rows []value.Row, preds []core.LocalPred) ([]value.Row, error) {
+	if len(preds) == 0 {
+		return rows, nil
+	}
+	out := rows[:0]
+	for _, row := range rows {
+		keep := true
+		for _, p := range preds {
+			ok, err := p.Eval(row, e.ctx.Params)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// newRow allocates a combined row of the plan's width.
+func (e *executor) newRow() value.Row {
+	return make(value.Row, e.plan.RowWidth)
+}
+
+// placeRecord decodes a stored record into the combined row at the
+// table's offset.
+func placeRecord(row value.Row, offset int, rec []byte) error {
+	vals, err := value.DecodeRow(rec)
+	if err != nil {
+		return fmt.Errorf("exec: corrupt record: %w", err)
+	}
+	copy(row[offset:], vals)
+	return nil
+}

@@ -1,0 +1,78 @@
+package exec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Higher-level executor behavior (strategies, residuals, pagination,
+// bounds) is exercised end-to-end in internal/engine's tests; these
+// cover the package's standalone pieces.
+
+func TestStrategyNames(t *testing.T) {
+	cases := map[Strategy]string{
+		Lazy:        "LazyExecutor",
+		Simple:      "SimpleExecutor",
+		Parallel:    "ParallelExecutor",
+		Strategy(9): "Strategy(9)",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestStreamResumeRoundTrip(t *testing.T) {
+	in := map[string][]byte{
+		"prefix-a": {1, 2, 3},
+		"prefix-b": {},
+		"":         {9},
+	}
+	out := decodeStreamResume(encodeStreamResume(in))
+	if len(out) != len(in) {
+		t.Fatalf("lost entries: %v", out)
+	}
+	for k, v := range in {
+		if !bytes.Equal(out[k], v) {
+			t.Errorf("key %q: %v != %v", k, out[k], v)
+		}
+	}
+	// Deterministic encoding (sorted keys).
+	if !bytes.Equal(encodeStreamResume(in), encodeStreamResume(in)) {
+		t.Error("encoding not deterministic")
+	}
+}
+
+func TestStreamResumeCorruptInputs(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}, // huge count
+		{2, 5, 'a'},                 // truncated key
+		{1, 1, 'k', 5, 1},           // truncated value
+		encodeStreamResume(nil)[:0], // empty again
+	}
+	for i, b := range cases {
+		m := decodeStreamResume(b)
+		if m == nil {
+			t.Errorf("case %d: nil map", i)
+		}
+	}
+}
+
+func TestSuccessor(t *testing.T) {
+	k := []byte{1, 2}
+	s := successor(k)
+	if bytes.Compare(s, k) <= 0 {
+		t.Fatal("successor not greater")
+	}
+	if bytes.Compare(s, []byte{1, 2, 1}) >= 0 {
+		t.Fatal("successor not tight")
+	}
+	// Input must not be aliased.
+	s[0] = 99
+	if k[0] != 1 {
+		t.Fatal("successor aliased its input")
+	}
+}

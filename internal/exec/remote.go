@@ -1,0 +1,516 @@
+package exec
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"piql/internal/codec"
+	"piql/internal/core"
+	"piql/internal/index"
+	"piql/internal/kvstore"
+	"piql/internal/schema"
+	"piql/internal/value"
+)
+
+// runPKLookup fetches at most one record per key.
+func (e *executor) runPKLookup(n *core.PKLookup) ([]value.Row, error) {
+	e.nextRemoteOrdinal() // PKLookup has no resumable position
+	keys := make([][]byte, 0, len(n.Keys))
+	for _, spec := range n.Keys {
+		pk, err := spec.Eval(e.ctx.Params, nil)
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, index.RecordKeyFromPK(n.Table, pk))
+	}
+	var recs [][]byte
+	switch e.ctx.Strategy {
+	case Lazy:
+		recs = make([][]byte, len(keys))
+		for i, k := range keys {
+			if v, ok := e.ctx.Client.Get(k); ok {
+				recs[i] = v
+			}
+		}
+	case Simple:
+		recs = e.ctx.Client.MultiGetSeq(keys)
+	default:
+		recs = e.ctx.Client.MultiGet(keys)
+	}
+	var rows []value.Row
+	for _, rec := range recs {
+		if rec == nil {
+			continue
+		}
+		row := e.newRow()
+		if err := placeRecord(row, n.TableOffset, rec); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return e.filterResidual(rows, n.Residual)
+}
+
+// scanBounds computes the byte range of an index scan from its equality
+// prefix and optional inequality bounds, honoring the direction of the
+// range component's encoding.
+func scanBounds(n *core.IndexScan, params []value.Value) (start, end []byte, err error) {
+	eq, err := core.KeySpec(n.Eq).Eval(params, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	index.NormalizeTokens(n.Index, eq)
+	var prefix []byte
+	var compDesc bool
+	if n.Index.Primary {
+		prefix = index.RecordPrefix(n.Table)
+		for _, v := range eq {
+			prefix = codec.AppendValue(prefix, v, false)
+		}
+		compDesc = false
+	} else {
+		prefix = index.ScanPrefix(n.Index, eq)
+		if n.Lower != nil || n.Upper != nil {
+			compDesc = index.RangeComponentDesc(n.Index, len(eq))
+		}
+	}
+	start, end = prefix, codec.PrefixEnd(prefix)
+
+	bound := func(b *core.RangeBound, desc bool) ([]byte, error) {
+		v, err := b.Expr.Eval(params, nil)
+		if err != nil {
+			return nil, err
+		}
+		return codec.AppendValue(append([]byte{}, prefix...), v, desc), nil
+	}
+	// In value space Lower/Upper are fixed; in byte space a descending
+	// component swaps their roles.
+	lo, hi := n.Lower, n.Upper
+	if compDesc {
+		lo, hi = hi, lo
+	}
+	if lo != nil {
+		k, err := bound(lo, compDesc)
+		if err != nil {
+			return nil, nil, err
+		}
+		if lo.Inclusive {
+			start = k
+		} else {
+			start = codec.PrefixEnd(k)
+		}
+	}
+	if hi != nil {
+		k, err := bound(hi, compDesc)
+		if err != nil {
+			return nil, nil, err
+		}
+		if hi.Inclusive {
+			end = codec.PrefixEnd(k)
+		} else {
+			end = k
+		}
+	}
+	return start, end, nil
+}
+
+// fetchRange reads up to limit entries of [start, end), honoring the
+// strategy: Lazy fetches one entry per request; Simple/Parallel fetch
+// the whole batch in one request. limit <= 0 means "everything"
+// (cost-based unbounded plans only).
+func (e *executor) fetchRange(start, end []byte, limit int, reverse bool) []kvstore.KV {
+	if e.ctx.Strategy != Lazy || limit <= 0 {
+		return e.ctx.Client.GetRange(kvstore.RangeRequest{Start: start, End: end, Limit: limit, Reverse: reverse})
+	}
+	var out []kvstore.KV
+	for len(out) < limit {
+		kvs := e.ctx.Client.GetRange(kvstore.RangeRequest{Start: start, End: end, Limit: 1, Reverse: reverse})
+		if len(kvs) == 0 {
+			break
+		}
+		out = append(out, kvs[0])
+		if reverse {
+			end = kvs[0].Key
+		} else {
+			start = successor(kvs[0].Key)
+		}
+	}
+	return out
+}
+
+// successor returns the smallest key greater than k.
+func successor(k []byte) []byte {
+	return append(append([]byte{}, k...), 0x00)
+}
+
+// runIndexScan reads one contiguous index section.
+func (e *executor) runIndexScan(n *core.IndexScan) ([]value.Row, error) {
+	ord, resume := e.nextRemoteOrdinal()
+	start, end, err := scanBounds(n, e.ctx.Params)
+	if err != nil {
+		return nil, err
+	}
+	reverse := !n.Ascending
+	if resume != nil {
+		if reverse {
+			end = resume
+		} else {
+			start = successor(resume)
+		}
+	}
+	limit := 0
+	if !n.Unbounded {
+		limit = n.LimitHint
+		if limit == 0 {
+			limit = n.DataStopCard
+		}
+	}
+	kvs := e.fetchRange(start, end, limit, reverse)
+	if len(kvs) > 0 {
+		e.storeResume(ord, kvs[len(kvs)-1].Key)
+	} else {
+		e.storeResume(ord, resume)
+	}
+
+	var rows []value.Row
+	switch {
+	case n.Index.Primary:
+		for _, kv := range kvs {
+			row := e.newRow()
+			if err := placeRecord(row, n.TableOffset, kv.Value); err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	case !n.NeedDeref:
+		// Covering index: every column is embedded in the entry key.
+		for _, kv := range kvs {
+			row := e.newRow()
+			if err := index.RowFromCoveringEntry(n.Index, n.Table, kv.Key, row, n.TableOffset); err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	default:
+		rows, err = e.derefEntries(n.Index, n.Table, n.TableOffset, kvs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return e.filterResidual(rows, n.Residual)
+}
+
+// derefEntries resolves secondary index entries to full records,
+// preserving entry order (rows whose record vanished — dangling entries
+// — are skipped).
+func (e *executor) derefEntries(ix *schema.Index, table *schema.Table, offset int, kvs []kvstore.KV) ([]value.Row, error) {
+	keys := make([][]byte, len(kvs))
+	for i, kv := range kvs {
+		pk, err := index.DecodeEntry(ix, table, kv.Key)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = index.RecordKeyFromPK(table, pk)
+	}
+	var recs [][]byte
+	switch e.ctx.Strategy {
+	case Lazy:
+		recs = make([][]byte, len(keys))
+		for i, k := range keys {
+			if v, ok := e.ctx.Client.Get(k); ok {
+				recs[i] = v
+			}
+		}
+	case Simple:
+		recs = e.ctx.Client.MultiGetSeq(keys)
+	default:
+		recs = e.ctx.Client.MultiGet(keys)
+	}
+	var rows []value.Row
+	for _, rec := range recs {
+		if rec == nil {
+			continue // dangling entry awaiting GC
+		}
+		row := e.newRow()
+		if err := placeRecord(row, offset, rec); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runFKJoin extends each child row with at most one record of the
+// joined table.
+func (e *executor) runFKJoin(n *core.IndexFKJoin) ([]value.Row, error) {
+	childRows, err := e.run(n.ChildPlan)
+	if err != nil {
+		return nil, err
+	}
+	e.nextRemoteOrdinal() // order preserved; no resumable position of its own
+	keys := make([][]byte, len(childRows))
+	for i, row := range childRows {
+		pk, err := n.Keys.Eval(e.ctx.Params, row)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = index.RecordKeyFromPK(n.Table, pk)
+	}
+	var recs [][]byte
+	switch e.ctx.Strategy {
+	case Lazy:
+		recs = make([][]byte, len(keys))
+		for i, k := range keys {
+			if v, ok := e.ctx.Client.Get(k); ok {
+				recs[i] = v
+			}
+		}
+	case Simple:
+		recs = e.ctx.Client.MultiGetSeq(keys)
+	default:
+		recs = e.ctx.Client.MultiGet(keys)
+	}
+	var rows []value.Row
+	for i, rec := range recs {
+		if rec == nil {
+			continue // no matching row: inner join drops it
+		}
+		if err := placeRecord(childRows[i], n.TableOffset, rec); err != nil {
+			return nil, err
+		}
+		rows = append(rows, childRows[i])
+	}
+	return e.filterResidual(rows, n.Residual)
+}
+
+// runSortedJoin fetches up to PerKeyLimit pre-sorted matches per child
+// row and merges the streams into the output order. For paginated
+// queries the cursor keeps one resume position per join-key stream —
+// a shared position would skip tied sort values in sibling streams.
+func (e *executor) runSortedJoin(n *core.SortedIndexJoin) ([]value.Row, error) {
+	childRows, err := e.run(n.ChildPlan)
+	if err != nil {
+		return nil, err
+	}
+	ord, resumeBlob := e.nextRemoteOrdinal()
+	resume := decodeStreamResume(resumeBlob)
+
+	type perKey struct {
+		prefix     []byte
+		start, end []byte
+		kvs        []kvstore.KV
+	}
+	scans := make([]perKey, len(childRows))
+	for i, row := range childRows {
+		jk, err := n.JoinKey.Eval(e.ctx.Params, row)
+		if err != nil {
+			return nil, err
+		}
+		var prefix []byte
+		if n.Index.Primary {
+			prefix = index.RecordPrefix(n.Table)
+			for _, v := range jk {
+				prefix = codec.AppendValue(prefix, v, false)
+			}
+		} else {
+			prefix = index.ScanPrefix(n.Index, jk)
+		}
+		start, end := prefix, codec.PrefixEnd(prefix)
+		// Resume this stream just past the last element it contributed
+		// to a previous page.
+		if suffix, ok := resume[string(prefix)]; ok {
+			if n.Ascending {
+				start = successor(append(append([]byte{}, prefix...), suffix...))
+			} else {
+				end = append(append([]byte{}, prefix...), suffix...)
+			}
+		}
+		scans[i] = perKey{prefix: prefix, start: start, end: end}
+	}
+
+	fetch := func(sub *kvstore.Client, i int) {
+		scans[i].kvs = sub.GetRange(kvstore.RangeRequest{
+			Start:   scans[i].start,
+			End:     scans[i].end,
+			Limit:   n.PerKeyLimit,
+			Reverse: !n.Ascending,
+		})
+	}
+	switch e.ctx.Strategy {
+	case Parallel:
+		fns := make([]func(*kvstore.Client), len(scans))
+		for i := range scans {
+			i := i
+			fns[i] = func(sub *kvstore.Client) { fetch(sub, i) }
+		}
+		e.ctx.Client.Parallel(fns...)
+	default:
+		// Lazy and Simple both issue the per-key requests sequentially;
+		// Lazy additionally fetches tuple by tuple.
+		for i := range scans {
+			if e.ctx.Strategy == Lazy {
+				scans[i].kvs = e.fetchRange(scans[i].start, scans[i].end, n.PerKeyLimit, !n.Ascending)
+			} else {
+				fetch(e.ctx.Client, i)
+			}
+		}
+	}
+
+	// Materialize joined rows (dereferencing secondary entries),
+	// remembering each row's stream and entry-key suffix.
+	var joined []value.Row
+	var suffixes [][]byte
+	var stream []int
+	for i, sc := range scans {
+		if n.Index.Primary {
+			for _, kv := range sc.kvs {
+				row := e.newRow()
+				copy(row, childRows[i])
+				if err := placeRecord(row, n.TableOffset, kv.Value); err != nil {
+					return nil, err
+				}
+				joined = append(joined, row)
+				suffixes = append(suffixes, suffixOf(kv.Key, sc.prefix))
+				stream = append(stream, i)
+			}
+		} else {
+			recRows, err := e.derefEntries(n.Index, n.Table, n.TableOffset, sc.kvs)
+			if err != nil {
+				return nil, err
+			}
+			for j, rr := range recRows {
+				row := e.newRow()
+				copy(row, childRows[i])
+				copy(row[n.TableOffset:], rr[n.TableOffset:n.TableOffset+tableWidth(n)])
+				joined = append(joined, row)
+				suffixes = append(suffixes, suffixOf(sc.kvs[j].Key, sc.prefix))
+				stream = append(stream, i)
+			}
+		}
+	}
+
+	// Merge into output order.
+	if len(n.MergeSort) > 0 {
+		idx := make([]int, len(joined))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			return lessBySortKeys(joined[idx[a]], joined[idx[b]], n.MergeSort)
+		})
+		ordered := make([]value.Row, len(joined))
+		orderedSuffix := make([][]byte, len(joined))
+		orderedStream := make([]int, len(joined))
+		for i, j := range idx {
+			ordered[i] = joined[j]
+			orderedSuffix[i] = suffixes[j]
+			orderedStream[i] = stream[j]
+		}
+		joined, suffixes, stream = ordered, orderedSuffix, orderedStream
+	}
+	joined, err = e.filterResidual(joined, n.Residual)
+	if err != nil {
+		return nil, err
+	}
+	// Cursor state: per stream, the suffix of the last element consumed
+	// by this page; untouched streams keep their previous position.
+	if e.plan.PageSize > 0 {
+		cut := len(joined)
+		if e.plan.PageSize < cut {
+			cut = e.plan.PageSize
+		}
+		next := make(map[string][]byte, len(resume))
+		for k, v := range resume {
+			next[k] = v
+		}
+		for i := 0; i < cut && i < len(stream); i++ {
+			next[string(scans[stream[i]].prefix)] = suffixes[i]
+		}
+		e.storeResume(ord, encodeStreamResume(next))
+	}
+	return joined, nil
+}
+
+// encodeStreamResume serializes per-stream cursor positions.
+func encodeStreamResume(m map[string][]byte) []byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf := binary.AppendUvarint(nil, uint64(len(m)))
+	for _, k := range keys {
+		buf = binary.AppendUvarint(buf, uint64(len(k)))
+		buf = append(buf, k...)
+		buf = binary.AppendUvarint(buf, uint64(len(m[k])))
+		buf = append(buf, m[k]...)
+	}
+	return buf
+}
+
+// decodeStreamResume parses encodeStreamResume output; nil or corrupt
+// input yields an empty map (a fresh cursor).
+func decodeStreamResume(b []byte) map[string][]byte {
+	m := make(map[string][]byte)
+	if len(b) == 0 {
+		return m
+	}
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return m
+	}
+	b = b[sz:]
+	for i := uint64(0); i < n; i++ {
+		kl, sz := binary.Uvarint(b)
+		if sz <= 0 || uint64(len(b)-sz) < kl {
+			return map[string][]byte{}
+		}
+		k := string(b[sz : sz+int(kl)])
+		b = b[sz+int(kl):]
+		vl, sz := binary.Uvarint(b)
+		if sz <= 0 || uint64(len(b)-sz) < vl {
+			return map[string][]byte{}
+		}
+		v := append([]byte{}, b[sz:sz+int(vl)]...)
+		b = b[sz+int(vl):]
+		m[k] = v
+	}
+	return m
+}
+
+// prefixByteLen computes the byte length of the per-key prefix for one
+// child row (needed to slice the resume suffix out of an entry key).
+func prefixByteLen(n *core.SortedIndexJoin, params []value.Value, childRow value.Row) int {
+	jk, err := n.JoinKey.Eval(params, childRow)
+	if err != nil {
+		return 0
+	}
+	if n.Index.Primary {
+		prefix := index.RecordPrefix(n.Table)
+		for _, v := range jk {
+			prefix = codec.AppendValue(prefix, v, false)
+		}
+		return len(prefix)
+	}
+	return len(index.ScanPrefix(n.Index, jk))
+}
+
+func suffixOf(key []byte, prefix []byte) []byte {
+	return append([]byte{}, key[len(prefix):]...)
+}
+
+func tableWidth(n *core.SortedIndexJoin) int { return len(n.Table.Columns) }
+
+func lessBySortKeys(a, b value.Row, keys []core.SortKey) bool {
+	for _, k := range keys {
+		c := value.Compare(a[k.Col], b[k.Col])
+		if c == 0 {
+			continue
+		}
+		if k.Desc {
+			return c > 0
+		}
+		return c < 0
+	}
+	return false
+}

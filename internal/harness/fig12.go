@@ -1,0 +1,127 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"piql/internal/engine"
+	"piql/internal/exec"
+	"piql/internal/kvstore"
+	"piql/internal/sim"
+	"piql/internal/stats"
+	"piql/internal/value"
+	"piql/internal/workload/tpcw"
+)
+
+// Fig12Result compares the three execution strategies (Section 8.5) on
+// TPC-W with 10 storage nodes and 5 client machines: the full ordering
+// mix, plus the New Products interaction alone — the fan-out query
+// whose 50 dereferences and 50 foreign-key gets show exactly what limit
+// hints (Lazy vs Simple) and intra-query parallelism (Simple vs
+// Parallel) buy.
+type Fig12Result struct {
+	P99       map[exec.Strategy]time.Duration
+	Mean      map[exec.Strategy]time.Duration
+	FanOutP99 map[exec.Strategy]time.Duration
+}
+
+// RunFig12 measures interaction latency under each executor.
+func RunFig12(seed int64) (*Fig12Result, error) {
+	res := &Fig12Result{
+		P99:       make(map[exec.Strategy]time.Duration),
+		Mean:      make(map[exec.Strategy]time.Duration),
+		FanOutP99: make(map[exec.Strategy]time.Duration),
+	}
+	wcfg := tpcw.DefaultConfig()
+	wcfg.CustomersPerNode = 300
+	for _, strat := range []exec.Strategy{exec.Lazy, exec.Simple, exec.Parallel} {
+		cfg := ScaleConfig{
+			NodeCounts:       []int{10},
+			ThreadsPerClient: 10,
+			Warmup:           time.Second,
+			Measure:          3 * time.Second,
+			Seed:             seed,
+			Strategy:         strat,
+			// Equal offered load for every strategy: without think time
+			// the faster executors saturate the cluster and the
+			// comparison measures queueing, not execution strategy.
+			ThinkTime: 100 * time.Millisecond,
+		}
+		pt, err := RunScalePoint(TPCWWorkload(wcfg), cfg, 10)
+		if err != nil {
+			return nil, fmt.Errorf("fig12 %v: %w", strat, err)
+		}
+		res.P99[strat] = pt.P99
+		res.Mean[strat] = pt.Mean
+	}
+	fan, err := measureFanOutQuery(wcfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	res.FanOutP99 = fan
+	return res, nil
+}
+
+// measureFanOutQuery runs the New Products WI alone under each strategy
+// on a lightly loaded cluster.
+func measureFanOutQuery(wcfg tpcw.Config, seed int64) (map[exec.Strategy]time.Duration, error) {
+	env := sim.NewEnv()
+	cluster := kvstore.New(kvstore.Config{Nodes: 10, ReplicationFactor: 2, Seed: seed}, env)
+	eng := engine.New(cluster)
+	loader := eng.Session(nil)
+	for _, ddl := range tpcw.DDL(wcfg) {
+		if err := loader.Exec(ddl); err != nil {
+			return nil, err
+		}
+	}
+	if _, _, err := tpcw.Load(loader, wcfg, 10); err != nil {
+		return nil, err
+	}
+	q, err := loader.Prepare(tpcw.QuerySQL()["New Products WI"])
+	if err != nil {
+		return nil, err
+	}
+	cluster.Rebalance()
+
+	out := make(map[exec.Strategy]time.Duration)
+	for _, strat := range []exec.Strategy{exec.Lazy, exec.Simple, exec.Parallel} {
+		var lat []time.Duration
+		var runErr error
+		strat := strat
+		env.Spawn(func(p *sim.Proc) {
+			s := eng.Session(p)
+			s.SetStrategy(strat)
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 400; i++ {
+				subject := tpcw.Subjects[rng.Intn(len(tpcw.Subjects))]
+				t0 := p.Now()
+				if _, err := q.Execute(s, value.Str(subject)); err != nil {
+					runErr = err
+					return
+				}
+				lat = append(lat, p.Now()-t0)
+				p.Sleep(25 * time.Millisecond)
+			}
+		})
+		env.Run(0)
+		if runErr != nil {
+			return nil, runErr
+		}
+		out[strat] = stats.Percentile(lat, 99)
+	}
+	env.Stop()
+	return out, nil
+}
+
+// Print renders the comparison (paper: Lazy 639 > Simple 451 >
+// Parallel 331 ms).
+func (r *Fig12Result) Print(out io.Writer) {
+	fmt.Fprintln(out, "Fig 12: TPC-W 99th-percentile response time by execution strategy")
+	for _, strat := range []exec.Strategy{exec.Lazy, exec.Simple, exec.Parallel} {
+		fmt.Fprintf(out, "%18s: mix p99 = %7.1f ms   mix mean = %6.1f ms   New Products WI p99 = %7.1f ms\n",
+			strat, msF(r.P99[strat]), msF(r.Mean[strat]), msF(r.FanOutP99[strat]))
+	}
+	fmt.Fprintln(out)
+}

@@ -1,0 +1,218 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"piql/internal/engine"
+	"piql/internal/exec"
+	"piql/internal/kvstore"
+	"piql/internal/predict"
+	"piql/internal/sim"
+	"piql/internal/stats"
+	"piql/internal/value"
+)
+
+// Fig6Config sizes the thoughtstream cardinality heatmap: predicted
+// 99th-percentile latency for every (subscriptions per user, records
+// per page) pair — the Performance Insight Assistant's tool for picking
+// cardinality limits (Section 6.4).
+type Fig6Config struct {
+	Subs  []int // rows: number of subscriptions per user
+	Pages []int // columns: records per page
+	// Actual-measurement subset (full grid would take long).
+	ActualSubs  []int
+	ActualPages []int
+	Executions  int
+	Seed        int64
+}
+
+// DefaultFig6Config mirrors the paper's axes.
+func DefaultFig6Config() Fig6Config {
+	return Fig6Config{
+		Subs:        []int{100, 150, 200, 250, 300, 350, 400, 450, 500},
+		Pages:       []int{10, 15, 20, 25, 30, 35, 40, 45, 50},
+		ActualSubs:  []int{100, 300, 500},
+		ActualPages: []int{10, 30, 50},
+		Executions:  150,
+		Seed:        21,
+	}
+}
+
+// Fig6Result holds the predicted heatmap and the measured subset.
+type Fig6Result struct {
+	Cfg       Fig6Config
+	Predicted [][]time.Duration // [subIdx][pageIdx]
+	Actual    map[[2]int]time.Duration
+	MeanDiff  time.Duration // mean (predicted - actual) over the subset
+}
+
+// thoughtstream per-tuple sizes (β) from the SCADr schema estimates.
+const (
+	subTupleBytes     = 44
+	thoughtTupleBytes = 186
+)
+
+// RunFig6 computes the predicted heatmap from the trained model and
+// measures a subset of cells for the accuracy claim.
+func RunFig6(model *predict.Model, cfg Fig6Config) (*Fig6Result, error) {
+	res := &Fig6Result{Cfg: cfg, Actual: make(map[[2]int]time.Duration)}
+	for _, subs := range cfg.Subs {
+		var row []time.Duration
+		for _, page := range cfg.Pages {
+			pred, err := model.PredictOps([]predict.Op{
+				{Kind: predict.KindScan, Alpha: subs, Beta: subTupleBytes},
+				{Kind: predict.KindSortedJoin, Alpha: subs, AlphaJ: page, Beta: thoughtTupleBytes},
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, pred.Max99)
+		}
+		res.Predicted = append(res.Predicted, row)
+	}
+
+	// Measure the subset on a live simulated cluster: owners with
+	// exactly S subscriptions, targets with enough thoughts per page.
+	maxSubs := cfg.ActualSubs[len(cfg.ActualSubs)-1]
+	maxPage := cfg.ActualPages[len(cfg.ActualPages)-1]
+	env := sim.NewEnv()
+	cluster := kvstore.New(kvstore.Config{Nodes: 10, ReplicationFactor: 2, Seed: cfg.Seed}, env)
+	eng := engine.New(cluster)
+	loader := eng.Session(nil)
+	ddl := []string{
+		`CREATE TABLE users (username VARCHAR(20), password VARCHAR(20), hometown VARCHAR(30), PRIMARY KEY (username))`,
+		fmt.Sprintf(`CREATE TABLE subscriptions (owner VARCHAR(20), target VARCHAR(20), approved BOOLEAN,
+			PRIMARY KEY (owner, target), FOREIGN KEY (target) REFERENCES users,
+			CARDINALITY LIMIT %d (owner))`, maxSubs),
+		`CREATE TABLE thoughts (owner VARCHAR(20), timestamp INT, text VARCHAR(140), PRIMARY KEY (owner, timestamp))`,
+	}
+	for _, d := range ddl {
+		if err := loader.Exec(d); err != nil {
+			return nil, err
+		}
+	}
+	// Shared target pool with thoughts.
+	for tgt := 0; tgt < maxSubs; tgt++ {
+		name := fmt.Sprintf("tgt%04d", tgt)
+		if err := loader.Exec(`INSERT INTO users VALUES (?, 'pw', 'SF')`, value.Str(name)); err != nil {
+			return nil, err
+		}
+		for i := 0; i <= maxPage; i++ {
+			if err := loader.Exec(`INSERT INTO thoughts VALUES (?, ?, 'text of a thought that is reasonably sized for scadr')`,
+				value.Str(name), value.Int(int64(1000+tgt*1000+i))); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Owners per measured S: a handful each, subscribing to the first S
+	// targets.
+	const ownersPer = 4
+	for _, subs := range cfg.ActualSubs {
+		for o := 0; o < ownersPer; o++ {
+			owner := fmt.Sprintf("own%d_%d", subs, o)
+			if err := loader.Exec(`INSERT INTO users VALUES (?, 'pw', 'SF')`, value.Str(owner)); err != nil {
+				return nil, err
+			}
+			for tgt := 0; tgt < subs; tgt++ {
+				if err := loader.Exec(`INSERT INTO subscriptions VALUES (?, ?, true)`,
+					value.Str(owner), value.Str(fmt.Sprintf("tgt%04d", tgt))); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Prepare one query per page size.
+	plans := make(map[int]*engine.Prepared)
+	for _, page := range cfg.ActualPages {
+		q, err := loader.Prepare(fmt.Sprintf(`
+			SELECT thoughts.owner, thoughts.timestamp, thoughts.text
+			FROM subscriptions s JOIN thoughts
+			WHERE thoughts.owner = s.target AND s.owner = [1: me] AND s.approved = true
+			ORDER BY thoughts.timestamp DESC LIMIT %d`, page))
+		if err != nil {
+			return nil, err
+		}
+		plans[page] = q
+	}
+	cluster.Rebalance()
+
+	samples := make(map[[2]int][]time.Duration)
+	env.Spawn(func(p *sim.Proc) {
+		s := eng.Session(p)
+		s.SetStrategy(exec.Parallel)
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		for rep := 0; rep < cfg.Executions; rep++ {
+			for _, subs := range cfg.ActualSubs {
+				owner := fmt.Sprintf("own%d_%d", subs, rng.Intn(ownersPer))
+				for _, page := range cfg.ActualPages {
+					t0 := p.Now()
+					if _, err := plans[page].Execute(s, value.Str(owner)); err != nil {
+						panic(fmt.Sprintf("harness: fig6: %v", err))
+					}
+					samples[[2]int{subs, page}] = append(samples[[2]int{subs, page}], p.Now()-t0)
+				}
+			}
+			p.Sleep(40 * time.Millisecond) // spread across volatility windows
+		}
+	})
+	env.Run(0)
+	env.Stop()
+
+	var diffSum time.Duration
+	n := 0
+	for cell, lat := range samples {
+		actual := stats.Percentile(lat, 99)
+		res.Actual[cell] = actual
+		pred := res.predictedFor(cell[0], cell[1])
+		diffSum += pred - actual
+		n++
+	}
+	if n > 0 {
+		res.MeanDiff = diffSum / time.Duration(n)
+	}
+	return res, nil
+}
+
+func (r *Fig6Result) predictedFor(subs, page int) time.Duration {
+	for i, s := range r.Cfg.Subs {
+		if s != subs {
+			continue
+		}
+		for j, p := range r.Cfg.Pages {
+			if p == page {
+				return r.Predicted[i][j]
+			}
+		}
+	}
+	return 0
+}
+
+// Print renders the heatmap the way Figure 6 does: subscriptions per
+// user (rows) by records per page (columns), milliseconds per cell.
+func (r *Fig6Result) Print(out io.Writer) {
+	fmt.Fprintln(out, "Fig 6: predicted 99th-percentile latency (ms) for the thoughtstream query")
+	fmt.Fprintf(out, "%22s", "subs\\page")
+	for _, p := range r.Cfg.Pages {
+		fmt.Fprintf(out, "%6d", p)
+	}
+	fmt.Fprintln(out)
+	for i, subs := range r.Cfg.Subs {
+		fmt.Fprintf(out, "%22d", subs)
+		for j := range r.Cfg.Pages {
+			fmt.Fprintf(out, "%6.0f", msF(r.Predicted[i][j]))
+		}
+		fmt.Fprintln(out)
+	}
+	fmt.Fprintln(out, "\nmeasured subset (actual 99th percentile, ms):")
+	for _, subs := range r.Cfg.ActualSubs {
+		for _, page := range r.Cfg.ActualPages {
+			cell := [2]int{subs, page}
+			fmt.Fprintf(out, "  subs=%3d page=%2d: actual=%5.0f predicted=%5.0f\n",
+				subs, page, msF(r.Actual[cell]), msF(r.predictedFor(subs, page)))
+		}
+	}
+	fmt.Fprintf(out, "mean (predicted - actual) over subset: %.0f ms (paper: +13 ms)\n\n", msF(r.MeanDiff))
+}

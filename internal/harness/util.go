@@ -1,0 +1,9 @@
+package harness
+
+import "piql/internal/value"
+
+// valueValue aliases the engine's value type for brevity in specs.
+type valueValue = value.Value
+
+func strV(s string) value.Value { return value.Str(s) }
+func intV(i int64) value.Value  { return value.Int(i) }

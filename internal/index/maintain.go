@@ -1,0 +1,352 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"piql/internal/codec"
+	"piql/internal/kvstore"
+	"piql/internal/schema"
+	"piql/internal/value"
+)
+
+// Maintainer runs the write path for one table against the key/value
+// store, keeping every registered secondary index consistent and
+// enforcing the schema's uniqueness and cardinality constraints.
+type Maintainer struct {
+	cat *schema.Catalog
+}
+
+// NewMaintainer returns a write-path helper over the catalog.
+func NewMaintainer(cat *schema.Catalog) *Maintainer {
+	return &Maintainer{cat: cat}
+}
+
+// ErrDuplicateKey is returned when an insert collides with an existing
+// primary key.
+type ErrDuplicateKey struct {
+	Table string
+	PK    value.Row
+}
+
+func (e *ErrDuplicateKey) Error() string {
+	return fmt.Sprintf("duplicate primary key %s in table %s", e.PK, e.Table)
+}
+
+// ErrCardinalityExceeded is returned when an insert would violate a
+// CARDINALITY LIMIT; per Section 7.2 the record is inserted first,
+// checked with a count-range request, and removed again on violation.
+type ErrCardinalityExceeded struct {
+	Table   string
+	Columns []string
+	Limit   int
+}
+
+func (e *ErrCardinalityExceeded) Error() string {
+	return fmt.Sprintf("cardinality limit %d on %s(%s) exceeded",
+		e.Limit, e.Table, strings.Join(e.Columns, ", "))
+}
+
+// secondaryIndexes returns the table's non-primary indexes.
+func (m *Maintainer) secondaryIndexes(t *schema.Table) []*schema.Index {
+	var out []*schema.Index
+	for _, ix := range m.cat.Indexes(t.Name) {
+		if !ix.Primary {
+			out = append(out, ix)
+		}
+	}
+	return out
+}
+
+// Insert writes a full row following the paper's protocol: secondary
+// index entries first, then the record via test-and-set (uniqueness),
+// then the cardinality count-check (deleting the row again on
+// violation). crashAfter optionally injects a crash for recovery tests:
+// 0 disables; n > 0 panics after n storage writes.
+func (m *Maintainer) Insert(cl *kvstore.Client, t *schema.Table, row value.Row) error {
+	if len(row) != len(t.Columns) {
+		return fmt.Errorf("index: row has %d values, table %s has %d columns", len(row), t.Name, len(t.Columns))
+	}
+	rec := value.EncodeRow(row)
+	// (1) Insert all secondary index entries (in parallel: ordering only
+	// matters between the entries and the record, not among entries).
+	putEntries(cl, m.entryKeysFor(t, row))
+	// (2) Insert the record if absent (uniqueness via test-and-set).
+	rkey := RecordKey(t, row)
+	if !cl.TestAndSet(rkey, nil, rec) {
+		// Roll back the entries we just wrote; they may be shared with
+		// the existing row's entries, so only delete ones that the
+		// stored row does not also produce.
+		if existing, ok := cl.Get(rkey); ok {
+			if old, err := value.DecodeRow(existing); err == nil {
+				m.deleteStaleEntries(cl, t, row, old)
+			}
+		}
+		pk := make(value.Row, len(t.PrimaryKey))
+		for i, col := range t.PrimaryKey {
+			pk[i] = row[t.ColumnIndex(col)]
+		}
+		return &ErrDuplicateKey{Table: t.Name, PK: pk}
+	}
+	// (3) Check cardinality constraints with count-range requests.
+	for _, card := range t.Cardinalities {
+		n := m.countMatching(cl, t, card, row)
+		if n > card.Limit {
+			// Violation: undo the insert (record first so readers stop
+			// seeing it, then entries).
+			cl.Delete(rkey)
+			deleteEntries(cl, m.entryKeysFor(t, row))
+			return &ErrCardinalityExceeded{Table: t.Name, Columns: card.Columns, Limit: card.Limit}
+		}
+	}
+	return nil
+}
+
+// countMatching counts rows sharing the constraint column values with
+// row. It uses an index over the constraint columns when one exists
+// (the compiler will have created one for any constraint it exploits);
+// otherwise it falls back to counting over the record range, which is
+// only valid when the constraint columns prefix the primary key.
+func (m *Maintainer) countMatching(cl *kvstore.Client, t *schema.Table, card schema.Cardinality, row value.Row) int {
+	if ix := m.constraintIndex(t, card); ix != nil {
+		prefix := IndexPrefix(ix)
+		for i := range card.Columns {
+			f := ix.Fields[i]
+			prefix = codec.AppendValue(prefix, row[t.ColumnIndex(f.Column)], f.Desc)
+		}
+		return cl.CountRange(prefix, codec.PrefixEnd(prefix))
+	}
+	if m.prefixesPrimaryKey(t, card.Columns) {
+		prefix := RecordPrefix(t)
+		for _, col := range card.Columns {
+			prefix = codec.AppendValue(prefix, row[t.ColumnIndex(col)], false)
+		}
+		return cl.CountRange(prefix, codec.PrefixEnd(prefix))
+	}
+	// No efficient path: scan-count via the record range with a filter.
+	// Bounded in practice by the constraint itself once enforced.
+	prefix := RecordPrefix(t)
+	n := 0
+	for _, kv := range cl.GetRange(kvstore.RangeRequest{Start: prefix, End: codec.PrefixEnd(prefix)}) {
+		other, err := value.DecodeRow(kv.Value)
+		if err != nil {
+			continue
+		}
+		match := true
+		for _, col := range card.Columns {
+			ci := t.ColumnIndex(col)
+			if !value.Equal(other[ci], row[ci]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			n++
+		}
+	}
+	return n
+}
+
+// constraintIndex finds a secondary index whose leading non-token fields
+// are exactly the constraint columns (in any order of the constraint).
+func (m *Maintainer) constraintIndex(t *schema.Table, card schema.Cardinality) *schema.Index {
+	for _, ix := range m.secondaryIndexes(t) {
+		if len(ix.Fields) < len(card.Columns) {
+			continue
+		}
+		ok := true
+		for i, col := range card.Columns {
+			f := ix.Fields[i]
+			if f.Token || !strings.EqualFold(f.Column, col) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return ix
+		}
+	}
+	return nil
+}
+
+func (m *Maintainer) prefixesPrimaryKey(t *schema.Table, cols []string) bool {
+	if len(cols) > len(t.PrimaryKey) {
+		return false
+	}
+	for i, col := range cols {
+		if !strings.EqualFold(t.PrimaryKey[i], col) {
+			return false
+		}
+	}
+	return true
+}
+
+// Update rewrites an existing row (identified by its primary key inside
+// newRow): new index entries first, then the record, then stale entry
+// deletion — the ordering that tolerates a crash at any point with only
+// dangling entries as fallout.
+func (m *Maintainer) Update(cl *kvstore.Client, t *schema.Table, newRow value.Row) error {
+	rkey := RecordKey(t, newRow)
+	oldRec, ok := cl.Get(rkey)
+	if !ok {
+		return fmt.Errorf("index: update of missing row in %s", t.Name)
+	}
+	oldRow, err := value.DecodeRow(oldRec)
+	if err != nil {
+		return fmt.Errorf("index: corrupt record in %s: %w", t.Name, err)
+	}
+	// (1) New entries, in parallel.
+	putEntries(cl, m.entryKeysFor(t, newRow))
+	// (2) Record.
+	cl.Put(rkey, value.EncodeRow(newRow))
+	// (3) Stale entries.
+	m.deleteStaleEntries(cl, t, oldRow, newRow)
+	return nil
+}
+
+// deleteStaleEntries removes index entries produced by oldRow but not by
+// keepRow.
+func (m *Maintainer) deleteStaleEntries(cl *kvstore.Client, t *schema.Table, oldRow, keepRow value.Row) {
+	var stale [][]byte
+	for _, ix := range m.secondaryIndexes(t) {
+		keep := make(map[string]bool)
+		for _, key := range EntryKeys(ix, t, keepRow) {
+			keep[string(key)] = true
+		}
+		for _, key := range EntryKeys(ix, t, oldRow) {
+			if !keep[string(key)] {
+				stale = append(stale, key)
+			}
+		}
+	}
+	deleteEntries(cl, stale)
+}
+
+// Delete removes a row and its index entries (record first, so readers
+// immediately stop seeing it; entries become dangling until removed).
+func (m *Maintainer) Delete(cl *kvstore.Client, t *schema.Table, pk value.Row) error {
+	rkey := RecordKeyFromPK(t, pk)
+	rec, ok := cl.Get(rkey)
+	if !ok {
+		return nil // idempotent
+	}
+	row, err := value.DecodeRow(rec)
+	if err != nil {
+		return fmt.Errorf("index: corrupt record in %s: %w", t.Name, err)
+	}
+	cl.Delete(rkey)
+	deleteEntries(cl, m.entryKeysFor(t, row))
+	return nil
+}
+
+// entryKeysFor collects every secondary index entry key a row produces.
+func (m *Maintainer) entryKeysFor(t *schema.Table, row value.Row) [][]byte {
+	var keys [][]byte
+	for _, ix := range m.secondaryIndexes(t) {
+		keys = append(keys, EntryKeys(ix, t, row)...)
+	}
+	return keys
+}
+
+// putEntries writes entry keys concurrently.
+func putEntries(cl *kvstore.Client, keys [][]byte) {
+	if len(keys) <= 1 {
+		for _, k := range keys {
+			cl.Put(k, nil)
+		}
+		return
+	}
+	fns := make([]func(*kvstore.Client), len(keys))
+	for i, k := range keys {
+		k := k
+		fns[i] = func(sub *kvstore.Client) { sub.Put(k, nil) }
+	}
+	cl.Parallel(fns...)
+}
+
+// deleteEntries removes entry keys concurrently.
+func deleteEntries(cl *kvstore.Client, keys [][]byte) {
+	if len(keys) <= 1 {
+		for _, k := range keys {
+			cl.Delete(k)
+		}
+		return
+	}
+	fns := make([]func(*kvstore.Client), len(keys))
+	for i, k := range keys {
+		k := k
+		fns[i] = func(sub *kvstore.Client) { sub.Delete(k) }
+	}
+	cl.Parallel(fns...)
+}
+
+// Backfill builds a newly created secondary index from the existing
+// records of its table.
+func (m *Maintainer) Backfill(cl *kvstore.Client, ix *schema.Index) error {
+	if ix.Primary {
+		return nil
+	}
+	t := m.cat.Table(ix.Table)
+	if t == nil {
+		return fmt.Errorf("index: backfill of index on unknown table %q", ix.Table)
+	}
+	prefix := RecordPrefix(t)
+	for _, kv := range cl.GetRange(kvstore.RangeRequest{Start: prefix, End: codec.PrefixEnd(prefix)}) {
+		row, err := value.DecodeRow(kv.Value)
+		if err != nil {
+			return fmt.Errorf("index: corrupt record during backfill of %s: %w", ix.Name, err)
+		}
+		for _, key := range EntryKeys(ix, t, row) {
+			cl.Put(key, nil)
+		}
+	}
+	return nil
+}
+
+// GCDangling scans an index for entries whose record no longer exists
+// and removes them — the garbage collection the paper mentions for the
+// dangling pointers the crash-tolerant ordering can leave behind. It
+// returns how many entries were collected.
+func (m *Maintainer) GCDangling(cl *kvstore.Client, ix *schema.Index) (int, error) {
+	if ix.Primary {
+		return 0, nil
+	}
+	t := m.cat.Table(ix.Table)
+	if t == nil {
+		return 0, fmt.Errorf("index: gc of index on unknown table %q", ix.Table)
+	}
+	prefix := IndexPrefix(ix)
+	removed := 0
+	for _, kv := range cl.GetRange(kvstore.RangeRequest{Start: prefix, End: codec.PrefixEnd(prefix)}) {
+		pk, err := DecodeEntry(ix, t, kv.Key)
+		if err != nil {
+			return removed, err
+		}
+		rkey := RecordKeyFromPK(t, pk)
+		if _, ok := cl.Get(rkey); !ok {
+			cl.Delete(kv.Key)
+			removed++
+			continue
+		}
+		// The record exists but may no longer produce this entry (stale
+		// after a half-completed update).
+		rec, _ := cl.Get(rkey)
+		row, err := value.DecodeRow(rec)
+		if err != nil {
+			continue
+		}
+		current := false
+		for _, key := range EntryKeys(ix, t, row) {
+			if bytes.Equal(key, kv.Key) {
+				current = true
+				break
+			}
+		}
+		if !current {
+			cl.Delete(kv.Key)
+			removed++
+		}
+	}
+	return removed, nil
+}

@@ -1,0 +1,374 @@
+package kvstore
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"time"
+
+	"piql/internal/sim"
+)
+
+// Client is a per-process handle to the cluster. In simulated mode each
+// operation advances the owning process's virtual clock by a network
+// round trip plus queueing and service time at the target node; in
+// immediate mode operations are instantaneous.
+//
+// A Client is not safe for concurrent use; spawn one per process (the
+// Parallel method creates children automatically).
+type Client struct {
+	c    *Cluster
+	proc *sim.Proc  // nil in immediate mode
+	rng  *rand.Rand // replica choice + RTT sampling
+
+	ops    int64 // operations issued through this client (and its children)
+	parent *Client
+}
+
+// NewClient creates a client. proc may be nil for immediate mode.
+func (c *Cluster) NewClient(proc *sim.Proc) *Client {
+	seq := c.clientSeq.Add(1)
+	return &Client{
+		c:    c,
+		proc: proc,
+		rng:  rand.New(rand.NewSource(c.cfg.Seed ^ seq*0x5DEECE66D)),
+	}
+}
+
+// Ops returns the number of storage operations issued through this client
+// since creation (including operations issued by Parallel children).
+func (cl *Client) Ops() int64 { return cl.ops }
+
+// ResetOps zeroes the operation counter and returns the previous value.
+func (cl *Client) ResetOps() int64 {
+	v := cl.ops
+	cl.ops = 0
+	return v
+}
+
+// Now returns the process's virtual time, or 0 in immediate mode.
+func (cl *Client) Now() time.Duration {
+	if cl.proc == nil {
+		return 0
+	}
+	return cl.proc.Now()
+}
+
+// countOp attributes one storage operation to this client chain.
+func (cl *Client) countOp() {
+	cl.c.ops.Add(1)
+	for p := cl; p != nil; p = p.parent {
+		p.ops++
+	}
+}
+
+// visit pays the simulated cost of one request to node id: half an RTT
+// out, queueing + service at the node, half an RTT (plus payload
+// transfer) back. In immediate mode it is free.
+func (cl *Client) visit(id int, items, payloadBytes int) {
+	cl.countOp()
+	if cl.proc == nil {
+		return
+	}
+	cfg := cl.c.cfg.Latency
+	rtt := cfg.rtt(cl.rng)
+	cl.proc.Sleep(rtt / 2)
+	n := cl.c.nodes[id]
+	service := n.sampleService(cfg, cl.c.cfg.Seed, cl.proc.Now(), items, payloadBytes)
+	n.queue.Use(cl.proc, service)
+	cl.proc.Sleep(rtt - rtt/2)
+}
+
+// readReplica picks a replica node for partition p. Reads are spread
+// uniformly across replicas.
+func (cl *Client) readReplica(p int) int {
+	ids := cl.c.replicaNodes(p)
+	return ids[cl.rng.Intn(len(ids))]
+}
+
+// Get returns the value under key, or (nil, false).
+func (cl *Client) Get(key []byte) ([]byte, bool) {
+	p := cl.c.partitionOf(key)
+	id := cl.readReplica(p)
+	v, ok := cl.c.nodes[id].get(key)
+	cl.visit(id, 1, len(v))
+	return v, ok
+}
+
+// MultiGet fetches several keys in one batched request per node, with
+// the per-node requests issued in parallel — the Parallel executor's
+// fast path. Missing keys yield nil entries.
+func (cl *Client) MultiGet(keys [][]byte) [][]byte {
+	return cl.multiGet(keys, true)
+}
+
+// MultiGetSeq is MultiGet with the per-node batches issued one after
+// another — the Simple executor's behavior: batching without
+// intra-operator parallelism.
+func (cl *Client) MultiGetSeq(keys [][]byte) [][]byte {
+	return cl.multiGet(keys, false)
+}
+
+func (cl *Client) multiGet(keys [][]byte, parallel bool) [][]byte {
+	out := make([][]byte, len(keys))
+	if len(keys) == 0 {
+		return out
+	}
+	// Group key indexes by target node.
+	byNode := make(map[int][]int)
+	for i, k := range keys {
+		p := cl.c.partitionOf(k)
+		id := cl.readReplica(p)
+		byNode[id] = append(byNode[id], i)
+	}
+	fetch := func(sub *Client, id int, idxs []int) {
+		bytesTotal := 0
+		for _, i := range idxs {
+			v, ok := cl.c.nodes[id].get(keys[i])
+			if ok {
+				out[i] = v
+				bytesTotal += len(v)
+			}
+		}
+		sub.visit(id, len(idxs), bytesTotal)
+	}
+	// Deterministic node order for both modes.
+	ids := make([]int, 0, len(byNode))
+	for id := range byNode {
+		ids = append(ids, id)
+	}
+	sortInts(ids)
+	if len(byNode) == 1 || cl.proc == nil || !parallel {
+		for _, id := range ids {
+			fetch(cl, id, byNode[id])
+		}
+		return out
+	}
+	var fns []func(*Client)
+	for _, id := range ids {
+		id := id
+		fns = append(fns, func(sub *Client) { fetch(sub, id, byNode[id]) })
+	}
+	cl.Parallel(fns...)
+	return out
+}
+
+// Put stores value under key on every replica (parallel in simulated
+// mode, or primary-then-async under AsyncReplication).
+func (cl *Client) Put(key, value []byte) {
+	cl.write(key, func(n *node) { n.put(key, value) })
+}
+
+// Delete removes key from every replica.
+func (cl *Client) Delete(key []byte) {
+	cl.write(key, func(n *node) { n.delete(key) })
+}
+
+func (cl *Client) write(key []byte, apply func(*node)) {
+	p := cl.c.partitionOf(key)
+	ids := cl.c.replicaNodes(p)
+	if cl.c.cfg.AsyncReplication && cl.proc != nil && len(ids) > 1 {
+		// Synchronous primary write; replicas catch up after ReplicaLag.
+		primary := ids[0]
+		apply(cl.c.nodes[primary])
+		cl.visit(primary, 1, len(key))
+		lag := cl.c.cfg.ReplicaLag
+		rest := ids[1:]
+		cl.proc.Env().Spawn(func(p *sim.Proc) {
+			p.Sleep(lag)
+			for _, id := range rest {
+				apply(cl.c.nodes[id])
+			}
+		})
+		return
+	}
+	if cl.proc == nil || len(ids) == 1 {
+		for _, id := range ids {
+			apply(cl.c.nodes[id])
+			cl.visit(id, 1, len(key))
+		}
+		return
+	}
+	var fns []func(*Client)
+	for _, id := range ids {
+		id := id
+		fns = append(fns, func(sub *Client) {
+			apply(cl.c.nodes[id])
+			sub.visit(id, 1, len(key))
+		})
+	}
+	cl.Parallel(fns...)
+}
+
+// TestAndSet atomically updates key on the primary when the current value
+// matches expect (nil = must be absent), then propagates to replicas. A
+// nil update deletes the key. It reports whether the swap happened.
+func (cl *Client) TestAndSet(key, expect, update []byte) bool {
+	p := cl.c.partitionOf(key)
+	ids := cl.c.replicaNodes(p)
+	primary := ids[0]
+	ok := cl.c.nodes[primary].testAndSet(key, expect, update)
+	cl.visit(primary, 1, len(key)+len(update))
+	if !ok {
+		return false
+	}
+	for _, id := range ids[1:] {
+		if update == nil {
+			cl.c.nodes[id].delete(key)
+		} else {
+			cl.c.nodes[id].put(key, update)
+		}
+		cl.visit(id, 1, len(update))
+	}
+	return true
+}
+
+// RangeRequest describes a range read over [Start, End). A nil Start or
+// End leaves that side unbounded. Limit 0 means unlimited. Reverse
+// returns items in descending key order (from End side).
+type RangeRequest struct {
+	Start, End []byte
+	Limit      int
+	Reverse    bool
+}
+
+// GetRange reads a contiguous key range in order, walking partitions as
+// needed. Each partition visited costs one storage operation.
+func (cl *Client) GetRange(req RangeRequest) []KV {
+	nParts := len(cl.c.splits) + 1
+	var out []KV
+	remaining := req.Limit
+
+	visitPartition := func(p int) bool { // returns false when done
+		id := cl.readReplica(p)
+		lim := 0
+		if req.Limit > 0 {
+			lim = remaining
+		}
+		kvs := cl.c.nodes[id].scan(boundedStart(cl.c, p, req.Start), boundedEnd(cl.c, p, req.End), lim, req.Reverse)
+		bytesTotal := 0
+		for _, kv := range kvs {
+			bytesTotal += len(kv.Value)
+		}
+		cl.visit(id, max(1, len(kvs)), bytesTotal)
+		out = append(out, kvs...)
+		if req.Limit > 0 {
+			remaining -= len(kvs)
+			if remaining <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+
+	if !req.Reverse {
+		start := 0
+		if req.Start != nil {
+			start = cl.c.partitionOf(req.Start)
+		}
+		for p := start; p < nParts; p++ {
+			if req.End != nil && p > 0 && len(cl.c.splits) >= p && bytes.Compare(cl.c.splits[p-1], req.End) >= 0 {
+				break
+			}
+			if !visitPartition(p) {
+				break
+			}
+		}
+	} else {
+		start := nParts - 1
+		if req.End != nil {
+			// The partition owning End also holds the keys just below
+			// it, except when End sits exactly on a split boundary — then
+			// the extra partition scan is harmless (empty result).
+			start = cl.c.partitionOf(req.End)
+		}
+		for p := start; p >= 0; p-- {
+			if req.Start != nil && p < nParts-1 && bytes.Compare(cl.c.splits[p], req.Start) <= 0 {
+				break // partition entirely below Start
+			}
+			if !visitPartition(p) {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// CountRange returns the number of keys in [start, end), walking all
+// partitions intersecting the range. This backs cardinality-constraint
+// enforcement (Section 7.2).
+func (cl *Client) CountRange(start, end []byte) int {
+	nParts := len(cl.c.splits) + 1
+	p0 := 0
+	if start != nil {
+		p0 = cl.c.partitionOf(start)
+	}
+	total := 0
+	for p := p0; p < nParts; p++ {
+		if end != nil && p > 0 && len(cl.c.splits) >= p && bytes.Compare(cl.c.splits[p-1], end) >= 0 {
+			break
+		}
+		id := cl.readReplica(p)
+		n := cl.c.nodes[id].count(boundedStart(cl.c, p, start), boundedEnd(cl.c, p, end))
+		cl.visit(id, max(1, n), 0)
+		total += n
+	}
+	return total
+}
+
+// boundedStart clips start to partition p's lower bound. Since replicas
+// hold whole partitions this is equivalent to the raw bound, but clipping
+// keeps per-partition scans from double-counting items replicated onto
+// successor nodes.
+func boundedStart(c *Cluster, p int, start []byte) []byte {
+	if p == 0 {
+		return start
+	}
+	lower := c.splits[p-1]
+	if start == nil || bytes.Compare(lower, start) > 0 {
+		return lower
+	}
+	return start
+}
+
+func boundedEnd(c *Cluster, p int, end []byte) []byte {
+	if p >= len(c.splits) {
+		return end
+	}
+	upper := c.splits[p]
+	if end == nil || bytes.Compare(upper, end) < 0 {
+		return upper
+	}
+	return end
+}
+
+// Parallel runs fns concurrently (virtual-time children sharing this
+// client's op counter) and returns when all complete. In immediate mode
+// the functions run sequentially.
+func (cl *Client) Parallel(fns ...func(sub *Client)) {
+	if cl.proc == nil {
+		for _, fn := range fns {
+			fn(cl.child(nil))
+		}
+		return
+	}
+	wrapped := make([]func(*sim.Proc), len(fns))
+	for i, fn := range fns {
+		fn := fn
+		wrapped[i] = func(p *sim.Proc) { fn(cl.child(p)) }
+	}
+	cl.proc.Parallel(wrapped...)
+}
+
+// child derives a client for a parallel branch, with its own RNG stream
+// but op counts rolled up into the parent.
+func (cl *Client) child(proc *sim.Proc) *Client {
+	return &Client{
+		c:      cl.c,
+		proc:   proc,
+		rng:    rand.New(rand.NewSource(cl.rng.Int63())),
+		parent: cl,
+	}
+}
+
+func sortInts(a []int) { sort.Ints(a) }

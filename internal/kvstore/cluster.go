@@ -1,0 +1,193 @@
+// Package kvstore simulates the distributed key/value store PIQL runs on
+// (SCADS in the paper): a range-partitioned, replicated, ordered store
+// with get/put/test-and-set, range and count-range reads, and predictable
+// per-operation latency independent of total database size.
+//
+// The cluster can run in two modes:
+//
+//   - immediate mode (no sim.Env): operations execute instantly — used by
+//     unit tests, examples, and bulk loading;
+//   - simulated mode (with a sim.Env): every operation pays a sampled
+//     network round trip and queues for the target node's service
+//     capacity in virtual time — used by the experiment harness.
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"piql/internal/btree"
+	"piql/internal/sim"
+)
+
+// Config describes a simulated cluster.
+type Config struct {
+	// Nodes is the number of storage servers.
+	Nodes int
+	// ReplicationFactor is how many nodes hold each item (paper: 2).
+	ReplicationFactor int
+	// NodeServers is each node's concurrent request capacity.
+	NodeServers int
+	// Seed drives all randomness (latency sampling, replica choice).
+	Seed int64
+	// Latency shapes the simulated latency; zero value = DefaultLatency.
+	Latency LatencyConfig
+	// AsyncReplication delays replica writes by ReplicaLag (eventual
+	// consistency). Only observable in simulated mode.
+	AsyncReplication bool
+	// ReplicaLag is the replication delay under AsyncReplication.
+	ReplicaLag time.Duration
+}
+
+// Cluster is a simulated SCADS-style key/value store.
+type Cluster struct {
+	cfg    Config
+	env    *sim.Env // nil in immediate mode
+	nodes  []*node
+	splits [][]byte // len nodes-1; partition i owns [splits[i-1], splits[i])
+
+	ops       atomic.Int64 // total storage operations served
+	clientSeq atomic.Int64
+}
+
+// New creates a cluster. env may be nil for immediate (zero-latency) mode.
+func New(cfg Config, env *sim.Env) *Cluster {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.ReplicationFactor <= 0 {
+		cfg.ReplicationFactor = 1
+	}
+	if cfg.ReplicationFactor > cfg.Nodes {
+		cfg.ReplicationFactor = cfg.Nodes
+	}
+	if cfg.NodeServers <= 0 {
+		cfg.NodeServers = 12
+	}
+	if cfg.Latency == (LatencyConfig{}) {
+		cfg.Latency = DefaultLatency()
+	}
+	c := &Cluster{cfg: cfg, env: env}
+	for i := 0; i < cfg.Nodes; i++ {
+		c.nodes = append(c.nodes, newNode(i, cfg.Seed, env, cfg.NodeServers))
+	}
+	return c
+}
+
+// Config returns the cluster's configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// NumNodes returns the number of storage nodes.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// TotalOps returns the cumulative count of storage operations served,
+// summed over all clients. The harness uses it for throughput accounting.
+func (c *Cluster) TotalOps() int64 { return c.ops.Load() }
+
+// TotalItems returns the number of stored items summed over nodes
+// (replicas counted separately).
+func (c *Cluster) TotalItems() int {
+	total := 0
+	for _, n := range c.nodes {
+		total += n.size()
+	}
+	return total
+}
+
+// SetNodeSlowdown injects a service-time multiplier on one node
+// (failure/degradation injection for tests).
+func (c *Cluster) SetNodeSlowdown(nodeID int, factor float64) {
+	n := c.nodes[nodeID]
+	n.mu.Lock()
+	n.slowdown = factor
+	n.mu.Unlock()
+}
+
+// partitionOf returns the index of the partition owning key.
+func (c *Cluster) partitionOf(key []byte) int {
+	// splits[i] is the lower bound of partition i+1.
+	return sort.Search(len(c.splits), func(i int) bool {
+		return bytes.Compare(key, c.splits[i]) < 0
+	})
+}
+
+// replicaNodes returns the node IDs holding partition p, primary first.
+func (c *Cluster) replicaNodes(p int) []int {
+	ids := make([]int, c.cfg.ReplicationFactor)
+	for r := 0; r < c.cfg.ReplicationFactor; r++ {
+		ids[r] = (p + r) % len(c.nodes)
+	}
+	return ids
+}
+
+// Rebalance recomputes partition split points so that data is spread
+// evenly over nodes, then redistributes all stored items. It models the
+// SCADS Director's repartitioning and is called by the harness after bulk
+// loading. It must not run concurrently with other operations.
+func (c *Cluster) Rebalance() {
+	// Sample keys from all nodes (deduplicating replicas via merge).
+	var keys [][]byte
+	seen := make(map[string]struct{})
+	for _, n := range c.nodes {
+		for _, kv := range n.scan(nil, nil, 0, false) {
+			k := string(kv.Key)
+			if _, dup := seen[k]; !dup {
+				seen[k] = struct{}{}
+				keys = append(keys, kv.Key)
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
+
+	n := len(c.nodes)
+	splits := make([][]byte, 0, n-1)
+	for i := 1; i < n; i++ {
+		idx := i * len(keys) / n
+		if idx >= len(keys) {
+			idx = len(keys) - 1
+		}
+		if len(keys) > 0 {
+			splits = append(splits, keys[idx])
+		}
+	}
+	// Collect all items before clearing, then reinsert under new routing.
+	type kvPair struct{ k, v []byte }
+	items := make([]kvPair, 0, len(keys))
+	seenItems := make(map[string]struct{})
+	for _, nd := range c.nodes {
+		for _, kv := range nd.scan(nil, nil, 0, false) {
+			if _, dup := seenItems[string(kv.Key)]; dup {
+				continue
+			}
+			seenItems[string(kv.Key)] = struct{}{}
+			items = append(items, kvPair{kv.Key, kv.Value})
+		}
+	}
+	for _, nd := range c.nodes {
+		nd.mu.Lock()
+		nd.tree = btree.New()
+		nd.mu.Unlock()
+	}
+	c.splits = splits
+	for _, it := range items {
+		p := c.partitionOf(it.k)
+		for _, id := range c.replicaNodes(p) {
+			c.nodes[id].put(it.k, it.v)
+		}
+	}
+}
+
+// Splits returns a copy of the current partition split points.
+func (c *Cluster) Splits() [][]byte {
+	out := make([][]byte, len(c.splits))
+	copy(out, c.splits)
+	return out
+}
+
+func (c *Cluster) String() string {
+	return fmt.Sprintf("kvstore.Cluster{nodes: %d, rf: %d, items: %d}",
+		len(c.nodes), c.cfg.ReplicationFactor, c.TotalItems())
+}

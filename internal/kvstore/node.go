@@ -1,0 +1,139 @@
+package kvstore
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"piql/internal/btree"
+	"piql/internal/sim"
+)
+
+// node is one simulated storage server: an ordered in-memory record store
+// plus a bounded-capacity request queue and a service-time sampler.
+type node struct {
+	id int
+
+	mu   sync.Mutex
+	tree *btree.Tree
+	rng  *rand.Rand // service-time sampling; guarded by mu
+
+	queue    *sim.Resource // request-processing capacity (nil in immediate mode)
+	slowdown float64       // failure injection: service-time multiplier
+}
+
+func newNode(id int, seed int64, env *sim.Env, servers int) *node {
+	n := &node{
+		id:       id,
+		tree:     btree.New(),
+		rng:      rand.New(rand.NewSource(seed ^ int64(id)*0x7F4A7C159E3779B9)),
+		slowdown: 1,
+	}
+	if env != nil {
+		n.queue = env.NewResource(servers)
+	}
+	return n
+}
+
+// KV is a key/value pair returned by range reads.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// --- storage primitives (no latency; callers add simulation cost) ---
+
+func (n *node) get(key []byte) ([]byte, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.tree.Get(key)
+}
+
+func (n *node) put(key, val []byte) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.tree.Put(key, val)
+}
+
+func (n *node) delete(key []byte) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.tree.Delete(key)
+}
+
+// testAndSet atomically replaces the value under key with update when the
+// current value matches expect (nil expect means "key must be absent").
+// A nil update deletes the key on success.
+func (n *node) testAndSet(key, expect, update []byte) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	cur, ok := n.tree.Get(key)
+	if expect == nil {
+		if ok {
+			return false
+		}
+	} else {
+		if !ok || !bytesEqual(cur, expect) {
+			return false
+		}
+	}
+	if update == nil {
+		n.tree.Delete(key)
+	} else {
+		n.tree.Put(key, update)
+	}
+	return true
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// scan returns up to limit items in [start, end), ascending or descending.
+// limit <= 0 means unlimited.
+func (n *node) scan(start, end []byte, limit int, reverse bool) []KV {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []KV
+	visit := func(it btree.Item) bool {
+		out = append(out, KV{Key: it.Key, Value: it.Value})
+		return limit <= 0 || len(out) < limit
+	}
+	if reverse {
+		n.tree.Descend(start, end, visit)
+	} else {
+		n.tree.Ascend(start, end, visit)
+	}
+	return out
+}
+
+func (n *node) count(start, end []byte) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.tree.Count(start, end)
+}
+
+func (n *node) size() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.tree.Len()
+}
+
+// sampleService draws a service time for a request (items tuples, payload
+// bytes) under the node's current volatility and slowdown.
+func (n *node) sampleService(cfg LatencyConfig, seed int64, now time.Duration, items, bytes int) time.Duration {
+	n.mu.Lock()
+	d := cfg.serviceTime(n.rng, items, bytes)
+	slow := n.slowdown
+	n.mu.Unlock()
+	v := cfg.volatility(seed, n.id, now)
+	return time.Duration(float64(d) * v * slow)
+}

@@ -1,0 +1,243 @@
+package parser
+
+import (
+	"strconv"
+
+	"piql/internal/schema"
+	"piql/internal/value"
+)
+
+// CreateIndex wraps a parsed CREATE INDEX statement. The optimizer
+// usually derives indexes automatically (Section 5.3); this statement
+// exists for manual control and tests.
+type CreateIndex struct {
+	Index *schema.Index
+}
+
+func (*CreateIndex) stmt() {}
+
+func (s *CreateIndex) String() string { return "CREATE INDEX " + s.Index.Name }
+
+func (p *parser) parseCreate() (Statement, error) {
+	p.next() // CREATE
+	switch {
+	case p.accept(tokKeyword, "TABLE"):
+		return p.parseCreateTable()
+	case p.accept(tokKeyword, "INDEX"):
+		return p.parseCreateIndex()
+	default:
+		return nil, p.errorf("expected TABLE or INDEX after CREATE, found %q", p.peek().text)
+	}
+}
+
+// parseCreateTable parses the PIQL DDL:
+//
+//	CREATE TABLE name (
+//	    col TYPE [, ...],
+//	    PRIMARY KEY (cols),
+//	    FOREIGN KEY (cols) REFERENCES table,
+//	    CARDINALITY LIMIT n (cols)
+//	)
+func (p *parser) parseCreateTable() (*CreateTable, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	t := &schema.Table{Name: name.text}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokKeyword, "PRIMARY"):
+			if _, err := p.expect(tokKeyword, "KEY"); err != nil {
+				return nil, err
+			}
+			cols, err := p.parseColumnNameList()
+			if err != nil {
+				return nil, err
+			}
+			if t.PrimaryKey != nil {
+				return nil, p.errorf("duplicate PRIMARY KEY clause")
+			}
+			t.PrimaryKey = cols
+		case p.accept(tokKeyword, "FOREIGN"):
+			if _, err := p.expect(tokKeyword, "KEY"); err != nil {
+				return nil, err
+			}
+			cols, err := p.parseColumnNameList()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokKeyword, "REFERENCES"); err != nil {
+				return nil, err
+			}
+			ref, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			t.ForeignKeys = append(t.ForeignKeys, schema.ForeignKey{Columns: cols, RefTable: ref.text})
+		case p.accept(tokKeyword, "CARDINALITY"):
+			if _, err := p.expect(tokKeyword, "LIMIT"); err != nil {
+				return nil, err
+			}
+			num, err := p.expect(tokNumber, "")
+			if err != nil {
+				return nil, err
+			}
+			limit, err := strconv.Atoi(num.text)
+			if err != nil || limit <= 0 {
+				return nil, p.errorf("CARDINALITY LIMIT must be a positive integer, got %q", num.text)
+			}
+			cols, err := p.parseColumnNameList()
+			if err != nil {
+				return nil, err
+			}
+			t.Cardinalities = append(t.Cardinalities, schema.Cardinality{Limit: limit, Columns: cols})
+		default:
+			col, err := p.parseColumnDef()
+			if err != nil {
+				return nil, err
+			}
+			t.Columns = append(t.Columns, col)
+		}
+		if p.accept(tokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return &CreateTable{Table: t}, nil
+}
+
+func (p *parser) parseColumnNameList() ([]string, error) {
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	var cols []string
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, col.text)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return cols, nil
+}
+
+func (p *parser) parseColumnDef() (schema.Column, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return schema.Column{}, err
+	}
+	col := schema.Column{Name: name.text}
+	typ := p.next()
+	if typ.kind != tokKeyword {
+		return schema.Column{}, p.errorf("expected a type for column %q, found %q", name.text, typ.text)
+	}
+	switch typ.text {
+	case "INT", "BIGINT", "TIMESTAMP":
+		col.Type = value.TypeInt
+	case "DOUBLE", "FLOAT":
+		col.Type = value.TypeFloat
+	case "BOOLEAN":
+		col.Type = value.TypeBool
+	case "VARCHAR":
+		col.Type = value.TypeString
+		if p.accept(tokSymbol, "(") {
+			num, err := p.expect(tokNumber, "")
+			if err != nil {
+				return schema.Column{}, err
+			}
+			n, err := strconv.Atoi(num.text)
+			if err != nil || n <= 0 {
+				return schema.Column{}, p.errorf("VARCHAR length must be positive")
+			}
+			col.MaxLen = n
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return schema.Column{}, err
+			}
+		}
+	case "TEXT":
+		col.Type = value.TypeString
+	case "BLOB":
+		col.Type = value.TypeBytes
+	default:
+		return schema.Column{}, p.errorf("unknown type %q for column %q", typ.text, name.text)
+	}
+	// Tolerated no-op modifiers.
+	for {
+		switch {
+		case p.accept(tokKeyword, "NOT"):
+			if _, err := p.expect(tokKeyword, "NULL"); err != nil {
+				return schema.Column{}, err
+			}
+		case p.accept(tokKeyword, "UNIQUE"):
+		default:
+			return col, nil
+		}
+	}
+}
+
+// parseCreateIndex parses CREATE INDEX name ON table (field [, ...])
+// where field is `col`, `col DESC`, or `TOKEN(col)`.
+func (p *parser) parseCreateIndex() (*CreateIndex, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	ix := &schema.Index{Name: name.text, Table: table.text}
+	for {
+		var f schema.IndexField
+		if p.accept(tokKeyword, "TOKEN") {
+			if _, err := p.expect(tokSymbol, "("); err != nil {
+				return nil, err
+			}
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			f = schema.IndexField{Column: col.text, Token: true}
+		} else {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			f = schema.IndexField{Column: col.text}
+		}
+		if p.accept(tokKeyword, "DESC") {
+			f.Desc = true
+		} else {
+			p.accept(tokKeyword, "ASC")
+		}
+		ix.Fields = append(ix.Fields, f)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return &CreateIndex{Index: ix}, nil
+}

@@ -1,0 +1,176 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // ( ) , . ; * = < > <= >= != [ ] :
+	tokParam  // ? (positional parameter)
+)
+
+// token is one lexical token with its position for error messages.
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased; identifiers keep original case
+	pos  int    // byte offset in the input
+}
+
+// keywords recognized by the lexer (PIQL = SQL subset + extensions).
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"JOIN": true, "ON": true, "ORDER": true, "BY": true, "ASC": true,
+	"DESC": true, "LIMIT": true, "PAGINATE": true, "INSERT": true,
+	"INTO": true, "VALUES": true, "UPDATE": true, "SET": true,
+	"DELETE": true, "CREATE": true, "TABLE": true, "INDEX": true,
+	"PRIMARY": true, "KEY": true, "FOREIGN": true, "REFERENCES": true,
+	"CARDINALITY": true, "NOT": true, "NULL": true, "TRUE": true,
+	"FALSE": true, "LIKE": true, "CONTAINS": true, "IN": true,
+	"AS": true, "GROUP": true, "COUNT": true, "SUM": true, "AVG": true,
+	"MIN": true, "MAX": true, "INT": true, "BIGINT": true,
+	"VARCHAR": true, "TEXT": true, "BOOLEAN": true, "DOUBLE": true,
+	"FLOAT": true, "BLOB": true, "TIMESTAMP": true, "UNIQUE": true,
+	"FIXED": true, "TOKEN": true,
+}
+
+// lexer splits a PIQL statement into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src, returning a syntax error with position on failure.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpaceAndComments()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "", l.pos)
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.lexIdent(start)
+		case c >= '0' && c <= '9':
+			if err := l.lexNumber(start); err != nil {
+				return nil, err
+			}
+		case c == '\'':
+			if err := l.lexString(start); err != nil {
+				return nil, err
+			}
+		case c == '?':
+			l.pos++
+			l.emit(tokParam, "?", start)
+		case c == '<' || c == '>' || c == '!':
+			l.pos++
+			if l.pos < len(l.src) && l.src[l.pos] == '=' {
+				l.pos++
+			} else if c == '<' && l.pos < len(l.src) && l.src[l.pos] == '>' {
+				l.pos++
+			}
+			l.emit(tokSymbol, l.src[start:l.pos], start)
+		case strings.ContainsRune("(),.;*=[]:+-", rune(c)):
+			l.pos++
+			l.emit(tokSymbol, string(c), start)
+		default:
+			return nil, fmt.Errorf("syntax error at offset %d: unexpected character %q", start, c)
+		}
+	}
+}
+
+func (l *lexer) emit(kind tokenKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: pos})
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func (l *lexer) lexIdent(start int) {
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	upper := strings.ToUpper(text)
+	if keywords[upper] {
+		l.emit(tokKeyword, upper, start)
+	} else {
+		l.emit(tokIdent, text, start)
+	}
+}
+
+func (l *lexer) lexNumber(start int) error {
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' {
+			if seenDot {
+				return fmt.Errorf("syntax error at offset %d: malformed number", start)
+			}
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+		l.pos++
+	}
+	l.emit(tokNumber, l.src[start:l.pos], start)
+	return nil
+}
+
+func (l *lexer) lexString(start int) error {
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'') // doubled quote escape
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.emit(tokString, sb.String(), start)
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("syntax error at offset %d: unterminated string literal", start)
+}

@@ -1,0 +1,651 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"piql/internal/value"
+)
+
+// Parse parses a single PIQL statement (SELECT, INSERT, UPDATE, DELETE,
+// or CREATE TABLE).
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokSymbol, ";")
+	if !p.at(tokEOF, "") {
+		return nil, p.errorf("unexpected %q after statement", p.peek().text)
+	}
+	normalizeParams(stmt)
+	return stmt, nil
+}
+
+// normalizeParams assigns 1-based indexes to positional '?' parameters in
+// textual order across the whole statement. Bracketed parameters keep
+// their explicit indexes.
+func normalizeParams(stmt Statement) {
+	n := 0
+	visit := func(e Expr) Expr {
+		if p, ok := e.(Param); ok && p.Index == 0 {
+			n++
+			p.Index = n
+			return p
+		}
+		return e
+	}
+	visitPreds := func(preds []Predicate) {
+		for i := range preds {
+			if preds[i].Right != nil {
+				preds[i].Right = visit(preds[i].Right)
+			}
+			for j := range preds[i].InList {
+				preds[i].InList[j] = visit(preds[i].InList[j])
+			}
+		}
+	}
+	switch s := stmt.(type) {
+	case *Select:
+		visitPreds(s.Where)
+	case *Insert:
+		for i := range s.Values {
+			s.Values[i] = visit(s.Values[i])
+		}
+	case *Update:
+		for i := range s.Set {
+			s.Set[i].Value = visit(s.Set[i].Value)
+		}
+		visitPreds(s.Where)
+	case *Delete:
+		visitPreds(s.Where)
+	}
+}
+
+type parser struct {
+	src  string
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// at reports whether the current token matches kind (and text, if given).
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.peek()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+// accept consumes the current token if it matches, reporting success.
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// expect consumes a required token or returns a positioned error.
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = map[tokenKind]string{
+			tokIdent: "identifier", tokNumber: "number", tokString: "string",
+		}[kind]
+	}
+	return token{}, p.errorf("expected %s, found %q", want, p.peek().text)
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("syntax error at offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+// identKeywords are keywords that may double as identifiers (column and
+// table names) — mostly type names, so schemas like SCADr's
+// thoughts(timestamp) parse.
+var identKeywords = map[string]bool{
+	"INT": true, "BIGINT": true, "VARCHAR": true, "TEXT": true,
+	"BOOLEAN": true, "DOUBLE": true, "FLOAT": true, "BLOB": true,
+	"TIMESTAMP": true, "KEY": true, "TOKEN": true,
+}
+
+// expectIdent consumes an identifier, also accepting keywords that are
+// legal identifiers in context.
+func (p *parser) expectIdent() (token, error) {
+	t := p.peek()
+	if t.kind == tokIdent {
+		return p.next(), nil
+	}
+	if t.kind == tokKeyword && identKeywords[t.text] {
+		t = p.next()
+		// Keyword tokens are upper-cased; restore the source spelling.
+		t.text = p.src[t.pos : t.pos+len(t.text)]
+		return t, nil
+	}
+	return token{}, p.errorf("expected identifier, found %q", t.text)
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.at(tokKeyword, "SELECT"):
+		return p.parseSelect()
+	case p.at(tokKeyword, "INSERT"):
+		return p.parseInsert()
+	case p.at(tokKeyword, "UPDATE"):
+		return p.parseUpdate()
+	case p.at(tokKeyword, "DELETE"):
+		return p.parseDelete()
+	case p.at(tokKeyword, "CREATE"):
+		return p.parseCreate()
+	default:
+		return nil, p.errorf("expected a statement, found %q", p.peek().text)
+	}
+}
+
+// --- SELECT ---
+
+func (p *parser) parseSelect() (*Select, error) {
+	p.next() // SELECT
+	s := &Select{}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		s.Items = append(s.Items, item)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	first, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	s.From = append(s.From, first)
+	for {
+		switch {
+		case p.accept(tokSymbol, ","):
+			ref, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			s.From = append(s.From, ref)
+		case p.accept(tokKeyword, "JOIN"):
+			ref, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			s.From = append(s.From, ref)
+			if p.accept(tokKeyword, "ON") {
+				preds, err := p.parsePredicates()
+				if err != nil {
+					return nil, err
+				}
+				s.Where = append(s.Where, preds...)
+			}
+		default:
+			goto fromDone
+		}
+	}
+fromDone:
+	if p.accept(tokKeyword, "WHERE") {
+		preds, err := p.parsePredicates()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = append(s.Where, preds...)
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, col)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Col: col}
+			if p.accept(tokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			s.OrderBy = append(s.OrderBy, item)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "LIMIT") {
+		n, err := p.parsePositiveInt("LIMIT")
+		if err != nil {
+			return nil, err
+		}
+		s.Limit = n
+	}
+	if p.accept(tokKeyword, "PAGINATE") {
+		n, err := p.parsePositiveInt("PAGINATE")
+		if err != nil {
+			return nil, err
+		}
+		s.Paginate = n
+	}
+	if s.Limit > 0 && s.Paginate > 0 {
+		return nil, p.errorf("LIMIT and PAGINATE are mutually exclusive")
+	}
+	return s, nil
+}
+
+func (p *parser) parsePositiveInt(clause string) (int, error) {
+	t, err := p.expect(tokNumber, "")
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil || n <= 0 {
+		return 0, p.errorf("%s requires a positive integer literal, got %q", clause, t.text)
+	}
+	return n, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.accept(tokSymbol, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	// Aggregates.
+	for kw, agg := range map[string]AggKind{
+		"COUNT": AggCount, "SUM": AggSum, "AVG": AggAvg, "MIN": AggMin, "MAX": AggMax,
+	} {
+		if p.at(tokKeyword, kw) {
+			p.next()
+			if _, err := p.expect(tokSymbol, "("); err != nil {
+				return SelectItem{}, err
+			}
+			item := SelectItem{Agg: agg}
+			if p.accept(tokSymbol, "*") {
+				if agg != AggCount {
+					return SelectItem{}, p.errorf("%s(*) is not valid", kw)
+				}
+				item.AggStar = true
+			} else {
+				col, err := p.parseColumnRef()
+				if err != nil {
+					return SelectItem{}, err
+				}
+				item.Col = col
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return SelectItem{}, err
+			}
+			item.Alias = p.parseOptionalAlias()
+			return item, nil
+		}
+	}
+	col, err := p.parseColumnRef()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	// table.* form.
+	if col.Column == "*" {
+		return SelectItem{Star: true, StarOf: col.Table}, nil
+	}
+	return SelectItem{Col: col, Alias: p.parseOptionalAlias()}, nil
+}
+
+func (p *parser) parseOptionalAlias() string {
+	if p.accept(tokKeyword, "AS") {
+		if t, err := p.expectIdent(); err == nil {
+			return t.text
+		}
+		return ""
+	}
+	if p.at(tokIdent, "") {
+		return p.next().text
+	}
+	return ""
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Table: name.text}
+	if p.accept(tokKeyword, "AS") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = alias.text
+	} else if p.at(tokIdent, "") {
+		ref.Alias = p.next().text
+	}
+	return ref, nil
+}
+
+// parseColumnRef parses ident[.ident] or ident.* (Column == "*").
+func (p *parser) parseColumnRef() (ColumnRef, error) {
+	first, err := p.expectIdent()
+	if err != nil {
+		return ColumnRef{}, err
+	}
+	if p.accept(tokSymbol, ".") {
+		if p.accept(tokSymbol, "*") {
+			return ColumnRef{Table: first.text, Column: "*"}, nil
+		}
+		second, err := p.expectIdent()
+		if err != nil {
+			return ColumnRef{}, err
+		}
+		return ColumnRef{Table: first.text, Column: second.text}, nil
+	}
+	return ColumnRef{Column: first.text}, nil
+}
+
+// parsePredicates parses a conjunction of comparisons joined with AND.
+// OR is rejected: PIQL restricts queries to conjunctive predicates so
+// bounds remain statically computable.
+func (p *parser) parsePredicates() ([]Predicate, error) {
+	var preds []Predicate
+	for {
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, pred)
+		if p.accept(tokKeyword, "AND") {
+			continue
+		}
+		if p.at(tokKeyword, "OR") {
+			return nil, p.errorf("OR is not supported in PIQL; rewrite as separate queries or an IN list")
+		}
+		return preds, nil
+	}
+}
+
+func (p *parser) parsePredicate() (Predicate, error) {
+	left, err := p.parseColumnRef()
+	if err != nil {
+		return Predicate{}, err
+	}
+	var op CompareOp
+	switch {
+	case p.accept(tokSymbol, "="):
+		op = OpEq
+	case p.accept(tokSymbol, "!="), p.accept(tokSymbol, "<>"):
+		op = OpNe
+	case p.accept(tokSymbol, "<="):
+		op = OpLe
+	case p.accept(tokSymbol, "<"):
+		op = OpLt
+	case p.accept(tokSymbol, ">="):
+		op = OpGe
+	case p.accept(tokSymbol, ">"):
+		op = OpGt
+	case p.accept(tokKeyword, "LIKE"):
+		op = OpLike
+	case p.accept(tokKeyword, "CONTAINS"):
+		op = OpContains
+	case p.accept(tokKeyword, "IN"):
+		return p.parseInList(left)
+	default:
+		return Predicate{}, p.errorf("expected comparison operator, found %q", p.peek().text)
+	}
+	right, err := p.parseExpr()
+	if err != nil {
+		return Predicate{}, err
+	}
+	return Predicate{Left: left, Op: op, Right: right}, nil
+}
+
+func (p *parser) parseInList(left ColumnRef) (Predicate, error) {
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return Predicate{}, err
+	}
+	var list []Expr
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return Predicate{}, err
+		}
+		list = append(list, e)
+		if p.accept(tokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return Predicate{}, err
+	}
+	return Predicate{Left: left, Op: OpEq, InList: list}, nil
+}
+
+// parseExpr parses a literal, parameter, or column reference.
+func (p *parser) parseExpr() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		neg := false
+		return numberLiteral(t.text, neg)
+	case t.kind == tokSymbol && t.text == "-":
+		p.next()
+		num, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		return numberLiteral(num.text, true)
+	case t.kind == tokString:
+		p.next()
+		return Literal{Val: value.Str(t.text)}, nil
+	case t.kind == tokKeyword && t.text == "TRUE":
+		p.next()
+		return Literal{Val: value.Bool(true)}, nil
+	case t.kind == tokKeyword && t.text == "FALSE":
+		p.next()
+		return Literal{Val: value.Bool(false)}, nil
+	case t.kind == tokKeyword && t.text == "NULL":
+		p.next()
+		return Literal{Val: value.Null()}, nil
+	case t.kind == tokParam:
+		p.next()
+		return Param{}, nil // positional; indexes assigned by the binder
+	case t.kind == tokSymbol && t.text == "[":
+		return p.parseBracketParam()
+	case t.kind == tokIdent:
+		return p.parseColumnRef()
+	default:
+		return nil, p.errorf("expected an expression, found %q", t.text)
+	}
+}
+
+func numberLiteral(text string, neg bool) (Expr, error) {
+	if strings.Contains(text, ".") {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("malformed number %q", text)
+		}
+		if neg {
+			f = -f
+		}
+		return Literal{Val: value.Float(f)}, nil
+	}
+	i, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("malformed number %q", text)
+	}
+	if neg {
+		i = -i
+	}
+	return Literal{Val: value.Int(i)}, nil
+}
+
+// parseBracketParam parses the paper's parameter syntax: [1: titleWord]
+// or [1].
+func (p *parser) parseBracketParam() (Expr, error) {
+	p.next() // [
+	num, err := p.expect(tokNumber, "")
+	if err != nil {
+		return nil, err
+	}
+	idx, err := strconv.Atoi(num.text)
+	if err != nil || idx <= 0 {
+		return nil, p.errorf("parameter index must be a positive integer")
+	}
+	param := Param{Index: idx}
+	if p.accept(tokSymbol, ":") {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		param.Name = name.text
+	}
+	if _, err := p.expect(tokSymbol, "]"); err != nil {
+		return nil, err
+	}
+	return param, nil
+}
+
+// --- INSERT / UPDATE / DELETE ---
+
+func (p *parser) parseInsert() (*Insert, error) {
+	p.next() // INSERT
+	if _, err := p.expect(tokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: table.text}
+	if p.accept(tokSymbol, "(") {
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			ins.Columns = append(ins.Columns, col.text)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ins.Values = append(ins.Values, e)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	if len(ins.Columns) > 0 && len(ins.Columns) != len(ins.Values) {
+		return nil, p.errorf("INSERT has %d columns but %d values", len(ins.Columns), len(ins.Values))
+	}
+	return ins, nil
+}
+
+func (p *parser) parseUpdate() (*Update, error) {
+	p.next() // UPDATE
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	upd := &Update{Table: table.text}
+	if _, err := p.expect(tokKeyword, "SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		upd.Set = append(upd.Set, Assignment{Column: col.text, Value: e})
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		preds, err := p.parsePredicates()
+		if err != nil {
+			return nil, err
+		}
+		upd.Where = preds
+	}
+	return upd, nil
+}
+
+func (p *parser) parseDelete() (*Delete, error) {
+	p.next() // DELETE
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	del := &Delete{Table: table.text}
+	if p.accept(tokKeyword, "WHERE") {
+		preds, err := p.parsePredicates()
+		if err != nil {
+			return nil, err
+		}
+		del.Where = preds
+	}
+	return del, nil
+}

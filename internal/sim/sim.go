@@ -1,0 +1,247 @@
+// Package sim is a deterministic discrete-event simulation kernel. It
+// stands in for the paper's physical EC2 testbed: virtual time, coroutine
+// processes (client machines, load generators), and multi-server FIFO
+// resources (storage-node request queues).
+//
+// Processes are goroutines that run one at a time under a token-passing
+// scheduler, so a simulation with a fixed seed is fully deterministic
+// regardless of GOMAXPROCS.
+package sim
+
+import (
+	"container/heap"
+	"runtime"
+	"time"
+)
+
+// event wakes a parked process at a virtual time. seq breaks ties FIFO.
+type event struct {
+	at   time.Duration
+	seq  int64
+	wake chan struct{}
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)         { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any           { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() time.Duration { return h[0].at }
+
+// Env is a simulation environment. Create with NewEnv, add processes with
+// Spawn, then call Run. Not safe for use from multiple OS threads except
+// through the process API.
+type Env struct {
+	now     time.Duration
+	events  eventHeap
+	seq     int64
+	yield   chan struct{} // running process signals the scheduler here
+	stopped bool
+	procs   int // live processes (running or parked)
+
+	resources []*Resource // registered for cleanup in Stop
+}
+
+// NewEnv returns an empty environment at virtual time zero.
+func NewEnv() *Env {
+	return &Env{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() time.Duration { return e.now }
+
+// Proc is the handle a process uses to interact with virtual time. It is
+// only valid inside the process's own goroutine.
+type Proc struct {
+	env  *Env
+	wake chan struct{}
+}
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.env.now }
+
+// Spawn registers fn as a new process starting at the current virtual
+// time. It may be called before Run or from inside a running process.
+func (e *Env) Spawn(fn func(p *Proc)) {
+	p := &Proc{env: e, wake: make(chan struct{})}
+	e.procs++
+	e.schedule(e.now, p.wake)
+	go func() {
+		<-p.wake
+		if e.stopped {
+			e.procs--
+			e.yield <- struct{}{}
+			runtime.Goexit()
+		}
+		fn(p)
+		e.procs--
+		e.yield <- struct{}{}
+	}()
+}
+
+// schedule queues a wakeup without transferring control.
+func (e *Env) schedule(at time.Duration, wake chan struct{}) {
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, wake: wake})
+}
+
+// park hands the scheduler token back and blocks until woken. Must only
+// be called from a process goroutine that has already scheduled its own
+// wakeup (or expects another process to schedule one).
+func (p *Proc) park() {
+	p.env.yield <- struct{}{}
+	<-p.wake
+	if p.env.stopped {
+		p.env.procs--
+		p.env.yield <- struct{}{}
+		runtime.Goexit()
+	}
+}
+
+// Sleep advances the process by d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.env.schedule(p.env.now+d, p.wake)
+	p.park()
+}
+
+// Parallel runs fns as concurrent child processes and returns once all of
+// them have completed. It models a client issuing a batch of key/value
+// requests in parallel: elapsed virtual time is the max of the children,
+// not the sum.
+func (p *Proc) Parallel(fns ...func(c *Proc)) {
+	remaining := len(fns)
+	if remaining == 0 {
+		return
+	}
+	for _, fn := range fns {
+		fn := fn
+		p.env.Spawn(func(c *Proc) {
+			fn(c)
+			remaining--
+			if remaining == 0 {
+				c.env.schedule(c.env.now, p.wake)
+			}
+		})
+	}
+	p.park()
+}
+
+// Run executes events until the event queue empties or virtual time would
+// exceed until (if until > 0). It returns the final virtual time. After
+// Run returns, Stop must be called to release parked process goroutines
+// unless the caller will Run again.
+func (e *Env) Run(until time.Duration) time.Duration {
+	for len(e.events) > 0 {
+		if until > 0 && e.events.peek() > until {
+			e.now = until
+			return e.now
+		}
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		ev.wake <- struct{}{}
+		<-e.yield
+	}
+	return e.now
+}
+
+// Stop terminates all remaining processes (parked on events or resources)
+// so their goroutines exit. The environment is unusable afterwards.
+func (e *Env) Stop() {
+	e.stopped = true
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(event)
+		ev.wake <- struct{}{}
+		<-e.yield
+	}
+	for _, r := range e.resources {
+		for _, w := range r.waiters {
+			w <- struct{}{}
+			<-e.yield
+		}
+		r.waiters = nil
+	}
+}
+
+// Resource is a multi-server FIFO queue in virtual time: up to Servers
+// processes hold it concurrently; the rest wait in arrival order. It
+// models one storage node's request-processing capacity.
+type Resource struct {
+	env     *Env
+	servers int
+	busy    int
+	waiters []chan struct{}
+	// Busy time accounting for utilization reports.
+	busyTime   time.Duration
+	lastChange time.Duration
+}
+
+// NewResource creates a resource with the given number of servers.
+func (e *Env) NewResource(servers int) *Resource {
+	if servers < 1 {
+		servers = 1
+	}
+	r := &Resource{env: e, servers: servers}
+	e.resources = append(e.resources, r)
+	return r
+}
+
+func (r *Resource) accrue() {
+	r.busyTime += time.Duration(r.busy) * (r.env.now - r.lastChange)
+	r.lastChange = r.env.now
+}
+
+// Acquire blocks the process until a server is free.
+func (r *Resource) Acquire(p *Proc) {
+	if r.busy < r.servers {
+		r.accrue()
+		r.busy++
+		return
+	}
+	r.waiters = append(r.waiters, p.wake)
+	p.park()
+	// The releaser incremented busy on our behalf before waking us.
+}
+
+// Release frees a server, handing it to the longest-waiting process if any.
+func (r *Resource) Release() {
+	r.accrue()
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		// busy stays the same: the server passes directly to the waiter.
+		r.env.schedule(r.env.now, w)
+		return
+	}
+	r.busy--
+}
+
+// Use acquires the resource, holds it for service, then releases it. It
+// models a single request visiting a server.
+func (r *Resource) Use(p *Proc, service time.Duration) {
+	r.Acquire(p)
+	p.Sleep(service)
+	r.Release()
+}
+
+// BusyTime returns the cumulative server-busy virtual time (summed over
+// servers), for utilization reporting.
+func (r *Resource) BusyTime() time.Duration {
+	r.accrue()
+	return r.busyTime
+}
+
+// QueueLen returns the number of processes waiting (not being served).
+func (r *Resource) QueueLen() int { return len(r.waiters) }

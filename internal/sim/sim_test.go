@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+const ms = time.Millisecond
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	e := NewEnv()
+	var at []time.Duration
+	e.Spawn(func(p *Proc) {
+		p.Sleep(10 * ms)
+		at = append(at, p.Now())
+		p.Sleep(5 * ms)
+		at = append(at, p.Now())
+	})
+	end := e.Run(0)
+	if end != 15*ms {
+		t.Fatalf("end = %v, want 15ms", end)
+	}
+	if len(at) != 2 || at[0] != 10*ms || at[1] != 15*ms {
+		t.Fatalf("timestamps = %v", at)
+	}
+}
+
+func TestInterleavingIsDeterministic(t *testing.T) {
+	run := func() []string {
+		e := NewEnv()
+		var log []string
+		for i, d := range []time.Duration{3 * ms, 1 * ms, 2 * ms} {
+			i, d := i, d
+			e.Spawn(func(p *Proc) {
+				p.Sleep(d)
+				log = append(log, string(rune('a'+i)))
+				p.Sleep(10 * ms)
+				log = append(log, string(rune('A'+i)))
+			})
+		}
+		e.Run(0)
+		return log
+	}
+	want := []string{"b", "c", "a", "B", "C", "A"}
+	for trial := 0; trial < 5; trial++ {
+		got := run()
+		if len(got) != len(want) {
+			t.Fatalf("log = %v", got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: log = %v, want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEnv()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Spawn(func(p *Proc) {
+			p.Sleep(7 * ms)
+			order = append(order, i)
+		})
+	}
+	e.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", order)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEnv()
+	fired := 0
+	e.Spawn(func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Sleep(10 * ms)
+			fired++
+		}
+	})
+	end := e.Run(55 * ms)
+	if end != 55*ms {
+		t.Fatalf("end = %v", end)
+	}
+	if fired != 5 {
+		t.Fatalf("fired = %d, want 5", fired)
+	}
+	e.Stop()
+}
+
+func TestResourceQueueing(t *testing.T) {
+	// 2 servers, 4 jobs of 10ms arriving together: completions at 10,10,20,20.
+	e := NewEnv()
+	r := e.NewResource(2)
+	var done []time.Duration
+	for i := 0; i < 4; i++ {
+		e.Spawn(func(p *Proc) {
+			r.Use(p, 10*ms)
+			done = append(done, p.Now())
+		})
+	}
+	e.Run(0)
+	want := []time.Duration{10 * ms, 10 * ms, 20 * ms, 20 * ms}
+	if len(done) != 4 {
+		t.Fatalf("done = %v", done)
+	}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("done = %v, want %v", done, want)
+		}
+	}
+	if got := r.BusyTime(); got != 40*ms {
+		t.Fatalf("BusyTime = %v, want 40ms", got)
+	}
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource(1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Spawn(func(p *Proc) {
+			p.Sleep(time.Duration(i) * ms) // arrive in index order
+			r.Use(p, 100*ms)
+			order = append(order, i)
+		})
+	}
+	e.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("not FIFO: %v", order)
+		}
+	}
+}
+
+func TestParallelTakesMax(t *testing.T) {
+	e := NewEnv()
+	var elapsed time.Duration
+	e.Spawn(func(p *Proc) {
+		p.Parallel(
+			func(c *Proc) { c.Sleep(5 * ms) },
+			func(c *Proc) { c.Sleep(30 * ms) },
+			func(c *Proc) { c.Sleep(10 * ms) },
+		)
+		elapsed = p.Now()
+	})
+	e.Run(0)
+	if elapsed != 30*ms {
+		t.Fatalf("parallel elapsed = %v, want 30ms", elapsed)
+	}
+}
+
+func TestParallelEmpty(t *testing.T) {
+	e := NewEnv()
+	ran := false
+	e.Spawn(func(p *Proc) {
+		p.Parallel()
+		ran = true
+	})
+	e.Run(0)
+	if !ran {
+		t.Fatal("process with empty Parallel did not finish")
+	}
+}
+
+func TestParallelOnSharedResource(t *testing.T) {
+	// 8 parallel ops on a 2-server node, 10ms each: 4 waves -> 40ms.
+	e := NewEnv()
+	r := e.NewResource(2)
+	var elapsed time.Duration
+	e.Spawn(func(p *Proc) {
+		var fns []func(*Proc)
+		for i := 0; i < 8; i++ {
+			fns = append(fns, func(c *Proc) { r.Use(c, 10*ms) })
+		}
+		p.Parallel(fns...)
+		elapsed = p.Now()
+	})
+	e.Run(0)
+	if elapsed != 40*ms {
+		t.Fatalf("elapsed = %v, want 40ms", elapsed)
+	}
+}
+
+func TestStopReleasesParkedProcesses(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource(1)
+	e.Spawn(func(p *Proc) { r.Acquire(p); p.Sleep(time.Hour) })
+	e.Spawn(func(p *Proc) { r.Acquire(p) }) // will wait forever
+	e.Run(10 * ms)
+	e.Stop() // must not hang
+	if e.procs != 0 {
+		t.Fatalf("procs = %d after Stop, want 0", e.procs)
+	}
+}
+
+func TestSpawnFromInsideProcess(t *testing.T) {
+	e := NewEnv()
+	var childTime time.Duration
+	e.Spawn(func(p *Proc) {
+		p.Sleep(5 * ms)
+		p.Env().Spawn(func(c *Proc) {
+			c.Sleep(3 * ms)
+			childTime = c.Now()
+		})
+	})
+	e.Run(0)
+	if childTime != 8*ms {
+		t.Fatalf("child finished at %v, want 8ms", childTime)
+	}
+}
+
+func TestNegativeSleepIsZero(t *testing.T) {
+	e := NewEnv()
+	e.Spawn(func(p *Proc) { p.Sleep(-5 * ms) })
+	if end := e.Run(0); end != 0 {
+		t.Fatalf("end = %v, want 0", end)
+	}
+}
+
+func TestQueueLen(t *testing.T) {
+	e := NewEnv()
+	r := e.NewResource(1)
+	var sawQueue int
+	for i := 0; i < 3; i++ {
+		e.Spawn(func(p *Proc) { r.Use(p, 10*ms) })
+	}
+	e.Spawn(func(p *Proc) {
+		p.Sleep(5 * ms)
+		sawQueue = r.QueueLen()
+	})
+	e.Run(0)
+	if sawQueue != 2 {
+		t.Fatalf("QueueLen at t=5ms = %d, want 2", sawQueue)
+	}
+}

@@ -1,0 +1,119 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness and the SLO prediction model: percentiles, means,
+// and least-squares linear fits with R² (the paper reports R² for the
+// throughput scale-up experiments).
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Percentile returns the p-th percentile (0 < p <= 100) of samples using
+// nearest-rank on a sorted copy. It returns 0 for an empty slice.
+func Percentile(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return percentileSorted(sorted, p)
+}
+
+// PercentileSorted is Percentile over an already ascending-sorted slice,
+// avoiding the copy and sort.
+func PercentileSorted(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(sorted []time.Duration, p float64) time.Duration {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(p/100*float64(len(sorted))+0.9999999) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Mean returns the arithmetic mean of samples, or 0 if empty.
+func Mean(samples []time.Duration) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range samples {
+		sum += s
+	}
+	return sum / time.Duration(len(samples))
+}
+
+// Max returns the maximum of samples, or 0 if empty.
+func Max(samples []time.Duration) time.Duration {
+	var m time.Duration
+	for _, s := range samples {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// LinearFit holds a least-squares fit y = Slope*x + Intercept and its
+// coefficient of determination R².
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// FitLine computes the least-squares line through (x[i], y[i]). It panics
+// if the slices differ in length and returns a zero fit for fewer than
+// two points.
+func FitLine(x, y []float64) LinearFit {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("stats: FitLine length mismatch %d vs %d", len(x), len(y)))
+	}
+	n := float64(len(x))
+	if len(x) < 2 {
+		return LinearFit{}
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return LinearFit{}
+	}
+	slope := (n*sxy - sx*sy) / denom
+	intercept := (sy - slope*sx) / n
+
+	meanY := sy / n
+	var ssTot, ssRes float64
+	for i := range x {
+		pred := slope*x[i] + intercept
+		ssRes += (y[i] - pred) * (y[i] - pred)
+		ssTot += (y[i] - meanY) * (y[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2}
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func durs(vals ...int) []time.Duration {
+	out := make([]time.Duration, len(vals))
+	for i, v := range vals {
+		out[i] = time.Duration(v) * time.Millisecond
+	}
+	return out
+}
+
+func TestPercentileBasics(t *testing.T) {
+	s := durs(10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{50, 50 * time.Millisecond},
+		{90, 90 * time.Millisecond},
+		{99, 100 * time.Millisecond},
+		{100, 100 * time.Millisecond},
+		{0, 10 * time.Millisecond},
+		{10, 10 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := Percentile(s, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileUnsortedInputUntouched(t *testing.T) {
+	s := durs(50, 10, 30)
+	if got := Percentile(s, 50); got != 30*time.Millisecond {
+		t.Fatalf("median = %v", got)
+	}
+	if s[0] != 50*time.Millisecond {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestPercentileEmptyAndSingle(t *testing.T) {
+	if got := Percentile(nil, 99); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+	if got := Percentile(durs(7), 99); got != 7*time.Millisecond {
+		t.Fatalf("single percentile = %v", got)
+	}
+}
+
+func TestPercentileSortedMatches(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	s := make([]time.Duration, 1000)
+	for i := range s {
+		s[i] = time.Duration(r.Intn(1e6)) * time.Microsecond
+	}
+	for _, p := range []float64{1, 25, 50, 90, 99, 99.9} {
+		want := Percentile(s, p)
+		sorted := make([]time.Duration, len(s))
+		copy(sorted, s)
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		if got := PercentileSorted(sorted, p); got != want {
+			t.Errorf("p%.1f: sorted %v != unsorted %v", p, got, want)
+		}
+	}
+}
+
+func TestMeanMax(t *testing.T) {
+	s := durs(10, 20, 30)
+	if got := Mean(s); got != 20*time.Millisecond {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Max(s); got != 30*time.Millisecond {
+		t.Fatalf("Max = %v", got)
+	}
+	if Mean(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty Mean/Max not 0")
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 2x + 3
+	fit := FitLine(x, y)
+	if math.Abs(fit.Slope-2) > 1e-9 || math.Abs(fit.Intercept-3) > 1e-9 {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-9 {
+		t.Fatalf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestFitLineNoisy(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	var x, y []float64
+	for i := 0; i < 100; i++ {
+		xv := float64(i)
+		x = append(x, xv)
+		y = append(y, 3*xv+10+r.NormFloat64()*5)
+	}
+	fit := FitLine(x, y)
+	if fit.Slope < 2.8 || fit.Slope > 3.2 {
+		t.Fatalf("slope = %v", fit.Slope)
+	}
+	if fit.R2 < 0.99 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+}
+
+func TestFitLineDegenerate(t *testing.T) {
+	if fit := FitLine([]float64{1}, []float64{2}); fit.Slope != 0 || fit.R2 != 0 {
+		t.Fatalf("single point fit = %+v", fit)
+	}
+	if fit := FitLine([]float64{2, 2}, []float64{1, 3}); fit.Slope != 0 {
+		t.Fatalf("vertical fit = %+v", fit)
+	}
+	// Constant y: R² defined as 1 (perfect fit by the constant line).
+	if fit := FitLine([]float64{1, 2, 3}, []float64{4, 4, 4}); fit.R2 != 1 {
+		t.Fatalf("constant fit = %+v", fit)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	FitLine([]float64{1}, []float64{1, 2})
+}

@@ -1,0 +1,107 @@
+package value
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// EncodeRow serializes a row into a compact binary record payload. The
+// format is not order-preserving (see internal/codec for key encoding);
+// it is the value format stored under a key/value-store key.
+//
+// Layout: uvarint(count) then per value: one type byte followed by the
+// payload (bool: 1 byte; int: varint; float: 8 bytes; string/bytes:
+// uvarint length + raw bytes).
+func EncodeRow(r Row) []byte {
+	buf := make([]byte, 0, 16+r.Size())
+	buf = binary.AppendUvarint(buf, uint64(len(r)))
+	for _, v := range r {
+		buf = append(buf, byte(v.T))
+		switch v.T {
+		case TypeNull:
+		case TypeBool:
+			if v.B {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		case TypeInt:
+			buf = binary.AppendVarint(buf, v.I)
+		case TypeFloat:
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v.F))
+		case TypeString:
+			buf = binary.AppendUvarint(buf, uint64(len(v.S)))
+			buf = append(buf, v.S...)
+		case TypeBytes:
+			buf = binary.AppendUvarint(buf, uint64(len(v.R)))
+			buf = append(buf, v.R...)
+		}
+	}
+	return buf
+}
+
+// DecodeRow parses a record payload produced by EncodeRow.
+func DecodeRow(b []byte) (Row, error) {
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("value: corrupt row header")
+	}
+	b = b[n:]
+	if count > uint64(len(b))+1 {
+		return nil, fmt.Errorf("value: row count %d exceeds payload", count)
+	}
+	row := make(Row, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(b) == 0 {
+			return nil, fmt.Errorf("value: truncated row at value %d", i)
+		}
+		t := Type(b[0])
+		b = b[1:]
+		switch t {
+		case TypeNull:
+			row = append(row, Null())
+		case TypeBool:
+			if len(b) < 1 {
+				return nil, fmt.Errorf("value: truncated bool")
+			}
+			row = append(row, Bool(b[0] != 0))
+			b = b[1:]
+		case TypeInt:
+			x, n := binary.Varint(b)
+			if n <= 0 {
+				return nil, fmt.Errorf("value: corrupt int")
+			}
+			row = append(row, Int(x))
+			b = b[n:]
+		case TypeFloat:
+			if len(b) < 8 {
+				return nil, fmt.Errorf("value: truncated float")
+			}
+			row = append(row, Float(math.Float64frombits(binary.BigEndian.Uint64(b))))
+			b = b[8:]
+		case TypeString:
+			l, n := binary.Uvarint(b)
+			if n <= 0 || uint64(len(b)-n) < l {
+				return nil, fmt.Errorf("value: corrupt string")
+			}
+			row = append(row, Str(string(b[n:n+int(l)])))
+			b = b[n+int(l):]
+		case TypeBytes:
+			l, n := binary.Uvarint(b)
+			if n <= 0 || uint64(len(b)-n) < l {
+				return nil, fmt.Errorf("value: corrupt bytes")
+			}
+			raw := make([]byte, l)
+			copy(raw, b[n:n+int(l)])
+			row = append(row, Bytes(raw))
+			b = b[n+int(l):]
+		default:
+			return nil, fmt.Errorf("value: unknown type tag %d", t)
+		}
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("value: %d trailing bytes after row", len(b))
+	}
+	return row, nil
+}

@@ -1,0 +1,78 @@
+package value
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRowRoundTrip(t *testing.T) {
+	rows := []Row{
+		{},
+		{Null()},
+		{Bool(true), Bool(false)},
+		{Int(0), Int(-1), Int(math.MaxInt64), Int(math.MinInt64)},
+		{Float(0), Float(-0.0), Float(math.Inf(1)), Float(1e-300)},
+		{Str(""), Str("hello"), Str("héllo \x00 world")},
+		{Bytes(nil), Bytes([]byte{0, 255, 1})},
+		{Int(42), Str("mixed"), Bool(true), Float(3.14), Null()},
+	}
+	for _, r := range rows {
+		enc := EncodeRow(r)
+		dec, err := DecodeRow(enc)
+		if err != nil {
+			t.Fatalf("DecodeRow(%v): %v", r, err)
+		}
+		if CompareRows(r, dec) != 0 {
+			t.Fatalf("round trip mismatch: %v -> %v", r, dec)
+		}
+	}
+}
+
+func TestEncodeRowNaN(t *testing.T) {
+	r := Row{Float(math.NaN())}
+	dec, err := DecodeRow(EncodeRow(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(dec[0].F) {
+		t.Fatalf("NaN did not survive round trip: %v", dec[0])
+	}
+}
+
+func TestDecodeRowErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":              {},
+		"huge count":         {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F},
+		"truncated value":    {1},
+		"unknown tag":        {1, 0x63},
+		"truncated bool":     {1, byte(TypeBool)},
+		"truncated float":    {1, byte(TypeFloat), 1, 2},
+		"bad string length":  {1, byte(TypeString), 0x80},
+		"short string":       {1, byte(TypeString), 5, 'a'},
+		"short bytes":        {1, byte(TypeBytes), 5, 'a'},
+		"trailing bytes":     append(EncodeRow(Row{Int(1)}), 0xAA),
+		"count over payload": {200},
+	}
+	for name, b := range cases {
+		if _, err := DecodeRow(b); err == nil {
+			t.Errorf("%s: DecodeRow accepted corrupt input % x", name, b)
+		}
+	}
+}
+
+func TestEncodeDecodeRowProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		row := randomRow(r, 8)
+		dec, err := DecodeRow(EncodeRow(row))
+		if err != nil {
+			return false
+		}
+		return CompareRows(row, dec) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,272 @@
+// Package value defines the dynamically typed values and rows that flow
+// through the PIQL engine: table cells, query parameters, and key parts.
+//
+// Values are small immutable structs. The zero Value is NULL. Ordering
+// follows key-encoding order (see internal/codec): NULL < bool < int <
+// float < string < bytes, with natural ordering within a type.
+package value
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Type enumerates the runtime types a Value can hold.
+type Type uint8
+
+// Supported value types. The numeric order of the constants defines the
+// cross-type sort order used by Compare and by the key codec.
+const (
+	TypeNull Type = iota
+	TypeBool
+	TypeInt
+	TypeFloat
+	TypeString
+	TypeBytes
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeNull:
+		return "NULL"
+	case TypeBool:
+		return "BOOLEAN"
+	case TypeInt:
+		return "INT"
+	case TypeFloat:
+		return "DOUBLE"
+	case TypeString:
+		return "VARCHAR"
+	case TypeBytes:
+		return "BLOB"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Value is a single dynamically typed datum. Exactly one payload field is
+// meaningful, selected by T. The zero value is NULL.
+type Value struct {
+	T Type
+	B bool
+	I int64
+	F float64
+	S string
+	R []byte // raw bytes payload for TypeBytes
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{T: TypeBool, B: b} }
+
+// Int returns a 64-bit integer value.
+func Int(i int64) Value { return Value{T: TypeInt, I: i} }
+
+// Float returns a 64-bit float value.
+func Float(f float64) Value { return Value{T: TypeFloat, F: f} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{T: TypeString, S: s} }
+
+// Bytes returns a raw bytes value. The slice is retained, not copied.
+func Bytes(b []byte) Value { return Value{T: TypeBytes, R: b} }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.T == TypeNull }
+
+// Truthy reports whether v is the boolean true. Non-boolean values are
+// never truthy; predicates in PIQL are strictly typed.
+func (v Value) Truthy() bool { return v.T == TypeBool && v.B }
+
+// String renders the value for plans, logs, and the shell.
+func (v Value) String() string {
+	switch v.T {
+	case TypeNull:
+		return "NULL"
+	case TypeBool:
+		if v.B {
+			return "true"
+		}
+		return "false"
+	case TypeInt:
+		return fmt.Sprintf("%d", v.I)
+	case TypeFloat:
+		return fmt.Sprintf("%g", v.F)
+	case TypeString:
+		return fmt.Sprintf("%q", v.S)
+	case TypeBytes:
+		return fmt.Sprintf("x'%x'", v.R)
+	default:
+		return fmt.Sprintf("Value(%d)", uint8(v.T))
+	}
+}
+
+// Compare orders a relative to b: -1, 0, or +1. Values of different types
+// order by their Type constants; NULL sorts before everything.
+func Compare(a, b Value) int {
+	if a.T != b.T {
+		if a.T < b.T {
+			return -1
+		}
+		return 1
+	}
+	switch a.T {
+	case TypeNull:
+		return 0
+	case TypeBool:
+		switch {
+		case a.B == b.B:
+			return 0
+		case !a.B:
+			return -1
+		default:
+			return 1
+		}
+	case TypeInt:
+		switch {
+		case a.I < b.I:
+			return -1
+		case a.I > b.I:
+			return 1
+		default:
+			return 0
+		}
+	case TypeFloat:
+		return compareFloat(a.F, b.F)
+	case TypeString:
+		return strings.Compare(a.S, b.S)
+	case TypeBytes:
+		return compareBytes(a.R, b.R)
+	default:
+		return 0
+	}
+}
+
+func compareFloat(a, b float64) int {
+	// NaN sorts before all other floats so ordering stays total.
+	an, bn := math.IsNaN(a), math.IsNaN(b)
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	case bn:
+		return 1
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func compareBytes(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether a and b are the same value.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Size returns the approximate in-memory/wire size of the value in bytes.
+// The SLO prediction model uses this as the per-tuple size β.
+func (v Value) Size() int {
+	switch v.T {
+	case TypeNull:
+		return 1
+	case TypeBool:
+		return 2
+	case TypeInt, TypeFloat:
+		return 9
+	case TypeString:
+		return 1 + len(v.S)
+	case TypeBytes:
+		return 1 + len(v.R)
+	default:
+		return 1
+	}
+}
+
+// Row is an ordered tuple of values.
+type Row []Value
+
+// Size returns the approximate wire size of the row in bytes.
+func (r Row) Size() int {
+	n := 0
+	for _, v := range r {
+		n += v.Size()
+	}
+	return n
+}
+
+// Clone returns a deep copy of the row (bytes payloads included).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	for i, v := range out {
+		if v.T == TypeBytes && v.R != nil {
+			b := make([]byte, len(v.R))
+			copy(b, v.R)
+			out[i].R = b
+		}
+	}
+	return out
+}
+
+// String renders the row as a parenthesized tuple.
+func (r Row) String() string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i, v := range r {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(v.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// CompareRows orders two rows lexicographically.
+func CompareRows(a, b Row) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,225 @@
+// Package tpcw implements the customer-facing web interactions of the
+// TPC-W online bookstore benchmark as PIQL queries (Section 8.1.1): the
+// nine interactions of the paper's Table 1, driven by the update-heavy
+// "ordering" mix. Best Seller and Admin Confirm are analytical and are
+// omitted, exactly as in the paper.
+package tpcw
+
+import (
+	"fmt"
+	"math/rand"
+
+	"piql/internal/engine"
+	"piql/internal/value"
+)
+
+// Config sizes the dataset. TPC-W scales customers with emulated
+// browsers (the paper loads 75 EBs' worth per node and keeps items
+// fixed at 10,000); the simulated default scales the absolute counts
+// down while preserving per-customer shape.
+type Config struct {
+	CustomersPerNode int
+	Items            int // constant regardless of node count (paper: 10,000)
+	OrdersPerCust    int
+	MaxOrderLines    int // CARDINALITY LIMIT on order lines per order
+	MaxCartLines     int // CARDINALITY LIMIT on lines per cart (TPC-W optional constraint)
+	Seed             int64
+}
+
+// DefaultConfig returns the scaled experiment configuration.
+func DefaultConfig() Config {
+	return Config{
+		CustomersPerNode: 600,
+		Items:            10000,
+		OrdersPerCust:    1,
+		MaxOrderLines:    100,
+		MaxCartLines:     100,
+		Seed:             11,
+	}
+}
+
+// Subjects are the TPC-W item subject categories.
+var Subjects = []string{
+	"ARTS", "BIOGRAPHIES", "BUSINESS", "CHILDREN", "COMPUTERS",
+	"COOKING", "HEALTH", "HISTORY", "HOME", "HUMOR", "LITERATURE",
+	"MYSTERY", "NONFICTION", "PARENTING", "POLITICS", "REFERENCE",
+	"RELIGION", "ROMANCE", "SELFHELP", "SCIENCE", "SCIFI", "SPORTS",
+	"YOUTH", "TRAVEL",
+}
+
+var titleWords = []string{
+	"shadow", "river", "night", "garden", "empire", "secret", "stone",
+	"winter", "crimson", "silent", "golden", "lost", "broken", "wild",
+	"hidden", "burning", "frozen", "sacred", "forgotten", "electric",
+}
+
+var nameWords = []string{
+	"smith", "johnson", "lee", "garcia", "chen", "patel", "brown",
+	"miller", "davis", "wilson", "anderson", "taylor", "moore", "martin",
+}
+
+// DDL returns the TPC-W schema subset backing the nine interactions.
+func DDL(cfg Config) []string {
+	return []string{
+		`CREATE TABLE customer (
+			c_uname VARCHAR(20),
+			c_passwd VARCHAR(20),
+			c_fname VARCHAR(17),
+			c_lname VARCHAR(17),
+			c_email VARCHAR(50),
+			c_discount INT,
+			PRIMARY KEY (c_uname))`,
+		`CREATE TABLE author (
+			a_id INT,
+			a_fname VARCHAR(20),
+			a_lname VARCHAR(20),
+			PRIMARY KEY (a_id))`,
+		`CREATE TABLE item (
+			i_id INT,
+			i_title VARCHAR(60),
+			i_a_id INT,
+			i_pub_date INT,
+			i_subject VARCHAR(60),
+			i_desc VARCHAR(100),
+			i_cost INT,
+			i_stock INT,
+			PRIMARY KEY (i_id),
+			FOREIGN KEY (i_a_id) REFERENCES author)`,
+		fmt.Sprintf(`CREATE TABLE orders (
+			o_id INT,
+			o_c_uname VARCHAR(20),
+			o_date_time INT,
+			o_total INT,
+			o_status VARCHAR(16),
+			PRIMARY KEY (o_id),
+			FOREIGN KEY (o_c_uname) REFERENCES customer,
+			CARDINALITY LIMIT %d (o_c_uname))`, 500),
+		fmt.Sprintf(`CREATE TABLE order_line (
+			ol_o_id INT,
+			ol_seq INT,
+			ol_i_id INT,
+			ol_qty INT,
+			PRIMARY KEY (ol_o_id, ol_seq),
+			FOREIGN KEY (ol_o_id) REFERENCES orders,
+			FOREIGN KEY (ol_i_id) REFERENCES item,
+			CARDINALITY LIMIT %d (ol_o_id))`, cfg.MaxOrderLines),
+		fmt.Sprintf(`CREATE TABLE cart_line (
+			scl_sc_id INT,
+			scl_i_id INT,
+			scl_qty INT,
+			PRIMARY KEY (scl_sc_id, scl_i_id),
+			FOREIGN KEY (scl_i_id) REFERENCES item,
+			CARDINALITY LIMIT %d (scl_sc_id))`, cfg.MaxCartLines),
+	}
+}
+
+// CustomerName formats the i-th customer's user name.
+func CustomerName(i int) string { return fmt.Sprintf("c%07d", i) }
+
+// Load populates the store for the given node count, returning the
+// loaded sizes.
+func Load(s *engine.Session, cfg Config, nodes int) (customers, items int, err error) {
+	customers = cfg.CustomersPerNode * nodes
+	items = cfg.Items
+	r := rand.New(rand.NewSource(cfg.Seed))
+	authors := items/10 + 1
+
+	for a := 0; a < authors; a++ {
+		if err := s.Exec(`INSERT INTO author VALUES (?, ?, ?)`,
+			value.Int(int64(a)),
+			value.Str(nameWords[r.Intn(len(nameWords))]),
+			value.Str(nameWords[r.Intn(len(nameWords))])); err != nil {
+			return 0, 0, fmt.Errorf("tpcw: load author: %w", err)
+		}
+	}
+	for i := 0; i < items; i++ {
+		title := fmt.Sprintf("%s %s %s #%d",
+			titleWords[r.Intn(len(titleWords))],
+			titleWords[r.Intn(len(titleWords))],
+			titleWords[r.Intn(len(titleWords))], i)
+		if err := s.Exec(`INSERT INTO item VALUES (?, ?, ?, ?, ?, ?, ?, ?)`,
+			value.Int(int64(i)),
+			value.Str(title),
+			value.Int(int64(r.Intn(authors))),
+			value.Int(int64(20000000+r.Intn(100000))),
+			value.Str(Subjects[r.Intn(len(Subjects))]),
+			value.Str("a fine book"),
+			value.Int(int64(500+r.Intn(5000))),
+			value.Int(int64(r.Intn(1000)))); err != nil {
+			return 0, 0, fmt.Errorf("tpcw: load item: %w", err)
+		}
+	}
+	oid := int64(0)
+	for c := 0; c < customers; c++ {
+		uname := CustomerName(c)
+		if err := s.Exec(`INSERT INTO customer VALUES (?, ?, ?, ?, ?, ?)`,
+			value.Str(uname), value.Str("pw"),
+			value.Str(nameWords[r.Intn(len(nameWords))]),
+			value.Str(nameWords[r.Intn(len(nameWords))]),
+			value.Str(uname+"@example.com"),
+			value.Int(int64(r.Intn(50)))); err != nil {
+			return 0, 0, fmt.Errorf("tpcw: load customer: %w", err)
+		}
+		for o := 0; o < cfg.OrdersPerCust; o++ {
+			oid++
+			if err := s.Exec(`INSERT INTO orders VALUES (?, ?, ?, ?, ?)`,
+				value.Int(oid), value.Str(uname),
+				value.Int(int64(30000000+r.Intn(100000))),
+				value.Int(int64(1000+r.Intn(20000))),
+				value.Str("shipped")); err != nil {
+				return 0, 0, fmt.Errorf("tpcw: load order: %w", err)
+			}
+			lines := 1 + r.Intn(4)
+			for l := 0; l < lines; l++ {
+				if err := s.Exec(`INSERT INTO order_line VALUES (?, ?, ?, ?)`,
+					value.Int(oid), value.Int(int64(l)),
+					value.Int(int64(r.Intn(items))), value.Int(int64(1+r.Intn(3)))); err != nil {
+					return 0, 0, fmt.Errorf("tpcw: load order line: %w", err)
+				}
+			}
+		}
+	}
+	return customers, items, nil
+}
+
+// QuerySQL returns the SQL for every Table 1 interaction, keyed by the
+// paper's row names.
+func QuerySQL() map[string]string {
+	return map[string]string{
+		"Home WI": `
+			SELECT c_uname, c_fname, c_lname, c_discount FROM customer WHERE c_uname = [1: uname]`,
+		"New Products WI": `
+			SELECT i_id, i_title, i_pub_date, a_fname, a_lname
+			FROM item JOIN author
+			WHERE i_a_id = a_id AND i_subject CONTAINS [1: subject]
+			ORDER BY i_pub_date DESC LIMIT 50`,
+		"Product Detail WI": `
+			SELECT i_id, i_title, i_desc, i_cost, i_stock, a_fname, a_lname
+			FROM item JOIN author
+			WHERE i_a_id = a_id AND i_id = [1: itemId]`,
+		"Search By Author WI": `
+			SELECT i_id, i_title, i_cost FROM item
+			WHERE i_a_id = [1: authorId]
+			ORDER BY i_title LIMIT 50`,
+		"Search By Author Names WI": `
+			SELECT a_id, a_fname, a_lname FROM author
+			WHERE a_lname CONTAINS [1: lastName] LIMIT 20`,
+		"Search By Title WI": `
+			SELECT i_title, i_id, a_fname, a_lname
+			FROM item JOIN author
+			WHERE i_a_id = a_id AND i_title CONTAINS [1: titleWord]
+			ORDER BY i_title LIMIT 50`,
+		"Order Display WI Get Customer": `
+			SELECT c_uname, c_fname, c_lname, c_email FROM customer WHERE c_uname = [1: uname]`,
+		"Order Display WI Get Last Order": `
+			SELECT o_id, o_date_time, o_total, o_status FROM orders
+			WHERE o_c_uname = [1: uname]
+			ORDER BY o_date_time DESC LIMIT 1`,
+		"Order Display WI Get OrderLines": `
+			SELECT ol_seq, ol_i_id, ol_qty FROM order_line WHERE ol_o_id = [1: orderId]`,
+		"Buy Request WI": `
+			SELECT scl_i_id, scl_qty, i_title, i_cost
+			FROM cart_line scl JOIN item i
+			WHERE i.i_id = scl.scl_i_id AND scl.scl_sc_id = [1: cartId]`,
+	}
+}

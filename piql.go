@@ -1,0 +1,292 @@
+// Package piql is a Go implementation of PIQL — the Performance-
+// Insightful Query Language of Armbrust et al. (PVLDB 5(3), 2011):
+// a scale-independent SQL subset compiled to statically bounded plans
+// over a range-partitioned key/value store.
+//
+// A PIQL database guarantees that every query it accepts performs a
+// bounded number of key/value store operations regardless of database
+// size ("success tolerance"): queries that meet their service level
+// objective on a small database keep meeting it as the site grows.
+//
+// Basic use:
+//
+//	db := piql.Open(piql.Config{Nodes: 4})
+//	db.MustExec(`CREATE TABLE users (name VARCHAR(20), bio VARCHAR(140), PRIMARY KEY (name))`)
+//	db.MustExec(`INSERT INTO users VALUES ('ann', 'hello')`, )
+//	q, err := db.Prepare(`SELECT * FROM users WHERE name = ?`)
+//	res, err := q.Execute(piql.Str("ann"))
+//
+// Queries the compiler cannot bound are rejected at Prepare time with a
+// *piql.UnboundedQueryError carrying Performance Insight Assistant
+// suggestions (add a CARDINALITY LIMIT, a PAGINATE clause, ...).
+package piql
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"piql/internal/core"
+	"piql/internal/engine"
+	"piql/internal/exec"
+	"piql/internal/kvstore"
+	"piql/internal/predict"
+	"piql/internal/value"
+)
+
+// Value is a dynamically typed PIQL value (query parameter or result
+// cell).
+type Value = value.Value
+
+// Row is an ordered tuple of values.
+type Row = value.Row
+
+// Constructors for parameters and literals.
+var (
+	// Str builds a string value.
+	Str = value.Str
+	// Int builds a 64-bit integer value.
+	Int = value.Int
+	// Float builds a 64-bit float value.
+	Float = value.Float
+	// Bool builds a boolean value.
+	Bool = value.Bool
+	// Null builds the NULL value.
+	Null = value.Null
+)
+
+// Strategy selects how the execution engine issues key/value requests
+// (Section 8.5 of the paper).
+type Strategy = exec.Strategy
+
+// Execution strategies.
+const (
+	// LazyExecutor requests one tuple at a time.
+	LazyExecutor = exec.Lazy
+	// SimpleExecutor batches requests using the compiler's limit hints.
+	SimpleExecutor = exec.Simple
+	// ParallelExecutor batches and issues requests concurrently (default).
+	ParallelExecutor = exec.Parallel
+)
+
+// Config describes the simulated key/value store backing the database.
+type Config struct {
+	// Nodes is the number of storage servers (default 4).
+	Nodes int
+	// ReplicationFactor is the copies kept per item (default 2).
+	ReplicationFactor int
+	// Seed drives all simulation randomness (default 1).
+	Seed int64
+}
+
+// DB is a PIQL database handle: a stateless query-processing library
+// (parser, compiler, executor) over a distributed key/value store.
+type DB struct {
+	eng     *engine.Engine
+	session *engine.Session
+}
+
+// Open creates an in-process PIQL database over a fresh simulated
+// cluster.
+func Open(cfg Config) *DB {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 4
+	}
+	if cfg.ReplicationFactor <= 0 {
+		cfg.ReplicationFactor = 2
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	cluster := kvstore.New(kvstore.Config{
+		Nodes:             cfg.Nodes,
+		ReplicationFactor: cfg.ReplicationFactor,
+		Seed:              cfg.Seed,
+	}, nil)
+	eng := engine.New(cluster)
+	return &DB{eng: eng, session: eng.Session(nil)}
+}
+
+// SetStrategy selects the execution strategy for subsequent queries.
+func (db *DB) SetStrategy(s Strategy) { db.session.SetStrategy(s) }
+
+// Exec runs a DDL or DML statement (CREATE TABLE/INDEX, INSERT, UPDATE,
+// DELETE).
+func (db *DB) Exec(sql string, params ...Value) error {
+	return db.session.Exec(sql, params...)
+}
+
+// MustExec is Exec, panicking on error — for schema setup in examples
+// and tests.
+func (db *DB) MustExec(sql string, params ...Value) {
+	if err := db.Exec(sql, params...); err != nil {
+		panic(err)
+	}
+}
+
+// Result is one query result (a single page for paginated queries).
+type Result struct {
+	// Rows holds the projected output rows.
+	Rows []Row
+	// Names holds the output column names.
+	Names []string
+}
+
+// Query prepares and executes in one step.
+func (db *DB) Query(sql string, params ...Value) (*Result, error) {
+	q, err := db.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return q.Execute(params...)
+}
+
+// UnboundedQueryError reports a query rejected as not scale-independent,
+// with the Performance Insight Assistant's feedback (Section 6.4).
+type UnboundedQueryError struct {
+	// Segment is the plan section that could not be bounded.
+	Segment string
+	// Reason explains why.
+	Reason string
+	// Suggestions are concrete fixes (cardinality limits, pagination).
+	Suggestions []string
+}
+
+func (e *UnboundedQueryError) Error() string {
+	msg := fmt.Sprintf("piql: query is not scale-independent: %s (%s)", e.Reason, e.Segment)
+	for _, s := range e.Suggestions {
+		msg += "\n  suggestion: " + s
+	}
+	return msg
+}
+
+// Query is a compiled, reusable, statically bounded query.
+type Query struct {
+	db  *DB
+	pre *engine.Prepared
+}
+
+// Prepare compiles a SELECT. Unbounded queries fail with
+// *UnboundedQueryError; the compiler automatically creates and
+// backfills any secondary indexes the plan needs.
+func (db *DB) Prepare(sql string) (*Query, error) {
+	pre, err := db.session.Prepare(sql)
+	if err != nil {
+		var nsi *core.NotScaleIndependentError
+		if errors.As(err, &nsi) {
+			return nil, &UnboundedQueryError{
+				Segment:     nsi.Segment,
+				Reason:      nsi.Reason,
+				Suggestions: nsi.Suggestions,
+			}
+		}
+		return nil, err
+	}
+	return &Query{db: db, pre: pre}, nil
+}
+
+// Execute runs the query with the given parameters.
+func (q *Query) Execute(params ...Value) (*Result, error) {
+	res, err := q.pre.Execute(q.db.session, params...)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Rows: res.Rows, Names: res.Names}, nil
+}
+
+// OpBound returns the static upper bound on key/value store operations
+// one execution may perform — the scale-independence guarantee.
+func (q *Query) OpBound() int { return q.pre.Plan().OpBound() }
+
+// Explain renders the physical plan with per-operator bounds.
+func (q *Query) Explain() string { return q.pre.Plan().Explain() }
+
+// ExplainLogical renders the Phase I logical plan (data-stop normal
+// form), as in the paper's Figure 3(c).
+func (q *Query) ExplainLogical() string { return q.pre.Plan().ExplainLogical() }
+
+// Cursor iterates a PAGINATE query one scale-independent page at a time.
+type Cursor struct {
+	db  *DB
+	cur *engine.Cursor
+}
+
+// Paginate opens a cursor (the query must have a PAGINATE clause).
+func (q *Query) Paginate(params ...Value) (*Cursor, error) {
+	cur, err := q.pre.Paginate(params...)
+	if err != nil {
+		return nil, err
+	}
+	return &Cursor{db: q.db, cur: cur}, nil
+}
+
+// Next returns the next page, or nil when exhausted.
+func (c *Cursor) Next() (*Result, error) {
+	res, err := c.cur.Next(c.db.session)
+	if err != nil || res == nil {
+		return nil, err
+	}
+	return &Result{Rows: res.Rows, Names: res.Names}, nil
+}
+
+// Done reports whether the cursor is exhausted.
+func (c *Cursor) Done() bool { return c.cur.Done() }
+
+// Serialize captures the cursor state (query, parameters, scan
+// positions) so it can be shipped to the user with the page and resumed
+// on any application server.
+func (c *Cursor) Serialize() []byte { return c.cur.Serialize() }
+
+// RestoreCursor reconstructs a serialized cursor.
+func (db *DB) RestoreCursor(data []byte) (*Cursor, error) {
+	cur, err := db.eng.RestoreCursor(db.session, data)
+	if err != nil {
+		return nil, err
+	}
+	return &Cursor{db: db, cur: cur}, nil
+}
+
+// SLOModel predicts SLO compliance for compiled queries (Section 6). A
+// model is trained once per cluster class by sampling operator latency
+// distributions, independent of any application schema.
+type SLOModel struct {
+	model *predict.Model
+}
+
+// TrainSLOModel samples the remote operators on a simulated cluster and
+// returns the prediction model. Training takes a few tens of seconds
+// (the FastTrainConfig grid).
+func TrainSLOModel() (*SLOModel, error) {
+	m, err := predict.Train(predict.FastTrainConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &SLOModel{model: m}, nil
+}
+
+// SLOPrediction summarizes the predicted distribution of per-interval
+// 99th-percentile latencies for a query.
+type SLOPrediction struct {
+	// Max99 is the most conservative estimate: the worst per-interval
+	// 99th-percentile latency seen across training intervals.
+	Max99 time.Duration
+	// Mean99 is the mean per-interval 99th percentile.
+	Mean99 time.Duration
+	pred   *predict.Prediction
+}
+
+// MeetsSLO reports whether the query's 99th-percentile latency is
+// predicted to stay under slo in at least fraction q of intervals
+// (e.g. MeetsSLO(500*time.Millisecond, 0.9)).
+func (p *SLOPrediction) MeetsSLO(slo time.Duration, q float64) bool {
+	return p.pred.MeetsSLO(slo, q)
+}
+
+// Predict evaluates a compiled query against the model.
+func (m *SLOModel) Predict(q *Query) (*SLOPrediction, error) {
+	pred, err := m.model.PredictPlan(q.pre.Plan())
+	if err != nil {
+		return nil, err
+	}
+	return &SLOPrediction{Max99: pred.Max99, Mean99: pred.Mean99, pred: pred}, nil
+}

@@ -1,0 +1,155 @@
+package piql
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func exampleDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open(Config{Nodes: 4})
+	db.MustExec(`CREATE TABLE users (
+		username VARCHAR(20), bio VARCHAR(140), PRIMARY KEY (username))`)
+	db.MustExec(`CREATE TABLE follows (
+		owner VARCHAR(20), target VARCHAR(20),
+		PRIMARY KEY (owner, target),
+		FOREIGN KEY (target) REFERENCES users,
+		CARDINALITY LIMIT 50 (owner))`)
+	for i := 0; i < 30; i++ {
+		db.MustExec(`INSERT INTO users VALUES (?, ?)`,
+			Str(fmt.Sprintf("u%02d", i)), Str("hello"))
+	}
+	for i := 1; i < 10; i++ {
+		db.MustExec(`INSERT INTO follows VALUES ('u00', ?)`, Str(fmt.Sprintf("u%02d", i)))
+	}
+	return db
+}
+
+func TestPublicAPIBasics(t *testing.T) {
+	db := exampleDB(t)
+	q, err := db.Prepare(`SELECT username, bio FROM users WHERE username = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.OpBound() != 1 {
+		t.Errorf("OpBound = %d", q.OpBound())
+	}
+	res, err := q.Execute(Str("u05"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "u05" || res.Names[1] != "bio" {
+		t.Fatalf("res = %+v", res)
+	}
+	if !strings.Contains(q.Explain(), "PKLookup") {
+		t.Errorf("Explain:\n%s", q.Explain())
+	}
+}
+
+func TestPublicAPIJoin(t *testing.T) {
+	db := exampleDB(t)
+	res, err := db.Query(`
+		SELECT u.username FROM follows f JOIN users u
+		WHERE u.username = f.target AND f.owner = ?`, Str("u00"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 9 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestPublicAPIUnboundedRejection(t *testing.T) {
+	db := exampleDB(t)
+	_, err := db.Prepare(`SELECT * FROM users WHERE bio = 'hello'`)
+	var ube *UnboundedQueryError
+	if !errors.As(err, &ube) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(ube.Suggestions) == 0 || ube.Error() == "" {
+		t.Fatalf("assistant feedback missing: %+v", ube)
+	}
+}
+
+func TestPublicAPIPagination(t *testing.T) {
+	db := exampleDB(t)
+	q, err := db.Prepare(`SELECT username FROM users ORDER BY username PAGINATE 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := q.Paginate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []string
+	for !cur.Done() {
+		// Round-trip through serialization every page.
+		cur, err = db.RestoreCursor(cur.Serialize())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res == nil {
+			break
+		}
+		for _, row := range res.Rows {
+			seen = append(seen, row[0].S)
+		}
+	}
+	if len(seen) != 30 {
+		t.Fatalf("traversed %d users", len(seen))
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i-1] >= seen[i] {
+			t.Fatalf("order broken at %d: %s >= %s", i, seen[i-1], seen[i])
+		}
+	}
+}
+
+func TestPublicAPIStrategies(t *testing.T) {
+	db := exampleDB(t)
+	for _, s := range []Strategy{LazyExecutor, SimpleExecutor, ParallelExecutor} {
+		db.SetStrategy(s)
+		res, err := db.Query(`SELECT target FROM follows WHERE owner = ?`, Str("u00"))
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if len(res.Rows) != 9 {
+			t.Fatalf("%v: rows = %d", s, len(res.Rows))
+		}
+	}
+}
+
+func TestPublicAPIWritePath(t *testing.T) {
+	db := exampleDB(t)
+	if err := db.Exec(`UPDATE users SET bio = 'updated' WHERE username = 'u01'`); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := db.Query(`SELECT bio FROM users WHERE username = 'u01'`)
+	if res.Rows[0][0].S != "updated" {
+		t.Fatalf("bio = %v", res.Rows[0][0])
+	}
+	if err := db.Exec(`DELETE FROM users WHERE username = 'u01'`); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = db.Query(`SELECT bio FROM users WHERE username = 'u01'`)
+	if len(res.Rows) != 0 {
+		t.Fatal("row survived delete")
+	}
+	// Cardinality enforcement surfaces as an error on the 51st follow.
+	for i := 0; i < 60; i++ {
+		err := db.Exec(`INSERT INTO follows VALUES ('u02', ?)`, Str(fmt.Sprintf("t%02d", i)))
+		if err != nil {
+			if i == 50 && strings.Contains(err.Error(), "cardinality") {
+				return
+			}
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	t.Fatal("cardinality limit never enforced")
+}
