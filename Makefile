@@ -1,0 +1,33 @@
+# The ci target is the gate: a missing go.mod (or any build/vet/race
+# regression) fails it before anything else runs.
+GO ?= go
+
+.PHONY: all ci vet build test race bench experiments
+
+all: ci
+
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the full suite under the race detector, including the
+# concurrent-session tests (TestConcurrentSessions,
+# TestPublicAPIConcurrentUse).
+race:
+	$(GO) test -race ./...
+
+# bench runs every paper figure benchmark plus the concurrent-session
+# throughput benchmarks once.
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x -v .
+
+# experiments regenerates the paper's tables and figures in full.
+experiments:
+	$(GO) run ./cmd/piql-bench -experiment all

@@ -165,6 +165,40 @@ func benchScale(b *testing.B, w harness.Workload, name string) {
 	}
 }
 
+// BenchmarkConcurrentSessionsSCADr drives 1..16 goroutine sessions of
+// the SCADr mix against one shared engine (immediate mode, wall clock)
+// and reports aggregate QPS and p99 — the engine-concurrency benchmark,
+// beyond the paper's figures.
+func BenchmarkConcurrentSessionsSCADr(b *testing.B) {
+	benchConcurrent(b, harness.SCADrWorkload(smallSCADr()), "SCADr")
+}
+
+// BenchmarkConcurrentSessionsTPCW is the TPC-W ordering-mix variant.
+func BenchmarkConcurrentSessionsTPCW(b *testing.B) {
+	benchConcurrent(b, harness.TPCWWorkload(smallTPCW()), "TPC-W")
+}
+
+func benchConcurrent(b *testing.B, w harness.Workload, name string) {
+	for i := 0; i < b.N; i++ {
+		cfg := harness.DefaultConcurrentConfig()
+		cfg.InteractionsPerGoroutine = 150
+		res, err := harness.RunConcurrent(w, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(last.QPS, "qps")
+		b.ReportMetric(ms(last.P99), "p99-ms")
+		if i == 0 {
+			for _, p := range res.Points {
+				b.Logf("%s goroutines=%3d QPS=%7.0f p99=%7.3fms mean=%7.3fms",
+					name, p.Goroutines, p.QPS, ms(p.P99), ms(p.Mean))
+			}
+			b.Logf("%s speedup at best point: %.2fx over 1 goroutine", name, res.Speedup())
+		}
+	}
+}
+
 // BenchmarkFig12ExecutionStrategies regenerates Figure 12: the three
 // executors' 99th-percentile latencies.
 func BenchmarkFig12ExecutionStrategies(b *testing.B) {

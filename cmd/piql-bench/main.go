@@ -5,6 +5,12 @@
 //	piql-bench -experiment table1
 //	piql-bench -experiment fig1|fig6|fig7|fig8-9|fig10-11|fig12
 //
+// Beyond the paper, -experiment concurrent runs the SCADr and TPC-W
+// workloads from real concurrent goroutines against one shared engine
+// (immediate mode, wall-clock time) and reports aggregate QPS and p99
+// per session count — the engine-concurrency proof, not a paper figure.
+// It is excluded from "all" since its numbers depend on host cores.
+//
 // Absolute numbers come from the latency model of the simulated
 // key/value store, not EC2 hardware; the shapes (linear scaling, flat
 // tails, conservative predictions, bounded-vs-unbounded crossover,
@@ -26,7 +32,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: all, table1, fig1, fig6, fig7, fig8-9, fig10-11, fig12")
+		"which experiment to run: all, table1, fig1, fig6, fig7, fig8-9, fig10-11, fig12, concurrent")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
 	flag.Parse()
 
@@ -131,6 +137,31 @@ func main() {
 
 	if run("fig12") {
 		res, err := harness.RunFig12(9)
+		if err != nil {
+			fatal(err)
+		}
+		res.Print(out)
+	}
+
+	// Not part of "all": wall-clock numbers depend on the host's cores.
+	if strings.EqualFold(*experiment, "concurrent") {
+		cfg := harness.DefaultConcurrentConfig()
+		if *quick {
+			cfg.Goroutines = []int{1, 2, 4}
+			cfg.InteractionsPerGoroutine = 100
+		}
+		scadrCfg := scadr.DefaultConfig()
+		scadrCfg.UsersPerNode = 250
+		res, err := harness.RunConcurrent(harness.SCADrWorkload(scadrCfg), cfg)
+		if err != nil {
+			fatal(err)
+		}
+		res.Print(out)
+
+		tpcwCfg := tpcw.DefaultConfig()
+		tpcwCfg.CustomersPerNode = 250
+		tpcwCfg.Items = 5000
+		res, err = harness.RunConcurrent(harness.TPCWWorkload(tpcwCfg), cfg)
 		if err != nil {
 			fatal(err)
 		}

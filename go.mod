@@ -1,0 +1,3 @@
+module piql
+
+go 1.24

@@ -1,0 +1,197 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"piql/internal/exec"
+	"piql/internal/kvstore"
+	"piql/internal/sim"
+	"piql/internal/value"
+)
+
+// TestConcurrentSessions hammers one engine from many goroutines — each
+// with its own session — mixing cached and cold Prepares, query
+// execution, point writes, and concurrent DDL (CREATE TABLE / CREATE
+// INDEX racing the read path). Run under -race it is the engine's
+// concurrency proof; the assertions check that results stay correct and
+// that every execution respects its plan's static op bound.
+func TestConcurrentSessions(t *testing.T) {
+	eng, loader := newTestEngine(t, 4)
+	loadSCADr(t, loader, 40, 5, 8)
+
+	const goroutines = 16
+	const iterations = 30
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := eng.Session(nil)
+			fail := func(format string, args ...any) {
+				select {
+				case errs <- fmt.Errorf(format, args...):
+				default:
+				}
+			}
+			for i := 0; i < iterations; i++ {
+				// Cold Prepare every few iterations: distinct LIMIT text
+				// defeats the plan cache, so the compiler (a catalog
+				// writer) runs concurrently with everything else.
+				limit := 2 + (g*iterations+i)%7
+				sql := fmt.Sprintf(`SELECT * FROM thoughts WHERE owner = ? ORDER BY timestamp DESC LIMIT %d`, limit)
+				p, err := s.Prepare(sql)
+				if err != nil {
+					fail("prepare: %v", err)
+					return
+				}
+				owner := value.Str(fmt.Sprintf("user%03d", (g+i)%40))
+				s.Client().ResetOps()
+				res, err := p.Execute(s, owner)
+				if err != nil {
+					fail("execute: %v", err)
+					return
+				}
+				if got := s.Client().Ops(); got > int64(p.Plan().OpBound()) {
+					fail("execution used %d ops, plan bound is %d", got, p.Plan().OpBound())
+					return
+				}
+				if len(res.Rows) == 0 || len(res.Rows) > limit {
+					fail("thoughts query returned %d rows, want 1..%d", len(res.Rows), limit)
+					return
+				}
+				// Point write with a per-goroutine key: never conflicts.
+				ts := int64(100_000 + g*10_000 + i)
+				if err := s.Exec(`INSERT INTO thoughts VALUES (?, ?, ?)`,
+					owner, value.Int(ts), value.Str("concurrent thought")); err != nil {
+					fail("insert: %v", err)
+					return
+				}
+				// Concurrent DDL: every goroutine creates its own table
+				// once, and all goroutines race the same CREATE INDEX
+				// (the single-flight backfill must build it exactly once).
+				if i == 0 {
+					ddl := fmt.Sprintf(`CREATE TABLE scratch_%d (k VARCHAR(10), PRIMARY KEY (k))`, g)
+					if err := s.Exec(ddl); err != nil {
+						fail("create table: %v", err)
+						return
+					}
+					if err := s.Exec(`CREATE INDEX town ON users (hometown)`); err != nil {
+						fail("create index: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Every racing CREATE INDEX deduplicated to one canonical index.
+	town := 0
+	for _, ix := range eng.Catalog().Indexes("users") {
+		if !ix.Primary {
+			town++
+		}
+	}
+	if town != 1 {
+		t.Fatalf("expected exactly 1 secondary index on users after racing DDL, got %d", town)
+	}
+	// And the backfilled index serves correct results.
+	s := eng.Session(nil)
+	p, err := s.Prepare(`SELECT username FROM users WHERE hometown = ? LIMIT 50`)
+	if err != nil {
+		t.Fatalf("prepare via new index: %v", err)
+	}
+	res, err := p.Execute(s, value.Str("Berkeley"))
+	if err != nil {
+		t.Fatalf("execute via new index: %v", err)
+	}
+	if len(res.Rows) != 40 {
+		t.Fatalf("hometown index query returned %d rows, want 40", len(res.Rows))
+	}
+	// All goroutine-private tables registered despite racing CoW writers.
+	for g := 0; g < goroutines; g++ {
+		if eng.Catalog().Table(fmt.Sprintf("scratch_%d", g)) == nil {
+			t.Fatalf("table scratch_%d lost in a racing catalog update", g)
+		}
+	}
+}
+
+// TestSimulatedSessionsColdPrepareSameIndex regression-tests a
+// deadlock: two virtual-time processes cold-Prepare the same SQL
+// needing a new secondary index. The first parks mid-backfill on
+// simulated store latency; the second must not block on the
+// single-flight channel (it holds the sim scheduler's only token — the
+// builder could never resume), but duplicate the idempotent backfill.
+func TestSimulatedSessionsColdPrepareSameIndex(t *testing.T) {
+	env := sim.NewEnv()
+	cluster := kvstore.New(kvstore.Config{Nodes: 2, ReplicationFactor: 2, Seed: 7}, env)
+	eng := New(cluster)
+	loader := eng.Session(nil)
+	if err := loader.Exec(`CREATE TABLE users (username VARCHAR(20), hometown VARCHAR(30), PRIMARY KEY (username))`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := loader.Exec(`INSERT INTO users VALUES (?, 'Berkeley')`,
+			value.Str(fmt.Sprintf("user%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const sql = `SELECT username FROM users WHERE hometown = ? LIMIT 50`
+	var errs [2]error
+	var rows [2]int
+	for g := 0; g < 2; g++ {
+		g := g
+		env.Spawn(func(p *sim.Proc) {
+			s := eng.Session(p)
+			pre, err := s.Prepare(sql)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			res, err := pre.Execute(s, value.Str("Berkeley"))
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			rows[g] = len(res.Rows)
+		})
+	}
+	env.Run(0) // would hang forever on the deadlock
+	env.Stop()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("proc %d: %v", g, err)
+		}
+		if rows[g] != 50 {
+			t.Fatalf("proc %d saw %d rows via the new index, want 50", g, rows[g])
+		}
+	}
+}
+
+// TestSetDefaultStrategyConcurrent races SetDefaultStrategy against
+// Session creation — the seed read defStrat with no synchronization.
+func TestSetDefaultStrategyConcurrent(t *testing.T) {
+	eng, _ := newTestEngine(t, 2)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if g%2 == 0 {
+					eng.SetDefaultStrategy(exec.Strategy(i % 3))
+				} else {
+					_ = eng.Session(nil)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,11 +1,38 @@
 // Package engine assembles the PIQL database library of Figure 2: the
 // catalog, the compiler, the execution engine, and the write path, all
 // running stateless in the application tier against the key/value store.
+//
+// # Concurrency
+//
+// One Engine serves any number of Sessions concurrently, each from its
+// own goroutine — PIQL's application-tier library is stateless per
+// request, so throughput scales with clients. The shared state is
+// organized so the hot path never blocks:
+//
+//   - the catalog is an immutable snapshot published through an atomic
+//     pointer; DDL (and the compiler's automatic index creation) clones
+//     the snapshot, mutates the clone under a writer lock, and publishes
+//     it — queries keep reading the old snapshot without locking;
+//   - the compiled-plan cache is guarded by an RWMutex, so cache hits
+//     (the steady state) take only a read lock;
+//   - index backfills are deduplicated by signature with a single-flight
+//     table: the first session builds, racing sessions wait for the
+//     build to finish instead of double-building or — worse — reading an
+//     index mid-backfill.
+//
+// A Session itself is single-goroutine (it owns a kvstore.Client and a
+// strategy override); spawn one Session per goroutine.
+//
+// Known limitation: CREATE INDEX racing concurrent writes to the same
+// table can leave index-entry gaps — a writer on the pre-index catalog
+// snapshot may insert a row the backfill scan has already passed. Run
+// schema DDL before opening the table to write traffic.
 package engine
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"piql/internal/core"
 	"piql/internal/exec"
@@ -19,43 +46,57 @@ import (
 
 // Engine is one application-tier PIQL library instance. It is stateless
 // between requests apart from the catalog and compiled-plan cache; all
-// data lives in the key/value store.
+// data lives in the key/value store. An Engine is safe for concurrent
+// use by multiple sessions (see the package comment).
 type Engine struct {
 	cluster *kvstore.Cluster
-	cat     *schema.Catalog
 	maint   *index.Maintainer
 
-	mu       sync.Mutex
-	plans    map[string]*Prepared // by SQL text
-	built    map[string]bool      // index signatures already backfilled
-	defStrat exec.Strategy
+	// cat holds the current copy-on-write catalog snapshot. Readers
+	// load it without locking; writers serialize on ddlMu, clone,
+	// mutate the clone, and publish it here.
+	cat   atomic.Pointer[schema.Catalog]
+	ddlMu sync.Mutex
+
+	plansMu sync.RWMutex
+	plans   map[string]*Prepared // by SQL text
+
+	buildMu sync.Mutex
+	builds  map[string]*indexBuild // in-flight/completed backfills by signature
+
+	defStrat atomic.Int32 // exec.Strategy
 }
 
 // New creates an engine over a cluster.
 func New(cluster *kvstore.Cluster) *Engine {
-	cat := schema.NewCatalog()
-	return &Engine{
-		cluster:  cluster,
-		cat:      cat,
-		maint:    index.NewMaintainer(cat),
-		plans:    make(map[string]*Prepared),
-		built:    make(map[string]bool),
-		defStrat: exec.Parallel,
+	e := &Engine{
+		cluster: cluster,
+		plans:   make(map[string]*Prepared),
+		builds:  make(map[string]*indexBuild),
 	}
+	e.cat.Store(schema.NewCatalog())
+	e.maint = index.NewMaintainer(e) // live source: writes see new indexes immediately
+	e.defStrat.Store(int32(exec.Parallel))
+	return e
 }
 
 // SetDefaultStrategy changes the execution strategy used by sessions
-// that do not override it (Section 8.5's executor comparison).
-func (e *Engine) SetDefaultStrategy(s exec.Strategy) { e.defStrat = s }
+// created afterwards that do not override it (Section 8.5's executor
+// comparison).
+func (e *Engine) SetDefaultStrategy(s exec.Strategy) { e.defStrat.Store(int32(s)) }
 
-// Catalog exposes the schema catalog (read-mostly).
-func (e *Engine) Catalog() *schema.Catalog { return e.cat }
+// Catalog returns the current catalog snapshot. The snapshot is
+// immutable; concurrent DDL publishes new snapshots rather than
+// mutating this one.
+func (e *Engine) Catalog() *schema.Catalog { return e.cat.Load() }
 
 // Cluster exposes the underlying store.
 func (e *Engine) Cluster() *kvstore.Cluster { return e.cluster }
 
-// Session is a per-process handle: it owns a key/value client (and thus
-// a virtual-time identity in simulated mode).
+// Session is a per-goroutine handle: it owns a key/value client (and
+// thus a virtual-time identity in simulated mode) and a strategy
+// override. Sessions are cheap; create one per goroutine rather than
+// sharing one across goroutines.
 type Session struct {
 	eng    *Engine
 	client *kvstore.Client
@@ -64,7 +105,11 @@ type Session struct {
 
 // Session creates a session. proc may be nil for immediate mode.
 func (e *Engine) Session(proc *sim.Proc) *Session {
-	return &Session{eng: e, client: e.cluster.NewClient(proc), strat: e.defStrat}
+	return &Session{
+		eng:    e,
+		client: e.cluster.NewClient(proc),
+		strat:  exec.Strategy(e.defStrat.Load()),
+	}
 }
 
 // SetStrategy overrides the execution strategy for this session.
@@ -97,36 +142,99 @@ func (s *Session) Exec(sql string, params ...value.Value) error {
 	}
 }
 
+// updateCatalog runs one copy-on-write catalog mutation: clone the
+// latest snapshot under ddlMu, apply fn to the clone, and publish it
+// only if fn succeeds — a failing mutation leaves no trace. Every
+// catalog writer (DDL and the compiler) goes through here.
+func (e *Engine) updateCatalog(fn func(next *schema.Catalog) error) error {
+	e.ddlMu.Lock()
+	defer e.ddlMu.Unlock()
+	next := e.cat.Load().Clone()
+	if err := fn(next); err != nil {
+		return err
+	}
+	e.cat.Store(next)
+	return nil
+}
+
 func (e *Engine) createTable(t *schema.Table) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.cat.AddTable(t)
+	return e.updateCatalog(func(next *schema.Catalog) error {
+		return next.AddTable(t)
+	})
 }
 
 func (e *Engine) createIndex(s *Session, ix *schema.Index) error {
-	e.mu.Lock()
-	canonical, err := e.cat.AddIndex(ix)
-	e.mu.Unlock()
+	var canonical *schema.Index
+	err := e.updateCatalog(func(next *schema.Catalog) error {
+		var err error
+		canonical, err = next.AddIndex(ix)
+		return err
+	})
 	if err != nil {
 		return err
 	}
 	return e.ensureBuilt(s, []*schema.Index{canonical})
 }
 
+// indexBuild is one in-flight or completed backfill: err is written
+// before done is closed, so waiters that return from <-done see it.
+type indexBuild struct {
+	done chan struct{}
+	err  error
+}
+
 // ensureBuilt backfills any indexes not yet materialized in the store.
+// Builds are single-flight per index signature: the first session to
+// request an index runs the backfill while racing sessions block until
+// it completes (previously two sessions could race the signature map,
+// with the loser reading the index mid-backfill). A failed build is
+// forgotten so a later Prepare can retry it.
 func (e *Engine) ensureBuilt(s *Session, ixs []*schema.Index) error {
 	for _, ix := range ixs {
-		e.mu.Lock()
-		done := e.built[ix.Signature()]
-		if !done {
-			e.built[ix.Signature()] = true
-		}
-		e.mu.Unlock()
-		if done || ix.Primary {
+		if ix.Primary {
 			continue
 		}
-		if err := e.maint.Backfill(s.client, ix); err != nil {
-			return err
+		sig := ix.Signature()
+		e.buildMu.Lock()
+		b, inFlight := e.builds[sig]
+		if !inFlight {
+			b = &indexBuild{done: make(chan struct{})}
+			e.builds[sig] = b
+		}
+		e.buildMu.Unlock()
+		if inFlight {
+			// A simulated-mode session holds the sim scheduler's token:
+			// blocking on the channel would deadlock the whole virtual-time
+			// environment (the builder proc could never be resumed). Entry
+			// puts are idempotent, so just duplicate the backfill instead.
+			if s.client.Simulated() {
+				select {
+				case <-b.done:
+					if b.err != nil {
+						return b.err
+					}
+				default:
+					if err := e.maint.Backfill(s.client, ix); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+			<-b.done
+			if b.err != nil {
+				return b.err
+			}
+			continue
+		}
+		b.err = e.maint.Backfill(s.client, ix)
+		if b.err != nil {
+			e.buildMu.Lock()
+			delete(e.builds, sig)
+			e.buildMu.Unlock()
+		}
+		close(b.done)
+		if b.err != nil {
+			return b.err
 		}
 	}
 	return nil
@@ -140,14 +248,16 @@ type Prepared struct {
 }
 
 // Prepare compiles a SELECT (building any new indexes the plan needs)
-// or returns the cached plan for previously prepared text.
+// or returns the cached plan for previously prepared text. The cache
+// hit — the steady state under load — takes only a read lock.
 func (s *Session) Prepare(sql string) (*Prepared, error) {
-	s.eng.mu.Lock()
-	if p, ok := s.eng.plans[sql]; ok {
-		s.eng.mu.Unlock()
+	e := s.eng
+	e.plansMu.RLock()
+	p, hit := e.plans[sql]
+	e.plansMu.RUnlock()
+	if hit {
 		return p, nil
 	}
-	s.eng.mu.Unlock()
 
 	stmt, err := parser.Parse(sql)
 	if err != nil {
@@ -157,20 +267,59 @@ func (s *Session) Prepare(sql string) (*Prepared, error) {
 	if !ok {
 		return nil, fmt.Errorf("engine: Prepare expects a SELECT, got %T", stmt)
 	}
-	s.eng.mu.Lock()
-	plan, err := core.Compile(s.eng.cat, sel)
-	s.eng.mu.Unlock()
+	// The compiler registers any secondary indexes the plan needs, so it
+	// is potentially a catalog writer. Compile optimistically against a
+	// throwaway clone with no lock held: when every index the plan reads
+	// already exists in the published snapshot — the common case — the
+	// result needs no publishing and cold compilations run fully in
+	// parallel. Only a plan that created a genuinely new index recompiles
+	// under ddlMu so the index lands in a published snapshot. (A rejected
+	// query leaves no trace either way.)
+	snap := e.cat.Load()
+	plan, err := core.Compile(snap.Clone(), sel)
 	if err != nil {
 		return nil, err
 	}
-	if err := s.eng.ensureBuilt(s, plan.RequiredIndexes); err != nil {
+	if !snapshotHasIndexes(snap, plan.RequiredIndexes) {
+		err = e.updateCatalog(func(next *schema.Catalog) error {
+			var err error
+			plan, err = core.Compile(next, sel)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := e.ensureBuilt(s, plan.RequiredIndexes); err != nil {
 		return nil, err
 	}
-	p := &Prepared{eng: s.eng, plan: plan, sql: sql}
-	s.eng.mu.Lock()
-	s.eng.plans[sql] = p
-	s.eng.mu.Unlock()
+	p = &Prepared{eng: e, plan: plan, sql: sql}
+	e.plansMu.Lock()
+	if existing, ok := e.plans[sql]; ok {
+		p = existing // another session won the compile race; use its plan
+	} else {
+		e.plans[sql] = p
+	}
+	e.plansMu.Unlock()
 	return p, nil
+}
+
+// snapshotHasIndexes reports whether every index in ixs is already
+// registered (by structural signature) in the catalog snapshot.
+func snapshotHasIndexes(cat *schema.Catalog, ixs []*schema.Index) bool {
+	for _, ix := range ixs {
+		found := false
+		for _, have := range cat.Indexes(ix.Table) {
+			if have == ix || have.Signature() == ix.Signature() {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
 }
 
 // Plan exposes the compiled plan (bounds, explain output).
@@ -197,7 +346,7 @@ func (s *Session) Query(sql string, params ...value.Value) (*exec.Result, error)
 // --- write path ---
 
 func (s *Session) insert(stmt *parser.Insert, params []value.Value) error {
-	t := s.eng.cat.Table(stmt.Table)
+	t := s.eng.Catalog().Table(stmt.Table)
 	if t == nil {
 		return fmt.Errorf("engine: unknown table %q", stmt.Table)
 	}
@@ -209,7 +358,7 @@ func (s *Session) insert(stmt *parser.Insert, params []value.Value) error {
 }
 
 func (s *Session) update(stmt *parser.Update, params []value.Value) error {
-	t := s.eng.cat.Table(stmt.Table)
+	t := s.eng.Catalog().Table(stmt.Table)
 	if t == nil {
 		return fmt.Errorf("engine: unknown table %q", stmt.Table)
 	}
@@ -247,7 +396,7 @@ func (s *Session) update(stmt *parser.Update, params []value.Value) error {
 }
 
 func (s *Session) delete(stmt *parser.Delete, params []value.Value) error {
-	t := s.eng.cat.Table(stmt.Table)
+	t := s.eng.Catalog().Table(stmt.Table)
 	if t == nil {
 		return fmt.Errorf("engine: unknown table %q", stmt.Table)
 	}

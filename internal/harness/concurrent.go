@@ -1,0 +1,196 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"piql/internal/engine"
+	"piql/internal/exec"
+	"piql/internal/kvstore"
+	"piql/internal/stats"
+)
+
+// ConcurrentConfig controls the real-goroutine throughput harness: the
+// same workloads as the scale sweeps, but driven by OS threads against
+// one shared engine in immediate mode (no simulated latency), measuring
+// wall-clock aggregate QPS and tail latency. This is the proof that one
+// engine serves concurrent sessions — throughput should grow with the
+// goroutine count instead of serializing on an engine-wide lock.
+type ConcurrentConfig struct {
+	// Nodes is the simulated cluster size (data volume scales with it).
+	Nodes int
+	// Goroutines are the session counts to sweep.
+	Goroutines []int
+	// InteractionsPerGoroutine fixes the work per session, so total work
+	// (and ideally throughput) scales with the goroutine count.
+	InteractionsPerGoroutine int
+	// Seed drives data generation and worker mixes.
+	Seed int64
+	// Strategy is the execution strategy for every session.
+	Strategy exec.Strategy
+}
+
+// DefaultConcurrentConfig sweeps 1..16 sessions.
+func DefaultConcurrentConfig() ConcurrentConfig {
+	return ConcurrentConfig{
+		Nodes:                    4,
+		Goroutines:               []int{1, 2, 4, 8, 16},
+		InteractionsPerGoroutine: 300,
+		Seed:                     1,
+		Strategy:                 exec.Parallel,
+	}
+}
+
+// ConcurrentPoint is one measured goroutine count.
+type ConcurrentPoint struct {
+	Goroutines   int
+	Interactions int
+	Elapsed      time.Duration
+	QPS          float64 // aggregate interactions per wall-clock second
+	P99          time.Duration
+	Mean         time.Duration
+	StoreOps     int64 // key/value operations issued during the point
+}
+
+// ConcurrentResult is a full sweep over goroutine counts on one shared
+// engine.
+type ConcurrentResult struct {
+	Workload string
+	Points   []ConcurrentPoint
+}
+
+// Speedup reports the throughput of the busiest point relative to the
+// single-goroutine baseline.
+func (r *ConcurrentResult) Speedup() float64 {
+	if len(r.Points) < 2 || r.Points[0].QPS == 0 {
+		return 1
+	}
+	best := r.Points[0].QPS
+	for _, p := range r.Points[1:] {
+		if p.QPS > best {
+			best = p.QPS
+		}
+	}
+	return best / r.Points[0].QPS
+}
+
+// RunConcurrent loads the workload once, then for each configured count
+// spawns that many goroutines — each with its own engine session — and
+// measures aggregate throughput and latency percentiles under real
+// parallelism. Worker IDs are unique across the whole sweep so the
+// workloads' writes (carts, orders, thoughts) never collide.
+func RunConcurrent(w Workload, cfg ConcurrentConfig) (*ConcurrentResult, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 4
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if len(cfg.Goroutines) == 0 {
+		cfg.Goroutines = []int{1, 2, 4, 8}
+	}
+	if cfg.InteractionsPerGoroutine <= 0 {
+		cfg.InteractionsPerGoroutine = 200
+	}
+
+	cluster := kvstore.New(kvstore.Config{
+		Nodes:             cfg.Nodes,
+		ReplicationFactor: 2,
+		Seed:              cfg.Seed,
+	}, nil)
+	eng := engine.New(cluster)
+	loader := eng.Session(nil)
+	for _, ddl := range w.DDL(cfg.Nodes) {
+		if err := loader.Exec(ddl); err != nil {
+			return nil, fmt.Errorf("harness: ddl: %w", err)
+		}
+	}
+	ctx, err := w.Load(loader, cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	// Warm the plan cache (building all indexes) before the fleet runs,
+	// then spread the data as the SCADS Director would.
+	if _, err := w.NewInteraction(eng.Session(nil), ctx, -1); err != nil {
+		return nil, err
+	}
+	cluster.Rebalance()
+
+	res := &ConcurrentResult{Workload: w.Name}
+	nextWorker := int64(0)
+	for _, n := range cfg.Goroutines {
+		pt, err := runConcurrentPoint(eng, cluster, w, ctx, cfg, n, &nextWorker)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s at %d goroutines: %w", w.Name, n, err)
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+func runConcurrentPoint(eng *engine.Engine, cluster *kvstore.Cluster, w Workload, ctx any,
+	cfg ConcurrentConfig, n int, nextWorker *int64) (ConcurrentPoint, error) {
+	latencies := make([][]time.Duration, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	opsBefore := cluster.TotalOps()
+	start := time.Now()
+	for g := 0; g < n; g++ {
+		workerID := *nextWorker
+		*nextWorker++
+		wg.Add(1)
+		go func(g int, workerID int64) {
+			defer wg.Done()
+			s := eng.Session(nil)
+			s.SetStrategy(cfg.Strategy)
+			interact, err := w.NewInteraction(s, ctx, workerID)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			ls := make([]time.Duration, 0, cfg.InteractionsPerGoroutine)
+			for i := 0; i < cfg.InteractionsPerGoroutine; i++ {
+				t0 := time.Now()
+				if err := interact(); err != nil {
+					errs[g] = err
+					return
+				}
+				ls = append(ls, time.Since(t0))
+			}
+			latencies[g] = ls
+		}(g, workerID)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return ConcurrentPoint{}, err
+		}
+	}
+	var all []time.Duration
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	return ConcurrentPoint{
+		Goroutines:   n,
+		Interactions: len(all),
+		Elapsed:      elapsed,
+		QPS:          float64(len(all)) / elapsed.Seconds(),
+		P99:          stats.Percentile(all, 99),
+		Mean:         stats.Mean(all),
+		StoreOps:     cluster.TotalOps() - opsBefore,
+	}, nil
+}
+
+// Print renders the sweep: aggregate QPS and p99 per goroutine count.
+func (r *ConcurrentResult) Print(out io.Writer) {
+	fmt.Fprintf(out, "%s: aggregate throughput vs concurrent sessions (one engine, real goroutines)\n", r.Workload)
+	fmt.Fprintf(out, "%12s %14s %12s %12s %12s\n", "goroutines", "interactions", "QPS", "p99 (ms)", "mean (ms)")
+	for _, p := range r.Points {
+		fmt.Fprintf(out, "%12d %14d %12.0f %12.3f %12.3f\n",
+			p.Goroutines, p.Interactions, p.QPS, msF(p.P99), msF(p.Mean))
+	}
+	fmt.Fprintf(out, "speedup at best point: %.2fx over 1 goroutine\n\n", r.Speedup())
+}

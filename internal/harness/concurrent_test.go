@@ -1,0 +1,36 @@
+package harness
+
+import (
+	"testing"
+
+	"piql/internal/workload/scadr"
+)
+
+// TestRunConcurrentSCADr smoke-tests the real-goroutine throughput
+// harness: every point must complete its fixed work, and the op counter
+// must see traffic. Under -race this doubles as a concurrency check of
+// the whole engine/kvstore stack driven from OS threads.
+func TestRunConcurrentSCADr(t *testing.T) {
+	cfg := DefaultConcurrentConfig()
+	cfg.Goroutines = []int{1, 4}
+	cfg.InteractionsPerGoroutine = 30
+	scfg := scadr.DefaultConfig()
+	scfg.UsersPerNode = 50
+	res, err := RunConcurrent(SCADrWorkload(scfg), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Interactions != p.Goroutines*cfg.InteractionsPerGoroutine {
+			t.Errorf("%d goroutines completed %d interactions, want %d",
+				p.Goroutines, p.Interactions, p.Goroutines*cfg.InteractionsPerGoroutine)
+		}
+		if p.QPS <= 0 || p.StoreOps <= 0 {
+			t.Errorf("%d goroutines: QPS=%f storeOps=%d, want positive",
+				p.Goroutines, p.QPS, p.StoreOps)
+		}
+	}
+}

@@ -97,13 +97,16 @@ func RunFig7(cfg Fig7Config) ([]Fig7Point, error) {
 	}
 	sel := stmt.(*parser.Select)
 
-	bounded, err := core.Compile(eng.Catalog(), sel)
+	// Compile against a private clone: published catalog snapshots are
+	// immutable, and the compiler registers the indexes it creates.
+	cat := eng.Catalog().Clone()
+	bounded, err := core.Compile(cat, sel)
 	if err != nil {
 		return nil, fmt.Errorf("fig7: PIQL plan: %w", err)
 	}
 	// The cost-based optimizer sees the 2009 Twitter average: 126
 	// followers per user — so the unbounded scan looks cheap.
-	unbounded, err := core.CompileCostBased(eng.Catalog(), sel, core.Stats{
+	unbounded, err := core.CompileCostBased(cat, sel, core.Stats{
 		AvgRowsPerKey: map[string]float64{"subscriptions.target": 126},
 	})
 	if err != nil {
@@ -113,7 +116,7 @@ func RunFig7(cfg Fig7Config) ([]Fig7Point, error) {
 		return nil, fmt.Errorf("fig7: cost-based optimizer unexpectedly chose a bounded plan:\n%s", unbounded.Explain())
 	}
 	// Backfill any indexes the plans created (the by-target index).
-	maint := index.NewMaintainer(eng.Catalog())
+	maint := index.NewMaintainer(cat)
 	for _, plan := range []*core.Plan{bounded, unbounded} {
 		for _, ix := range plan.RequiredIndexes {
 			if err := maint.Backfill(loader.Client(), ix); err != nil {

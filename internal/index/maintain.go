@@ -11,16 +11,28 @@ import (
 	"piql/internal/value"
 )
 
+// CatalogSource yields the current catalog snapshot. A *schema.Catalog
+// is its own (static) source; engines whose catalogs evolve via
+// copy-on-write pass a live source so writes immediately maintain
+// indexes created after the Maintainer was constructed.
+type CatalogSource interface {
+	Catalog() *schema.Catalog
+}
+
 // Maintainer runs the write path for one table against the key/value
 // store, keeping every registered secondary index consistent and
 // enforcing the schema's uniqueness and cardinality constraints.
+//
+// A Maintainer holds no mutable state of its own: it is safe for
+// concurrent use as long as each call gets its own kvstore.Client and
+// the CatalogSource is safe (an atomically published snapshot is).
 type Maintainer struct {
-	cat *schema.Catalog
+	src CatalogSource
 }
 
-// NewMaintainer returns a write-path helper over the catalog.
-func NewMaintainer(cat *schema.Catalog) *Maintainer {
-	return &Maintainer{cat: cat}
+// NewMaintainer returns a write-path helper over the catalog source.
+func NewMaintainer(src CatalogSource) *Maintainer {
+	return &Maintainer{src: src}
 }
 
 // ErrDuplicateKey is returned when an insert collides with an existing
@@ -51,7 +63,7 @@ func (e *ErrCardinalityExceeded) Error() string {
 // secondaryIndexes returns the table's non-primary indexes.
 func (m *Maintainer) secondaryIndexes(t *schema.Table) []*schema.Index {
 	var out []*schema.Index
-	for _, ix := range m.cat.Indexes(t.Name) {
+	for _, ix := range m.src.Catalog().Indexes(t.Name) {
 		if !ix.Primary {
 			out = append(out, ix)
 		}
@@ -287,7 +299,7 @@ func (m *Maintainer) Backfill(cl *kvstore.Client, ix *schema.Index) error {
 	if ix.Primary {
 		return nil
 	}
-	t := m.cat.Table(ix.Table)
+	t := m.src.Catalog().Table(ix.Table)
 	if t == nil {
 		return fmt.Errorf("index: backfill of index on unknown table %q", ix.Table)
 	}
@@ -312,7 +324,7 @@ func (m *Maintainer) GCDangling(cl *kvstore.Client, ix *schema.Index) (int, erro
 	if ix.Primary {
 		return 0, nil
 	}
-	t := m.cat.Table(ix.Table)
+	t := m.src.Catalog().Table(ix.Table)
 	if t == nil {
 		return 0, fmt.Errorf("index: gc of index on unknown table %q", ix.Table)
 	}

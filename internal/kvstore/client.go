@@ -14,8 +14,11 @@ import (
 // round trip plus queueing and service time at the target node; in
 // immediate mode operations are instantaneous.
 //
-// A Client is not safe for concurrent use; spawn one per process (the
-// Parallel method creates children automatically).
+// A Client is not safe for concurrent use — its op counter and RNG are
+// unsynchronized by design, keeping the per-operation hot path free of
+// atomics. Spawn one Client per goroutine/session (the Parallel method
+// creates children automatically); the Cluster behind them is safe for
+// any number of concurrent Clients.
 type Client struct {
 	c    *Cluster
 	proc *sim.Proc  // nil in immediate mode
@@ -45,6 +48,12 @@ func (cl *Client) ResetOps() int64 {
 	cl.ops = 0
 	return v
 }
+
+// Simulated reports whether the client runs on a virtual-time process.
+// Simulated clients are cooperative — one process runs at a time — so
+// code holding the scheduler token must never block on channels or
+// locks another simulated process needs to make progress.
+func (cl *Client) Simulated() bool { return cl.proc != nil }
 
 // Now returns the process's virtual time, or 0 in immediate mode.
 func (cl *Client) Now() time.Duration {

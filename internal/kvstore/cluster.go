@@ -42,7 +42,12 @@ type Config struct {
 	ReplicaLag time.Duration
 }
 
-// Cluster is a simulated SCADS-style key/value store.
+// Cluster is a simulated SCADS-style key/value store. It is safe for
+// concurrent use by any number of Clients: node record stores are
+// mutex-guarded and the op counters are atomic. The exceptions are
+// Rebalance and SetNodeSlowdown, which repartition/reconfigure and must
+// not run concurrently with traffic (they model the SCADS Director,
+// which quiesces moves).
 type Cluster struct {
 	cfg    Config
 	env    *sim.Env // nil in immediate mode

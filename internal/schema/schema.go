@@ -199,6 +199,14 @@ func (ix *Index) Signature() string {
 }
 
 // Catalog is the set of tables and indexes known to an engine instance.
+//
+// A Catalog value is not internally synchronized: concurrent readers are
+// fine, but a writer (AddTable, AddIndex) must not race with anything.
+// Engines that serve concurrent sessions therefore treat catalogs as
+// copy-on-write snapshots — Clone an old snapshot, mutate the clone,
+// publish it atomically — so the read path never takes a lock. Tables
+// and indexes are immutable once registered, which is what makes sharing
+// them across snapshots (and across compiled plans) safe.
 type Catalog struct {
 	tables  map[string]*Table
 	indexes map[string][]*Index // by lower(table)
@@ -210,6 +218,24 @@ func NewCatalog() *Catalog {
 		tables:  make(map[string]*Table),
 		indexes: make(map[string][]*Index),
 	}
+}
+
+// Catalog returns the catalog itself, making *Catalog its own (static)
+// snapshot source — see index.CatalogSource.
+func (c *Catalog) Catalog() *Catalog { return c }
+
+// Clone returns a snapshot that can be mutated independently of c. The
+// Table and Index values are shared (they are immutable once added);
+// only the registration maps and index slices are copied.
+func (c *Catalog) Clone() *Catalog {
+	nc := NewCatalog()
+	for k, t := range c.tables {
+		nc.tables[k] = t
+	}
+	for k, ixs := range c.indexes {
+		nc.indexes[k] = append([]*Index(nil), ixs...)
+	}
+	return nc
 }
 
 // AddTable validates and registers a table.

@@ -19,11 +19,42 @@
 // Queries the compiler cannot bound are rejected at Prepare time with a
 // *piql.UnboundedQueryError carrying Performance Insight Assistant
 // suggestions (add a CARDINALITY LIMIT, a PAGINATE clause, ...).
+//
+// # Concurrency
+//
+// A DB is safe for concurrent use by multiple goroutines: Exec, Query,
+// Prepare, and Query.Execute may all be called from any number of
+// goroutines on the same DB, as the paper's application-tier deployment
+// model requires (many stateless app servers hammering one store). Internally the DB keeps a pool of engine sessions — one is
+// checked out per call, so calls never contend on each other's
+// key/value client. The engine underneath shares only
+//
+//   - a copy-on-write catalog (DDL publishes immutable snapshots;
+//     queries never block on CREATE TABLE / CREATE INDEX backfills),
+//   - an RWMutex-guarded compiled-plan cache (cache hits take a read
+//     lock only), and
+//   - a single-flight index-backfill table (concurrent Prepares of
+//     plans needing the same new index build it exactly once).
+//
+// Prepared Query and Cursor values may likewise be shared across
+// goroutines; a Cursor's page position itself is not synchronized, so
+// drive one cursor from one goroutine at a time (or Serialize it and
+// resume elsewhere). SetStrategy applies to subsequent calls and should
+// be set up front, not raced with in-flight queries.
+//
+// Known limitation: CREATE INDEX concurrent with a write-heavy workload
+// on the same table can miss rows — a writer still on the pre-index
+// catalog snapshot can insert a row the backfill scan has already
+// passed, leaving that row absent from the new index until repaired
+// (see index.Maintainer.GCDangling for the reverse case). Run
+// schema-changing DDL before opening the table to write traffic.
 package piql
 
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"piql/internal/core"
@@ -80,10 +111,13 @@ type Config struct {
 }
 
 // DB is a PIQL database handle: a stateless query-processing library
-// (parser, compiler, executor) over a distributed key/value store.
+// (parser, compiler, executor) over a distributed key/value store. It
+// is safe for concurrent use by multiple goroutines (see the package
+// comment).
 type DB struct {
-	eng     *engine.Engine
-	session *engine.Session
+	eng   *engine.Engine
+	pool  sync.Pool    // idle *engine.Session values
+	strat atomic.Int32 // exec.Strategy applied to checked-out sessions
 }
 
 // Open creates an in-process PIQL database over a fresh simulated
@@ -104,16 +138,34 @@ func Open(cfg Config) *DB {
 		Seed:              cfg.Seed,
 	}, nil)
 	eng := engine.New(cluster)
-	return &DB{eng: eng, session: eng.Session(nil)}
+	db := &DB{eng: eng}
+	db.strat.Store(int32(exec.Parallel))
+	return db
 }
 
+// acquire checks a session out of the pool (creating one if none is
+// idle) for the duration of a single call; sessions are single-goroutine
+// objects, so every concurrent call gets its own.
+func (db *DB) acquire() *engine.Session {
+	s, ok := db.pool.Get().(*engine.Session)
+	if !ok {
+		s = db.eng.Session(nil)
+	}
+	s.SetStrategy(Strategy(db.strat.Load()))
+	return s
+}
+
+func (db *DB) release(s *engine.Session) { db.pool.Put(s) }
+
 // SetStrategy selects the execution strategy for subsequent queries.
-func (db *DB) SetStrategy(s Strategy) { db.session.SetStrategy(s) }
+func (db *DB) SetStrategy(s Strategy) { db.strat.Store(int32(s)) }
 
 // Exec runs a DDL or DML statement (CREATE TABLE/INDEX, INSERT, UPDATE,
 // DELETE).
 func (db *DB) Exec(sql string, params ...Value) error {
-	return db.session.Exec(sql, params...)
+	s := db.acquire()
+	defer db.release(s)
+	return s.Exec(sql, params...)
 }
 
 // MustExec is Exec, panicking on error — for schema setup in examples
@@ -170,7 +222,9 @@ type Query struct {
 // *UnboundedQueryError; the compiler automatically creates and
 // backfills any secondary indexes the plan needs.
 func (db *DB) Prepare(sql string) (*Query, error) {
-	pre, err := db.session.Prepare(sql)
+	s := db.acquire()
+	pre, err := s.Prepare(sql)
+	db.release(s)
 	if err != nil {
 		var nsi *core.NotScaleIndependentError
 		if errors.As(err, &nsi) {
@@ -185,9 +239,12 @@ func (db *DB) Prepare(sql string) (*Query, error) {
 	return &Query{db: db, pre: pre}, nil
 }
 
-// Execute runs the query with the given parameters.
+// Execute runs the query with the given parameters. It is safe to call
+// concurrently from multiple goroutines on the same Query.
 func (q *Query) Execute(params ...Value) (*Result, error) {
-	res, err := q.pre.Execute(q.db.session, params...)
+	s := q.db.acquire()
+	res, err := q.pre.Execute(s, params...)
+	q.db.release(s)
 	if err != nil {
 		return nil, err
 	}
@@ -220,9 +277,13 @@ func (q *Query) Paginate(params ...Value) (*Cursor, error) {
 	return &Cursor{db: q.db, cur: cur}, nil
 }
 
-// Next returns the next page, or nil when exhausted.
+// Next returns the next page, or nil when exhausted. A Cursor tracks
+// its page position without synchronization: share it across goroutines
+// only hand-off style (or via Serialize/RestoreCursor).
 func (c *Cursor) Next() (*Result, error) {
-	res, err := c.cur.Next(c.db.session)
+	s := c.db.acquire()
+	res, err := c.cur.Next(s)
+	c.db.release(s)
 	if err != nil || res == nil {
 		return nil, err
 	}
@@ -239,7 +300,9 @@ func (c *Cursor) Serialize() []byte { return c.cur.Serialize() }
 
 // RestoreCursor reconstructs a serialized cursor.
 func (db *DB) RestoreCursor(data []byte) (*Cursor, error) {
-	cur, err := db.eng.RestoreCursor(db.session, data)
+	s := db.acquire()
+	cur, err := db.eng.RestoreCursor(s, data)
+	db.release(s)
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -152,4 +153,55 @@ func TestPublicAPIWritePath(t *testing.T) {
 		}
 	}
 	t.Fatal("cardinality limit never enforced")
+}
+
+// TestPublicAPIConcurrentUse exercises the documented guarantee that one
+// DB serves many goroutines: concurrent Query, shared-Query Execute, and
+// point writes with per-goroutine keys, all against one handle. Run with
+// -race this is the public API's concurrency proof.
+func TestPublicAPIConcurrentUse(t *testing.T) {
+	db := exampleDB(t)
+	shared, err := db.Prepare(`SELECT target FROM follows WHERE owner = 'u00' LIMIT 50`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				res, err := shared.Execute()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(res.Rows) != 9 {
+					errs <- fmt.Errorf("shared query returned %d rows, want 9", len(res.Rows))
+					return
+				}
+				user := fmt.Sprintf("g%02d-%02d", g, i)
+				if err := db.Exec(`INSERT INTO users VALUES (?, 'spawned')`, Str(user)); err != nil {
+					errs <- err
+					return
+				}
+				res, err = db.Query(`SELECT bio FROM users WHERE username = ?`, Str(user))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(res.Rows) != 1 || res.Rows[0][0].S != "spawned" {
+					errs <- fmt.Errorf("read-own-write for %s failed: %v", user, res.Rows)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
 }
