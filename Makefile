@@ -2,11 +2,11 @@
 # regression) fails it before anything else runs.
 GO ?= go
 
-.PHONY: all ci vet build test race bench experiments
+.PHONY: all ci vet build test race bench bench-all bench-smoke experiments
 
 all: ci
 
-ci: vet build race
+ci: vet build race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -19,13 +19,32 @@ test:
 
 # race runs the full suite under the race detector, including the
 # concurrent-session tests (TestConcurrentSessions,
-# TestPublicAPIConcurrentUse).
+# TestPublicAPIConcurrentUse) and the simulated scatter-gather range
+# reads (TestGetRangeScatter*, TestScatterConcurrentClients).
 race:
 	$(GO) test -race ./...
 
-# bench runs every paper figure benchmark plus the concurrent-session
-# throughput benchmarks once.
+# The hot-path benchmarks tracked across PRs: raw engine overhead,
+# the three execution strategies, and concurrent-session throughput.
+BENCH_HOT = BenchmarkExecuteFindUser|BenchmarkFig12ExecutionStrategies|BenchmarkConcurrentSessions
+
+# bench runs the hot benchmarks once with allocation stats and records
+# the raw run — newline-delimited test2json events, including every
+# ns/op / B/op / allocs/op line — as the perf-trajectory artifact
+# BENCH_2.json.
 bench:
+	$(GO) test -run xxx -bench '$(BENCH_HOT)' -benchtime 1x -benchmem -v -json . > BENCH_2.json
+	@grep -oE '(Benchmark[A-Za-z]+)?[^"]*allocs/op' BENCH_2.json | sed 's/\\t/  /g' || true
+
+# bench-smoke is the short-mode gate inside ci: the cheapest hot
+# benchmark, enough to catch an executor hot path that stopped compiling
+# or regressed to pathological allocation.
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkExecuteFindUser' -benchtime 100x -benchmem .
+
+# bench-all runs every paper figure benchmark plus the concurrent-session
+# throughput benchmarks once.
+bench-all:
 	$(GO) test -run xxx -bench . -benchtime 1x -v .
 
 # experiments regenerates the paper's tables and figures in full.

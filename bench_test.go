@@ -179,6 +179,7 @@ func BenchmarkConcurrentSessionsTPCW(b *testing.B) {
 }
 
 func benchConcurrent(b *testing.B, w harness.Workload, name string) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg := harness.DefaultConcurrentConfig()
 		cfg.InteractionsPerGoroutine = 150
@@ -202,15 +203,17 @@ func benchConcurrent(b *testing.B, w harness.Workload, name string) {
 // BenchmarkFig12ExecutionStrategies regenerates Figure 12: the three
 // executors' 99th-percentile latencies.
 func BenchmarkFig12ExecutionStrategies(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := harness.RunFig12(9)
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == 0 {
-			b.Logf("Lazy mix-p99=%.1fms fanout-p99=%.1fms", ms(res.P99[LazyExecutor]), ms(res.FanOutP99[LazyExecutor]))
-			b.Logf("Simple mix-p99=%.1fms fanout-p99=%.1fms", ms(res.P99[SimpleExecutor]), ms(res.FanOutP99[SimpleExecutor]))
-			b.Logf("Parallel mix-p99=%.1fms fanout-p99=%.1fms", ms(res.P99[ParallelExecutor]), ms(res.FanOutP99[ParallelExecutor]))
+			for _, s := range []Strategy{LazyExecutor, SimpleExecutor, ParallelExecutor} {
+				b.Logf("%s mix-p99=%.1fms fanout-p99=%.1fms fanout-reqs/exec=%.1f",
+					s, ms(res.P99[s]), ms(res.FanOutP99[s]), res.FanOutOps[s])
+			}
 		}
 	}
 }
@@ -247,6 +250,7 @@ func BenchmarkExecuteFindUser(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := q.Execute(Str(fmt.Sprintf("u%04d", i%1000))); err != nil {

@@ -212,7 +212,7 @@ func (ctx *phase2Ctx) tryPKLookup(r *rel, split predSplit) (Physical, bool) {
 		}
 		residual = append(residual, p)
 	}
-	plan := Physical(&PKLookup{Table: r.table, TableOffset: r.offset, Keys: keys, Residual: residual})
+	plan := Physical(&PKLookup{Table: r.table, TableOffset: r.offset, Keys: keys, Residual: shiftPreds(residual, r.offset)})
 	ctx.ordered = len(ctx.q.sort) == 0
 	return plan, true
 }
@@ -262,7 +262,7 @@ func (ctx *phase2Ctx) boundedIndexScan(r *rel, split predSplit) (Physical, error
 		Ascending:    !reversed,
 		LimitHint:    limitHint,
 		DataStopCard: r.dataStopCard,
-		Residual:     residual,
+		Residual:     shiftPreds(residual, r.offset),
 		NeedDeref:    !ix.Primary,
 	}
 	ctx.ordered = sortSatisfied || len(ctx.q.sort) == 0
@@ -417,7 +417,7 @@ func (ctx *phase2Ctx) tryFKJoin(child Physical, r *rel, split predSplit) (Physic
 		Table:       r.table,
 		TableOffset: r.offset,
 		Keys:        keys,
-		Residual:    residual,
+		Residual:    shiftPreds(residual, r.offset),
 	}, true
 }
 
@@ -494,13 +494,32 @@ func (ctx *phase2Ctx) cardBoundedJoin(child Physical, r *rel) (Physical, error) 
 		JoinKey:     jk,
 		PerKeyLimit: r.dataStopCard,
 		Ascending:   !reversed,
-		Residual:    r.abovePreds,
+		Residual:    shiftPreds(r.abovePreds, r.offset),
 		NeedDeref:   !ix.Primary,
 	}
 	return join, nil
 }
 
 // --- helpers ---
+
+// shiftPreds rebases relation-local predicate column indexes onto the
+// combined row. Predicates attached to a rel during binding index the
+// relation's own columns (phase I/II match them against the table), but
+// an operator's Residual is evaluated at runtime against the combined
+// row, where this relation's columns start at offset. Without the shift
+// a residual on any relation other than the one at offset 0 silently
+// compares the wrong column.
+func shiftPreds(preds []LocalPred, offset int) []LocalPred {
+	if offset == 0 || len(preds) == 0 {
+		return preds
+	}
+	out := make([]LocalPred, len(preds))
+	for i, p := range preds {
+		p.Col += offset
+		out[i] = p
+	}
+	return out
+}
 
 // sortOnRelation returns the ORDER BY columns as index fields when every
 // sort column belongs to relation r.

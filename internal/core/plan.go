@@ -26,8 +26,9 @@ type Plan struct {
 	// RowWidth is the width of the combined row during execution.
 	RowWidth int
 
-	order []*rel // join order, for explain output
-	q     *boundQuery
+	order       []*rel // join order, for explain output
+	q           *boundQuery
+	paginDriver int
 }
 
 // Compile runs the full PIQL compilation pipeline on a parsed SELECT:
@@ -58,7 +59,7 @@ func Compile(cat *schema.Catalog, stmt *parser.Select) (*Plan, error) {
 	for _, r := range q.rels {
 		width += len(r.table.Columns)
 	}
-	return &Plan{
+	plan := &Plan{
 		Root:            root,
 		Stmt:            stmt,
 		NumParams:       q.numParams,
@@ -73,7 +74,13 @@ func Compile(cat *schema.Catalog, stmt *parser.Select) (*Plan, error) {
 		RowWidth: width,
 		order:    order,
 		q:        q,
-	}, nil
+	}
+	for i, op := range plan.RemoteOps() {
+		if _, ok := op.(*SortedIndexJoin); ok {
+			plan.paginDriver = i
+		}
+	}
+	return plan, nil
 }
 
 // OpBound returns the static upper bound on key/value store operations
@@ -200,6 +207,14 @@ func (p *Plan) RemoteOps() []Physical {
 	}
 	return out
 }
+
+// PaginationDriver returns the ordinal (leaf first, matching RemoteOps)
+// of the remote operator that drives pagination: the last
+// SortedIndexJoin (it re-merges output order, so only its per-key
+// positions advance between pages — the child scan re-runs in full each
+// page), or the base scan otherwise. Cached at compile time so the
+// executor's hot path does not re-walk the operator tree per execution.
+func (p *Plan) PaginationDriver() int { return p.paginDriver }
 
 // Tables returns the tables referenced by the plan in join order.
 func (p *Plan) Tables() []*schema.Table {

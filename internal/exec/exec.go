@@ -87,7 +87,10 @@ func Run(plan *core.Plan, ctx *Ctx) (*Result, error) {
 	if len(ctx.Params) < plan.NumParams {
 		return nil, fmt.Errorf("exec: query needs %d parameters, got %d", plan.NumParams, len(ctx.Params))
 	}
-	e := &executor{plan: plan, ctx: ctx, nextResume: ResumeState{}, driverOrd: driverOrdinal(plan)}
+	e := &executor{plan: plan, ctx: ctx, driverOrd: plan.PaginationDriver()}
+	if plan.PageSize > 0 {
+		e.nextResume = ResumeState{}
+	}
 	rows, err := e.run(plan.Root)
 	if err != nil {
 		return nil, err
@@ -110,24 +113,10 @@ type executor struct {
 	driverOrd  int
 }
 
-// driverOrdinal identifies the remote operator that drives pagination:
-// the last SortedIndexJoin (it re-merges output order, so only its
-// per-key positions advance between pages — the child scan re-runs in
-// full each page), or the base scan otherwise. Remote ordinals are
-// assigned leaf-first in execution order, matching plan.RemoteOps.
-func driverOrdinal(plan *core.Plan) int {
-	driver := 0
-	for i, op := range plan.RemoteOps() {
-		if _, ok := op.(*core.SortedIndexJoin); ok {
-			driver = i
-		}
-	}
-	return driver
-}
-
 // nextRemoteOrdinal returns the next remote operator's ordinal and its
-// incoming resume key. Only the pagination-driving operator receives
-// (and stores) resume state.
+// incoming resume key. Remote ordinals are assigned leaf-first in
+// execution order, matching plan.RemoteOps. Only the pagination-driving
+// operator (plan.PaginationDriver) receives and stores resume state.
 func (e *executor) nextRemoteOrdinal() (ord int, resume []byte) {
 	ord = e.remoteSeq
 	e.remoteSeq++
@@ -138,9 +127,9 @@ func (e *executor) nextRemoteOrdinal() (ord int, resume []byte) {
 }
 
 // storeResume records an operator's outgoing cursor position if it is
-// the pagination driver.
+// the pagination driver (non-paginated executions keep no cursor state).
 func (e *executor) storeResume(ord int, key []byte) {
-	if ord == e.driverOrd && key != nil {
+	if e.nextResume != nil && ord == e.driverOrd && key != nil {
 		e.nextResume[ord] = key
 	}
 }
@@ -170,6 +159,20 @@ func (e *executor) run(n core.Physical) ([]value.Row, error) {
 	}
 }
 
+// evalPreds reports whether row passes every predicate.
+func (e *executor) evalPreds(row value.Row, preds []core.LocalPred) (bool, error) {
+	for _, p := range preds {
+		ok, err := p.Eval(row, e.ctx.Params)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
 // filterResidual applies an operator's residual predicates.
 func (e *executor) filterResidual(rows []value.Row, preds []core.LocalPred) ([]value.Row, error) {
 	if len(preds) == 0 {
@@ -177,16 +180,9 @@ func (e *executor) filterResidual(rows []value.Row, preds []core.LocalPred) ([]v
 	}
 	out := rows[:0]
 	for _, row := range rows {
-		keep := true
-		for _, p := range preds {
-			ok, err := p.Eval(row, e.ctx.Params)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				keep = false
-				break
-			}
+		keep, err := e.evalPreds(row, preds)
+		if err != nil {
+			return nil, err
 		}
 		if keep {
 			out = append(out, row)
@@ -200,13 +196,32 @@ func (e *executor) newRow() value.Row {
 	return make(value.Row, e.plan.RowWidth)
 }
 
-// placeRecord decodes a stored record into the combined row at the
-// table's offset.
+// placeRecord decodes a stored record directly into the combined row at
+// the table's offset — no intermediate row allocation.
 func placeRecord(row value.Row, offset int, rec []byte) error {
-	vals, err := value.DecodeRow(rec)
-	if err != nil {
+	if _, err := value.DecodeRowInto(row[offset:], rec); err != nil {
 		return fmt.Errorf("exec: corrupt record: %w", err)
 	}
-	copy(row[offset:], vals)
 	return nil
+}
+
+// getBatch resolves record keys according to the strategy: Lazy issues
+// one Get per key (tuple at a time, the paper's strawman); Simple issues
+// one batched request set with the per-node batches sequential; Parallel
+// issues them concurrently. Missing keys yield nil entries.
+func (e *executor) getBatch(keys [][]byte) [][]byte {
+	switch e.ctx.Strategy {
+	case Lazy:
+		recs := make([][]byte, len(keys))
+		for i, k := range keys {
+			if v, ok := e.ctx.Client.Get(k); ok {
+				recs[i] = v
+			}
+		}
+		return recs
+	case Simple:
+		return e.ctx.Client.MultiGetSeq(keys)
+	default:
+		return e.ctx.Client.MultiGet(keys)
+	}
 }

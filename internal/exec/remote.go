@@ -23,20 +23,7 @@ func (e *executor) runPKLookup(n *core.PKLookup) ([]value.Row, error) {
 		}
 		keys = append(keys, index.RecordKeyFromPK(n.Table, pk))
 	}
-	var recs [][]byte
-	switch e.ctx.Strategy {
-	case Lazy:
-		recs = make([][]byte, len(keys))
-		for i, k := range keys {
-			if v, ok := e.ctx.Client.Get(k); ok {
-				recs[i] = v
-			}
-		}
-	case Simple:
-		recs = e.ctx.Client.MultiGetSeq(keys)
-	default:
-		recs = e.ctx.Client.MultiGet(keys)
-	}
+	recs := e.getBatch(keys)
 	var rows []value.Row
 	for _, rec := range recs {
 		if rec == nil {
@@ -115,12 +102,17 @@ func scanBounds(n *core.IndexScan, params []value.Value) (start, end []byte, err
 }
 
 // fetchRange reads up to limit entries of [start, end), honoring the
-// strategy: Lazy fetches one entry per request; Simple/Parallel fetch
-// the whole batch in one request. limit <= 0 means "everything"
-// (cost-based unbounded plans only).
+// strategy: Lazy fetches one entry per request; Simple fetches the whole
+// batch in one request, walking partitions sequentially; Parallel
+// scatter-gathers the per-partition scans concurrently. limit <= 0 means
+// "everything" (cost-based unbounded plans only).
 func (e *executor) fetchRange(start, end []byte, limit int, reverse bool) []kvstore.KV {
-	if e.ctx.Strategy != Lazy || limit <= 0 {
-		return e.ctx.Client.GetRange(kvstore.RangeRequest{Start: start, End: end, Limit: limit, Reverse: reverse})
+	req := kvstore.RangeRequest{Start: start, End: end, Limit: limit, Reverse: reverse}
+	switch {
+	case e.ctx.Strategy == Parallel:
+		return e.ctx.Client.GetRangeScatter(req)
+	case e.ctx.Strategy != Lazy || limit <= 0:
+		return e.ctx.Client.GetRange(req)
 	}
 	var out []kvstore.KV
 	for len(out) < limit {
@@ -200,32 +192,28 @@ func (e *executor) runIndexScan(n *core.IndexScan) ([]value.Row, error) {
 	return e.filterResidual(rows, n.Residual)
 }
 
-// derefEntries resolves secondary index entries to full records,
-// preserving entry order (rows whose record vanished — dangling entries
-// — are skipped).
-func (e *executor) derefEntries(ix *schema.Index, table *schema.Table, offset int, kvs []kvstore.KV) ([]value.Row, error) {
-	keys := make([][]byte, len(kvs))
-	for i, kv := range kvs {
+// appendEntryRecordKeys decodes secondary index entries into the record
+// keys they reference, appending to dst.
+func appendEntryRecordKeys(dst [][]byte, ix *schema.Index, table *schema.Table, kvs []kvstore.KV) ([][]byte, error) {
+	for _, kv := range kvs {
 		pk, err := index.DecodeEntry(ix, table, kv.Key)
 		if err != nil {
 			return nil, err
 		}
-		keys[i] = index.RecordKeyFromPK(table, pk)
+		dst = append(dst, index.RecordKeyFromPK(table, pk))
 	}
-	var recs [][]byte
-	switch e.ctx.Strategy {
-	case Lazy:
-		recs = make([][]byte, len(keys))
-		for i, k := range keys {
-			if v, ok := e.ctx.Client.Get(k); ok {
-				recs[i] = v
-			}
-		}
-	case Simple:
-		recs = e.ctx.Client.MultiGetSeq(keys)
-	default:
-		recs = e.ctx.Client.MultiGet(keys)
+	return dst, nil
+}
+
+// derefEntries resolves secondary index entries to full records with one
+// batched request set, preserving entry order (rows whose record
+// vanished — dangling entries — are skipped).
+func (e *executor) derefEntries(ix *schema.Index, table *schema.Table, offset int, kvs []kvstore.KV) ([]value.Row, error) {
+	keys, err := appendEntryRecordKeys(make([][]byte, 0, len(kvs)), ix, table, kvs)
+	if err != nil {
+		return nil, err
 	}
+	recs := e.getBatch(keys)
 	var rows []value.Row
 	for _, rec := range recs {
 		if rec == nil {
@@ -256,20 +244,7 @@ func (e *executor) runFKJoin(n *core.IndexFKJoin) ([]value.Row, error) {
 		}
 		keys[i] = index.RecordKeyFromPK(n.Table, pk)
 	}
-	var recs [][]byte
-	switch e.ctx.Strategy {
-	case Lazy:
-		recs = make([][]byte, len(keys))
-		for i, k := range keys {
-			if v, ok := e.ctx.Client.Get(k); ok {
-				recs[i] = v
-			}
-		}
-	case Simple:
-		recs = e.ctx.Client.MultiGetSeq(keys)
-	default:
-		recs = e.ctx.Client.MultiGet(keys)
-	}
+	recs := e.getBatch(keys)
 	var rows []value.Row
 	for i, rec := range recs {
 		if rec == nil {
@@ -328,20 +303,27 @@ func (e *executor) runSortedJoin(n *core.SortedIndexJoin) ([]value.Row, error) {
 		scans[i] = perKey{prefix: prefix, start: start, end: end}
 	}
 
-	fetch := func(sub *kvstore.Client, i int) {
-		scans[i].kvs = sub.GetRange(kvstore.RangeRequest{
+	fetch := func(sub *kvstore.Client, i int, scatter bool) {
+		req := kvstore.RangeRequest{
 			Start:   scans[i].start,
 			End:     scans[i].end,
 			Limit:   n.PerKeyLimit,
 			Reverse: !n.Ascending,
-		})
+		}
+		if scatter {
+			scans[i].kvs = sub.GetRangeScatter(req)
+		} else {
+			scans[i].kvs = sub.GetRange(req)
+		}
 	}
 	switch e.ctx.Strategy {
 	case Parallel:
+		// All K per-key scans concurrently, each itself scatter-gathering
+		// across the partitions its range spans.
 		fns := make([]func(*kvstore.Client), len(scans))
 		for i := range scans {
 			i := i
-			fns[i] = func(sub *kvstore.Client) { fetch(sub, i) }
+			fns[i] = func(sub *kvstore.Client) { fetch(sub, i, true) }
 		}
 		e.ctx.Client.Parallel(fns...)
 	default:
@@ -351,41 +333,56 @@ func (e *executor) runSortedJoin(n *core.SortedIndexJoin) ([]value.Row, error) {
 			if e.ctx.Strategy == Lazy {
 				scans[i].kvs = e.fetchRange(scans[i].start, scans[i].end, n.PerKeyLimit, !n.Ascending)
 			} else {
-				fetch(e.ctx.Client, i)
+				fetch(e.ctx.Client, i, false)
 			}
 		}
 	}
 
-	// Materialize joined rows (dereferencing secondary entries),
-	// remembering each row's stream and entry-key suffix.
-	var joined []value.Row
-	var suffixes [][]byte
-	var stream []int
-	for i, sc := range scans {
-		if n.Index.Primary {
-			for _, kv := range sc.kvs {
-				row := e.newRow()
-				copy(row, childRows[i])
-				if err := placeRecord(row, n.TableOffset, kv.Value); err != nil {
-					return nil, err
-				}
-				joined = append(joined, row)
-				suffixes = append(suffixes, suffixOf(kv.Key, sc.prefix))
-				stream = append(stream, i)
-			}
-		} else {
-			recRows, err := e.derefEntries(n.Index, n.Table, n.TableOffset, sc.kvs)
+	// Resolve secondary-index entries from ALL streams with one batched
+	// request set. (This used to dereference stream by stream — K
+	// sequential MultiGets after the parallel range fetch, serializing K
+	// round trips; now every operator costs a constant number of trips.)
+	var recs [][]byte // flat across streams, parallel to the scans' kvs
+	if !n.Index.Primary {
+		var keys [][]byte
+		total := 0
+		for _, sc := range scans {
+			total += len(sc.kvs)
+		}
+		keys = make([][]byte, 0, total)
+		for _, sc := range scans {
+			keys, err = appendEntryRecordKeys(keys, n.Index, n.Table, sc.kvs)
 			if err != nil {
 				return nil, err
 			}
-			for j, rr := range recRows {
-				row := e.newRow()
-				copy(row, childRows[i])
-				copy(row[n.TableOffset:], rr[n.TableOffset:n.TableOffset+tableWidth(n)])
-				joined = append(joined, row)
-				suffixes = append(suffixes, suffixOf(sc.kvs[j].Key, sc.prefix))
-				stream = append(stream, i)
+		}
+		recs = e.getBatch(keys)
+	}
+
+	// Materialize joined rows, remembering each row's stream and
+	// entry-key suffix.
+	var joined []value.Row
+	var suffixes [][]byte
+	var stream []int
+	flat := 0 // position in recs
+	for i, sc := range scans {
+		for _, kv := range sc.kvs {
+			rec := kv.Value
+			if !n.Index.Primary {
+				rec = recs[flat]
+				flat++
+				if rec == nil {
+					continue // dangling entry awaiting GC
+				}
 			}
+			row := e.newRow()
+			copy(row, childRows[i])
+			if err := placeRecord(row, n.TableOffset, rec); err != nil {
+				return nil, err
+			}
+			joined = append(joined, row)
+			suffixes = append(suffixes, suffixOf(kv.Key, sc.prefix))
+			stream = append(stream, i)
 		}
 	}
 
@@ -408,9 +405,24 @@ func (e *executor) runSortedJoin(n *core.SortedIndexJoin) ([]value.Row, error) {
 		}
 		joined, suffixes, stream = ordered, orderedSuffix, orderedStream
 	}
-	joined, err = e.filterResidual(joined, n.Residual)
-	if err != nil {
-		return nil, err
+	// Residual filtering must compact suffixes and stream in lockstep
+	// with joined: the cursor below indexes all three by output position,
+	// so dropping a row from joined alone would resume the next page at a
+	// stale (earlier) key of the wrong stream.
+	if len(n.Residual) > 0 {
+		outRows, outSuffix, outStream := joined[:0], suffixes[:0], stream[:0]
+		for i, row := range joined {
+			keep, err := e.evalPreds(row, n.Residual)
+			if err != nil {
+				return nil, err
+			}
+			if keep {
+				outRows = append(outRows, row)
+				outSuffix = append(outSuffix, suffixes[i])
+				outStream = append(outStream, stream[i])
+			}
+		}
+		joined, suffixes, stream = outRows, outSuffix, outStream
 	}
 	// Cursor state: per stream, the suffix of the last element consumed
 	// by this page; untouched streams keep their previous position.
@@ -478,28 +490,12 @@ func decodeStreamResume(b []byte) map[string][]byte {
 	return m
 }
 
-// prefixByteLen computes the byte length of the per-key prefix for one
-// child row (needed to slice the resume suffix out of an entry key).
-func prefixByteLen(n *core.SortedIndexJoin, params []value.Value, childRow value.Row) int {
-	jk, err := n.JoinKey.Eval(params, childRow)
-	if err != nil {
-		return 0
-	}
-	if n.Index.Primary {
-		prefix := index.RecordPrefix(n.Table)
-		for _, v := range jk {
-			prefix = codec.AppendValue(prefix, v, false)
-		}
-		return len(prefix)
-	}
-	return len(index.ScanPrefix(n.Index, jk))
-}
-
+// suffixOf slices the per-stream suffix out of an entry key. Stored keys
+// are immutable once written, so aliasing the key's backing array is
+// safe (the resume encoder copies the bytes it serializes).
 func suffixOf(key []byte, prefix []byte) []byte {
-	return append([]byte{}, key[len(prefix):]...)
+	return key[len(prefix):]
 }
-
-func tableWidth(n *core.SortedIndexJoin) int { return len(n.Table.Columns) }
 
 func lessBySortKeys(a, b value.Row, keys []core.SortKey) bool {
 	for _, k := range keys {

@@ -25,6 +25,11 @@ type Fig12Result struct {
 	P99       map[exec.Strategy]time.Duration
 	Mean      map[exec.Strategy]time.Duration
 	FanOutP99 map[exec.Strategy]time.Duration
+	// FanOutOps is the mean number of storage requests one New Products
+	// execution issues — the executor round-trip budget made measurable.
+	// Lazy pays per tuple; Simple and Parallel pay a constant number of
+	// batched request sets per operator.
+	FanOutOps map[exec.Strategy]float64
 }
 
 // RunFig12 measures interaction latency under each executor.
@@ -33,6 +38,7 @@ func RunFig12(seed int64) (*Fig12Result, error) {
 		P99:       make(map[exec.Strategy]time.Duration),
 		Mean:      make(map[exec.Strategy]time.Duration),
 		FanOutP99: make(map[exec.Strategy]time.Duration),
+		FanOutOps: make(map[exec.Strategy]float64),
 	}
 	wcfg := tpcw.DefaultConfig()
 	wcfg.CustomersPerNode = 300
@@ -56,45 +62,51 @@ func RunFig12(seed int64) (*Fig12Result, error) {
 		res.P99[strat] = pt.P99
 		res.Mean[strat] = pt.Mean
 	}
-	fan, err := measureFanOutQuery(wcfg, seed)
+	fan, fanOps, err := measureFanOutQuery(wcfg, seed)
 	if err != nil {
 		return nil, err
 	}
 	res.FanOutP99 = fan
+	res.FanOutOps = fanOps
 	return res, nil
 }
 
 // measureFanOutQuery runs the New Products WI alone under each strategy
-// on a lightly loaded cluster.
-func measureFanOutQuery(wcfg tpcw.Config, seed int64) (map[exec.Strategy]time.Duration, error) {
+// on a lightly loaded cluster, reporting p99 latency and mean storage
+// requests per execution.
+func measureFanOutQuery(wcfg tpcw.Config, seed int64) (map[exec.Strategy]time.Duration, map[exec.Strategy]float64, error) {
 	env := sim.NewEnv()
 	cluster := kvstore.New(kvstore.Config{Nodes: 10, ReplicationFactor: 2, Seed: seed}, env)
 	eng := engine.New(cluster)
 	loader := eng.Session(nil)
 	for _, ddl := range tpcw.DDL(wcfg) {
 		if err := loader.Exec(ddl); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	if _, _, err := tpcw.Load(loader, wcfg, 10); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	q, err := loader.Prepare(tpcw.QuerySQL()["New Products WI"])
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cluster.Rebalance()
 
+	const executions = 400
 	out := make(map[exec.Strategy]time.Duration)
+	outOps := make(map[exec.Strategy]float64)
 	for _, strat := range []exec.Strategy{exec.Lazy, exec.Simple, exec.Parallel} {
 		var lat []time.Duration
+		var ops int64
 		var runErr error
 		strat := strat
 		env.Spawn(func(p *sim.Proc) {
 			s := eng.Session(p)
 			s.SetStrategy(strat)
+			s.Client().ResetOps()
 			rng := rand.New(rand.NewSource(seed))
-			for i := 0; i < 400; i++ {
+			for i := 0; i < executions; i++ {
 				subject := tpcw.Subjects[rng.Intn(len(tpcw.Subjects))]
 				t0 := p.Now()
 				if _, err := q.Execute(s, value.Str(subject)); err != nil {
@@ -104,15 +116,17 @@ func measureFanOutQuery(wcfg tpcw.Config, seed int64) (map[exec.Strategy]time.Du
 				lat = append(lat, p.Now()-t0)
 				p.Sleep(25 * time.Millisecond)
 			}
+			ops = s.Client().Ops()
 		})
 		env.Run(0)
 		if runErr != nil {
-			return nil, runErr
+			return nil, nil, runErr
 		}
 		out[strat] = stats.Percentile(lat, 99)
+		outOps[strat] = float64(ops) / executions
 	}
 	env.Stop()
-	return out, nil
+	return out, outOps, nil
 }
 
 // Print renders the comparison (paper: Lazy 639 > Simple 451 >
@@ -120,8 +134,8 @@ func measureFanOutQuery(wcfg tpcw.Config, seed int64) (map[exec.Strategy]time.Du
 func (r *Fig12Result) Print(out io.Writer) {
 	fmt.Fprintln(out, "Fig 12: TPC-W 99th-percentile response time by execution strategy")
 	for _, strat := range []exec.Strategy{exec.Lazy, exec.Simple, exec.Parallel} {
-		fmt.Fprintf(out, "%18s: mix p99 = %7.1f ms   mix mean = %6.1f ms   New Products WI p99 = %7.1f ms\n",
-			strat, msF(r.P99[strat]), msF(r.Mean[strat]), msF(r.FanOutP99[strat]))
+		fmt.Fprintf(out, "%18s: mix p99 = %7.1f ms   mix mean = %6.1f ms   New Products WI p99 = %7.1f ms (%.1f reqs/exec)\n",
+			strat, msF(r.P99[strat]), msF(r.Mean[strat]), msF(r.FanOutP99[strat]), r.FanOutOps[strat])
 	}
 	fmt.Fprintln(out)
 }

@@ -10,6 +10,7 @@ package index
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"piql/internal/codec"
 	"piql/internal/core"
@@ -25,9 +26,25 @@ const (
 	indexNS  = "x:"
 )
 
+// Tables and indexes are immutable once registered in a catalog (shared
+// across snapshots and compiled plans), so their namespace prefixes are
+// computed once and cached by identity. Cached slices are capacity-
+// clipped: appending to one always reallocates, so callers can extend a
+// returned prefix into a full key without clobbering the cache.
+var (
+	recordPrefixCache sync.Map // *schema.Table -> []byte
+	indexPrefixCache  sync.Map // *schema.Index -> []byte
+)
+
 // RecordPrefix returns the key prefix of all records of a table.
 func RecordPrefix(t *schema.Table) []byte {
-	return codec.EncodeKey(value.Row{value.Str(recordNS + strings.ToLower(t.Name))}, nil)
+	if p, ok := recordPrefixCache.Load(t); ok {
+		return p.([]byte)
+	}
+	p := codec.EncodeKey(value.Row{value.Str(recordNS + strings.ToLower(t.Name))}, nil)
+	p = p[:len(p):len(p)]
+	recordPrefixCache.Store(t, p)
+	return p
 }
 
 // RecordKey builds the storage key of the row's record: the table
@@ -51,7 +68,13 @@ func RecordKeyFromPK(t *schema.Table, pk value.Row) []byte {
 
 // IndexPrefix returns the key prefix of all entries of a secondary index.
 func IndexPrefix(ix *schema.Index) []byte {
-	return codec.EncodeKey(value.Row{value.Str(indexNS + strings.ToLower(ix.Name))}, nil)
+	if p, ok := indexPrefixCache.Load(ix); ok {
+		return p.([]byte)
+	}
+	p := codec.EncodeKey(value.Row{value.Str(indexNS + strings.ToLower(ix.Name))}, nil)
+	p = p[:len(p):len(p)]
+	indexPrefixCache.Store(ix, p)
+	return p
 }
 
 // EntryKeys builds the index entry keys a row contributes to ix. Plain

@@ -3,6 +3,7 @@ package kvstore
 import (
 	"bytes"
 	"math/rand"
+	"slices"
 	"sort"
 	"time"
 
@@ -26,6 +27,14 @@ type Client struct {
 
 	ops    int64 // operations issued through this client (and its children)
 	parent *Client
+
+	// Scratch reused across operations to keep the per-request hot path
+	// allocation-lean. Safe because a Client is single-goroutine and the
+	// scratch is only read (never written) while Parallel children run.
+	byNode map[int][]int // multiGet: unique-key indexes grouped by node
+	ids    []int         // multiGet: deterministic node order
+	order  []int         // multiGet: key indexes sorted for deduplication
+	dups   []int         // multiGet: flattened (dup, first) index pairs
 }
 
 // NewClient creates a client. proc may be nil for immediate mode.
@@ -89,10 +98,11 @@ func (cl *Client) visit(id int, items, payloadBytes int) {
 }
 
 // readReplica picks a replica node for partition p. Reads are spread
-// uniformly across replicas.
+// uniformly across replicas. Computed arithmetically (replica r of
+// partition p is node (p+r) mod n) so the read path never allocates the
+// replica list.
 func (cl *Client) readReplica(p int) int {
-	ids := cl.c.replicaNodes(p)
-	return ids[cl.rng.Intn(len(ids))]
+	return (p + cl.rng.Intn(cl.c.cfg.ReplicationFactor)) % len(cl.c.nodes)
 }
 
 // Get returns the value under key, or (nil, false).
@@ -106,7 +116,8 @@ func (cl *Client) Get(key []byte) ([]byte, bool) {
 
 // MultiGet fetches several keys in one batched request per node, with
 // the per-node requests issued in parallel — the Parallel executor's
-// fast path. Missing keys yield nil entries.
+// fast path. Repeated keys are deduplicated (fetched once, fanned out to
+// every requesting position). Missing keys yield nil entries.
 func (cl *Client) MultiGet(keys [][]byte) [][]byte {
 	return cl.multiGet(keys, true)
 }
@@ -123,12 +134,41 @@ func (cl *Client) multiGet(keys [][]byte, parallel bool) [][]byte {
 	if len(keys) == 0 {
 		return out
 	}
-	// Group key indexes by target node.
-	byNode := make(map[int][]int)
-	for i, k := range keys {
-		p := cl.c.partitionOf(k)
-		id := cl.readReplica(p)
-		byNode[id] = append(byNode[id], i)
+	if len(keys) == 1 {
+		// Point-lookup fast path: no grouping or dedup scratch.
+		id := cl.readReplica(cl.c.partitionOf(keys[0]))
+		v, ok := cl.c.nodes[id].get(keys[0])
+		payload := 0
+		if ok {
+			out[0] = v
+			payload = len(v)
+		}
+		cl.visit(id, 1, payload)
+		return out
+	}
+	// Deduplicate repeated keys — FK joins re-fetch the same parent
+	// record constantly — by sorting the key indexes and aliasing runs of
+	// equal keys to their first occurrence. Sort-based so dedup needs no
+	// per-key string allocation; all scratch is reused across calls.
+	cl.order = cl.order[:0]
+	for i := range keys {
+		cl.order = append(cl.order, i)
+	}
+	slices.SortFunc(cl.order, func(a, b int) int { return bytes.Compare(keys[a], keys[b]) })
+	cl.dups = cl.dups[:0]
+	if cl.byNode == nil {
+		cl.byNode = make(map[int][]int)
+	}
+	for id, idxs := range cl.byNode {
+		cl.byNode[id] = idxs[:0]
+	}
+	for j := 0; j < len(cl.order); {
+		rep := cl.order[j]
+		for j++; j < len(cl.order) && bytes.Equal(keys[cl.order[j]], keys[rep]); j++ {
+			cl.dups = append(cl.dups, cl.order[j], rep)
+		}
+		id := cl.readReplica(cl.c.partitionOf(keys[rep]))
+		cl.byNode[id] = append(cl.byNode[id], rep)
 	}
 	fetch := func(sub *Client, id int, idxs []int) {
 		bytesTotal := 0
@@ -142,23 +182,28 @@ func (cl *Client) multiGet(keys [][]byte, parallel bool) [][]byte {
 		sub.visit(id, len(idxs), bytesTotal)
 	}
 	// Deterministic node order for both modes.
-	ids := make([]int, 0, len(byNode))
-	for id := range byNode {
-		ids = append(ids, id)
-	}
-	sortInts(ids)
-	if len(byNode) == 1 || cl.proc == nil || !parallel {
-		for _, id := range ids {
-			fetch(cl, id, byNode[id])
+	cl.ids = cl.ids[:0]
+	for id, idxs := range cl.byNode {
+		if len(idxs) > 0 {
+			cl.ids = append(cl.ids, id)
 		}
-		return out
 	}
-	var fns []func(*Client)
-	for _, id := range ids {
-		id := id
-		fns = append(fns, func(sub *Client) { fetch(sub, id, byNode[id]) })
+	sortInts(cl.ids)
+	if len(cl.ids) == 1 || cl.proc == nil || !parallel {
+		for _, id := range cl.ids {
+			fetch(cl, id, cl.byNode[id])
+		}
+	} else {
+		fns := make([]func(*Client), len(cl.ids))
+		for i, id := range cl.ids {
+			id := id
+			fns[i] = func(sub *Client) { fetch(sub, id, cl.byNode[id]) }
+		}
+		cl.Parallel(fns...)
 	}
-	cl.Parallel(fns...)
+	for j := 0; j < len(cl.dups); j += 2 {
+		out[cl.dups[j]] = out[cl.dups[j+1]]
+	}
 	return out
 }
 
@@ -303,26 +348,110 @@ func (cl *Client) GetRange(req RangeRequest) []KV {
 	return out
 }
 
+// GetRangeScatter is GetRange for the ParallelExecutor: when the range
+// spans several partitions in simulated mode, the per-partition scans
+// are issued concurrently — each speculatively fetching up to Limit
+// items — then concatenated in key order (partitions are disjoint,
+// ordered byte ranges) and truncated to Limit. Speculation is sound for
+// PIQL because every compiled plan is statically bounded: Limit is
+// always a small constant. Wall-clock cost becomes the max of the
+// per-partition round trips instead of their sum, at one storage
+// operation per intersecting partition. With a single partition, or in
+// immediate mode where there is no latency to hide, it falls back to the
+// sequential early-stopping walk.
+func (cl *Client) GetRangeScatter(req RangeRequest) []KV {
+	lo, hi := cl.c.rangeParts(req.Start, req.End)
+	if cl.proc == nil || lo == hi {
+		return cl.GetRange(req)
+	}
+	parts := make([][]KV, hi-lo+1)
+	ids := make([]int, hi-lo+1)
+	for p := lo; p <= hi; p++ {
+		ids[p-lo] = cl.readReplica(p) // parent RNG: deterministic draw order
+	}
+	fns := make([]func(*Client), hi-lo+1)
+	for p := lo; p <= hi; p++ {
+		p := p
+		fns[p-lo] = func(sub *Client) {
+			kvs := cl.c.nodes[ids[p-lo]].scan(boundedStart(cl.c, p, req.Start), boundedEnd(cl.c, p, req.End), req.Limit, req.Reverse)
+			payload := 0
+			for _, kv := range kvs {
+				payload += len(kv.Value)
+			}
+			sub.visit(ids[p-lo], max(1, len(kvs)), payload)
+			parts[p-lo] = kvs
+		}
+	}
+	cl.Parallel(fns...)
+	var out []KV
+	if req.Reverse {
+		for i := len(parts) - 1; i >= 0; i-- {
+			out = append(out, parts[i]...)
+		}
+	} else {
+		for _, kvs := range parts {
+			out = append(out, kvs...)
+		}
+	}
+	if req.Limit > 0 && len(out) > req.Limit {
+		out = out[:req.Limit]
+	}
+	return out
+}
+
 // CountRange returns the number of keys in [start, end), walking all
 // partitions intersecting the range. This backs cardinality-constraint
-// enforcement (Section 7.2).
+// enforcement (Section 7.2). In simulated mode the per-partition counts
+// are gathered concurrently (counts are additive, so merge order is
+// irrelevant), making the write path's constraint check cost one round
+// trip instead of one per partition.
 func (cl *Client) CountRange(start, end []byte) int {
-	nParts := len(cl.c.splits) + 1
-	p0 := 0
-	if start != nil {
-		p0 = cl.c.partitionOf(start)
+	lo, hi := cl.c.rangeParts(start, end)
+	countPartition := func(sub *Client, p, id int) int {
+		n := cl.c.nodes[id].count(boundedStart(cl.c, p, start), boundedEnd(cl.c, p, end))
+		sub.visit(id, max(1, n), 0)
+		return n
 	}
 	total := 0
-	for p := p0; p < nParts; p++ {
-		if end != nil && p > 0 && len(cl.c.splits) >= p && bytes.Compare(cl.c.splits[p-1], end) >= 0 {
-			break
+	if cl.proc == nil || lo == hi {
+		for p := lo; p <= hi; p++ {
+			total += countPartition(cl, p, cl.readReplica(p))
 		}
+		return total
+	}
+	counts := make([]int, hi-lo+1)
+	fns := make([]func(*Client), hi-lo+1)
+	for p := lo; p <= hi; p++ {
+		p := p
 		id := cl.readReplica(p)
-		n := cl.c.nodes[id].count(boundedStart(cl.c, p, start), boundedEnd(cl.c, p, end))
-		cl.visit(id, max(1, n), 0)
+		fns[p-lo] = func(sub *Client) { counts[p-lo] = countPartition(sub, p, id) }
+	}
+	cl.Parallel(fns...)
+	for _, n := range counts {
 		total += n
 	}
 	return total
+}
+
+// rangeParts returns the inclusive window [lo, hi] of partitions whose
+// key range intersects [start, end). nil start/end leave that side
+// unbounded. An empty range still yields a one-partition window so range
+// operations always visit (and account) at least one node.
+func (c *Cluster) rangeParts(start, end []byte) (lo, hi int) {
+	lo, hi = 0, len(c.splits)
+	if start != nil {
+		lo = c.partitionOf(start)
+	}
+	if end != nil {
+		// hi = largest partition whose lower bound splits[hi-1] < end.
+		hi = sort.Search(len(c.splits), func(i int) bool {
+			return bytes.Compare(c.splits[i], end) >= 0
+		})
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
 }
 
 // boundedStart clips start to partition p's lower bound. Since replicas

@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"bytes"
 	"math/rand"
 	"sync"
 	"time"
@@ -73,7 +74,7 @@ func (n *node) testAndSet(key, expect, update []byte) bool {
 			return false
 		}
 	} else {
-		if !ok || !bytesEqual(cur, expect) {
+		if !ok || !bytes.Equal(cur, expect) {
 			return false
 		}
 	}
@@ -81,18 +82,6 @@ func (n *node) testAndSet(key, expect, update []byte) bool {
 		n.tree.Delete(key)
 	} else {
 		n.tree.Put(key, update)
-	}
-	return true
-}
-
-func bytesEqual(a, b []byte) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
 	}
 	return true
 }

@@ -47,61 +47,83 @@ func DecodeRow(b []byte) (Row, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("value: corrupt row header")
 	}
-	b = b[n:]
-	if count > uint64(len(b))+1 {
+	if count > uint64(len(b)-n)+1 {
 		return nil, fmt.Errorf("value: row count %d exceeds payload", count)
 	}
-	row := make(Row, 0, count)
-	for i := uint64(0); i < count; i++ {
+	row := make(Row, count)
+	if _, err := DecodeRowInto(row, b); err != nil {
+		return nil, err
+	}
+	return row, nil
+}
+
+// DecodeRowInto decodes a record payload produced by EncodeRow directly
+// into dst[0:count], returning the number of values written. It is the
+// allocation-lean path used by the executor to decode records straight
+// into a combined row instead of allocating a row and copying. dst must
+// be at least as wide as the stored row.
+func DecodeRowInto(dst Row, b []byte) (int, error) {
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, fmt.Errorf("value: corrupt row header")
+	}
+	b = b[n:]
+	if count > uint64(len(b))+1 {
+		return 0, fmt.Errorf("value: row count %d exceeds payload", count)
+	}
+	if count > uint64(len(dst)) {
+		return 0, fmt.Errorf("value: row has %d values, destination holds %d", count, len(dst))
+	}
+	for i := 0; i < int(count); i++ {
 		if len(b) == 0 {
-			return nil, fmt.Errorf("value: truncated row at value %d", i)
+			return 0, fmt.Errorf("value: truncated row at value %d", i)
 		}
 		t := Type(b[0])
 		b = b[1:]
 		switch t {
 		case TypeNull:
-			row = append(row, Null())
+			dst[i] = Null()
 		case TypeBool:
 			if len(b) < 1 {
-				return nil, fmt.Errorf("value: truncated bool")
+				return 0, fmt.Errorf("value: truncated bool")
 			}
-			row = append(row, Bool(b[0] != 0))
+			dst[i] = Bool(b[0] != 0)
 			b = b[1:]
 		case TypeInt:
 			x, n := binary.Varint(b)
 			if n <= 0 {
-				return nil, fmt.Errorf("value: corrupt int")
+				return 0, fmt.Errorf("value: corrupt int")
 			}
-			row = append(row, Int(x))
+			dst[i] = Int(x)
 			b = b[n:]
 		case TypeFloat:
 			if len(b) < 8 {
-				return nil, fmt.Errorf("value: truncated float")
+				return 0, fmt.Errorf("value: truncated float")
 			}
-			row = append(row, Float(math.Float64frombits(binary.BigEndian.Uint64(b))))
+			dst[i] = Float(math.Float64frombits(binary.BigEndian.Uint64(b)))
 			b = b[8:]
 		case TypeString:
 			l, n := binary.Uvarint(b)
 			if n <= 0 || uint64(len(b)-n) < l {
-				return nil, fmt.Errorf("value: corrupt string")
+				return 0, fmt.Errorf("value: corrupt string")
 			}
-			row = append(row, Str(string(b[n:n+int(l)])))
+			dst[i] = Str(string(b[n : n+int(l)]))
 			b = b[n+int(l):]
 		case TypeBytes:
 			l, n := binary.Uvarint(b)
 			if n <= 0 || uint64(len(b)-n) < l {
-				return nil, fmt.Errorf("value: corrupt bytes")
+				return 0, fmt.Errorf("value: corrupt bytes")
 			}
 			raw := make([]byte, l)
 			copy(raw, b[n:n+int(l)])
-			row = append(row, Bytes(raw))
+			dst[i] = Bytes(raw)
 			b = b[n+int(l):]
 		default:
-			return nil, fmt.Errorf("value: unknown type tag %d", t)
+			return 0, fmt.Errorf("value: unknown type tag %d", t)
 		}
 	}
 	if len(b) != 0 {
-		return nil, fmt.Errorf("value: %d trailing bytes after row", len(b))
+		return 0, fmt.Errorf("value: %d trailing bytes after row", len(b))
 	}
-	return row, nil
+	return int(count), nil
 }

@@ -62,6 +62,55 @@ func TestDecodeRowErrors(t *testing.T) {
 	}
 }
 
+func TestDecodeRowInto(t *testing.T) {
+	src := Row{Int(42), Str("mixed"), Bool(true), Float(3.14), Null(), Bytes([]byte{7, 0, 9})}
+	enc := EncodeRow(src)
+
+	// Exact-width destination.
+	dst := make(Row, len(src))
+	n, err := DecodeRowInto(dst, enc)
+	if err != nil || n != len(src) {
+		t.Fatalf("DecodeRowInto = %d, %v", n, err)
+	}
+	if CompareRows(src, dst) != 0 {
+		t.Fatalf("decode mismatch: %v -> %v", src, dst)
+	}
+
+	// Wider destination: the tail must stay untouched.
+	wide := make(Row, len(src)+3)
+	sentinel := Str("sentinel")
+	for i := len(src); i < len(wide); i++ {
+		wide[i] = sentinel
+	}
+	if n, err := DecodeRowInto(wide, enc); err != nil || n != len(src) {
+		t.Fatalf("wide DecodeRowInto = %d, %v", n, err)
+	}
+	if CompareRows(src, wide[:len(src)]) != 0 {
+		t.Fatalf("wide decode mismatch: %v", wide[:len(src)])
+	}
+	for i := len(src); i < len(wide); i++ {
+		if !Equal(wide[i], sentinel) {
+			t.Fatalf("tail position %d clobbered: %v", i, wide[i])
+		}
+	}
+
+	// Too-narrow destination must error, not truncate or panic.
+	if _, err := DecodeRowInto(make(Row, len(src)-1), enc); err == nil {
+		t.Fatal("narrow destination accepted")
+	}
+
+	// Corrupt inputs reported through the same validation as DecodeRow.
+	for name, b := range map[string][]byte{
+		"empty":           {},
+		"trailing":        append(EncodeRow(Row{Int(1)}), 0xAA),
+		"truncated value": {2, byte(TypeInt)},
+	} {
+		if _, err := DecodeRowInto(make(Row, 8), b); err == nil {
+			t.Errorf("%s: DecodeRowInto accepted corrupt input", name)
+		}
+	}
+}
+
 func TestEncodeDecodeRowProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
