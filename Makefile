@@ -2,7 +2,7 @@
 # regression) fails it before anything else runs.
 GO ?= go
 
-.PHONY: all ci vet build test race bench bench-all bench-smoke experiments
+.PHONY: all ci vet build test race chaos bench bench-all bench-smoke experiments
 
 all: ci
 
@@ -19,10 +19,19 @@ test:
 
 # race runs the full suite under the race detector, including the
 # concurrent-session tests (TestConcurrentSessions,
-# TestPublicAPIConcurrentUse) and the simulated scatter-gather range
-# reads (TestGetRangeScatter*, TestScatterConcurrentClients).
+# TestPublicAPIConcurrentUse), the simulated scatter-gather range
+# reads (TestGetRangeScatter*, TestScatterConcurrentClients), and the
+# online-maintenance chaos tests (TestChaosOnlineOperations,
+# TestRebalanceUnderTraffic, TestCreateIndexUnderConcurrentWrites,
+# TestInsertRollbackRacingDelete) that gate index backfill and
+# rebalance under live writes.
 race:
 	$(GO) test -race ./...
+
+# chaos runs just the online-maintenance gate, raced — the quick check
+# after touching the index lifecycle, write path, or routing table.
+chaos:
+	$(GO) test -race -run 'TestChaosOnlineOperations|TestRebalanceUnderTraffic|TestRebalanceRangeReadsUnderTraffic|TestCreateIndexUnderConcurrentWrites|TestInsertRollbackRacingDelete' ./internal/...
 
 # The hot-path benchmarks tracked across PRs: raw engine overhead,
 # the three execution strategies, and concurrent-session throughput.
@@ -31,10 +40,10 @@ BENCH_HOT = BenchmarkExecuteFindUser|BenchmarkFig12ExecutionStrategies|Benchmark
 # bench runs the hot benchmarks once with allocation stats and records
 # the raw run — newline-delimited test2json events, including every
 # ns/op / B/op / allocs/op line — as the perf-trajectory artifact
-# BENCH_2.json.
+# BENCH_3.json.
 bench:
-	$(GO) test -run xxx -bench '$(BENCH_HOT)' -benchtime 1x -benchmem -v -json . > BENCH_2.json
-	@grep -oE '(Benchmark[A-Za-z]+)?[^"]*allocs/op' BENCH_2.json | sed 's/\\t/  /g' || true
+	$(GO) test -run xxx -bench '$(BENCH_HOT)' -benchtime 1x -benchmem -v -json . > BENCH_3.json
+	@grep -oE '(Benchmark[A-Za-z]+)?[^"]*allocs/op' BENCH_3.json | sed 's/\\t/  /g' || true
 
 # bench-smoke is the short-mode gate inside ci: the cheapest hot
 # benchmark, enough to catch an executor hot path that stopped compiling

@@ -544,17 +544,33 @@ func (ctx *phase2Ctx) sortOnRelation(r *rel) ([]schema.IndexField, bool) {
 // primary index — whose suffix directions are all inverted serves the
 // same scan in reverse, e.g. thoughts' primary key (owner, timestamp)
 // scanned backwards yields ORDER BY timestamp DESC per owner.
+//
+// Ready indexes are preferred over building ones: a building index is
+// maintained by the write path but not yet fully backfilled, so a plan
+// that selects it only runs after engine.ensureBuilt flips it ready.
 func (ctx *phase2Ctx) ensureIndex(t *schema.Table, fields []schema.IndexField, prefixLen int) (*schema.Index, bool) {
 	fields = ctx.completeWithPK(t, fields)
+	var building *schema.Index
+	var buildingRev bool
 	for _, ix := range ctx.cat.Indexes(t.Name) {
-		if matchIndex(ix, fields, prefixLen, false) {
-			ctx.noteRequired(ix)
-			return ix, false
+		rev := false
+		if !matchIndex(ix, fields, prefixLen, false) {
+			if !matchIndex(ix, fields, prefixLen, true) {
+				continue
+			}
+			rev = true
 		}
-		if matchIndex(ix, fields, prefixLen, true) {
+		if ctx.cat.IndexState(ix) == schema.StateReady {
 			ctx.noteRequired(ix)
-			return ix, true
+			return ix, rev
 		}
+		if building == nil {
+			building, buildingRev = ix, rev
+		}
+	}
+	if building != nil {
+		ctx.noteRequired(building)
+		return building, buildingRev
 	}
 	name := fmt.Sprintf("auto_%s_%s", strings.ToLower(t.Name), fieldsSlug(fields))
 	ix, err := ctx.cat.AddIndex(&schema.Index{Name: name, Table: t.Name, Fields: fields})

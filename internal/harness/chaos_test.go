@@ -1,0 +1,37 @@
+package harness
+
+import (
+	"io"
+	"testing"
+)
+
+// TestChaosOnlineOperations gates the online paths in CI (make race runs
+// it under the race detector): writers hammer the engine while an index
+// backfills and the cluster rebalances repeatedly. RunChaos returns an
+// error on any failed read, lost key, missing index entry, or
+// un-GC-able dangling entry.
+func TestChaosOnlineOperations(t *testing.T) {
+	cfg := DefaultChaosConfig()
+	if testing.Short() {
+		cfg.Writers = 4
+		cfg.OpsPerWriter = 100
+		cfg.Rebalances = 3
+	}
+	res, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted == 0 || res.Deleted == 0 || res.Reads == 0 {
+		t.Fatalf("chaos exercised nothing: %+v", res)
+	}
+	if res.Rebalances != cfg.Rebalances {
+		t.Fatalf("completed %d rebalances, want %d", res.Rebalances, cfg.Rebalances)
+	}
+	if res.Epoch != int64(2*(cfg.Rebalances+1)) {
+		t.Fatalf("final epoch %d, want %d", res.Epoch, 2*(cfg.Rebalances+1))
+	}
+	if res.Records == 0 || res.Entries != res.Records {
+		t.Fatalf("audit mismatch: %d records, %d entries", res.Records, res.Entries)
+	}
+	res.Print(io.Discard)
+}

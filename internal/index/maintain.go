@@ -60,15 +60,31 @@ func (e *ErrCardinalityExceeded) Error() string {
 		e.Limit, e.Table, strings.Join(e.Columns, ", "))
 }
 
-// secondaryIndexes returns the table's non-primary indexes.
+// secondaryIndexes returns the table's non-primary indexes from one
+// catalog snapshot. Each write operation loads the snapshot once and
+// threads the index list through, so a concurrent copy-on-write catalog
+// publish cannot make one operation see two different index sets (e.g.
+// writing entries for one set and rolling back a different one).
+//
+// Building indexes are included: the write path maintains an index from
+// the moment it is registered, which is what lets the backfill flip it
+// ready without a write gap (see engine.ensureBuilt).
 func (m *Maintainer) secondaryIndexes(t *schema.Table) []*schema.Index {
-	var out []*schema.Index
-	for _, ix := range m.src.Catalog().Indexes(t.Name) {
+	_, ixs := m.snapshot(t)
+	return ixs
+}
+
+// snapshot loads the catalog once and returns it with the table's
+// secondary indexes — the per-operation view.
+func (m *Maintainer) snapshot(t *schema.Table) (*schema.Catalog, []*schema.Index) {
+	cat := m.src.Catalog()
+	var ixs []*schema.Index
+	for _, ix := range cat.Indexes(t.Name) {
 		if !ix.Primary {
-			out = append(out, ix)
+			ixs = append(ixs, ix)
 		}
 	}
-	return out
+	return cat, ixs
 }
 
 // Insert writes a full row following the paper's protocol: secondary
@@ -80,19 +96,37 @@ func (m *Maintainer) Insert(cl *kvstore.Client, t *schema.Table, row value.Row) 
 	if len(row) != len(t.Columns) {
 		return fmt.Errorf("index: row has %d values, table %s has %d columns", len(row), t.Name, len(t.Columns))
 	}
+	cat, ixs := m.snapshot(t)
 	rec := value.EncodeRow(row)
 	// (1) Insert all secondary index entries (in parallel: ordering only
 	// matters between the entries and the record, not among entries).
-	putEntries(cl, m.entryKeysFor(t, row))
+	putEntries(cl, entryKeysFor(ixs, t, row))
 	// (2) Insert the record if absent (uniqueness via test-and-set).
 	rkey := RecordKey(t, row)
 	if !cl.TestAndSet(rkey, nil, rec) {
-		// Roll back the entries we just wrote; they may be shared with
-		// the existing row's entries, so only delete ones that the
-		// stored row does not also produce.
+		// Roll back the entries we just wrote. While the colliding row
+		// still exists its entries may be shared with ours, so only
+		// delete ones the stored row does not also produce. If it was
+		// deleted between the failed test-and-set and this read, nothing
+		// is shared anymore — delete everything this insert wrote, or the
+		// entries would dangle forever.
 		if existing, ok := cl.Get(rkey); ok {
 			if old, err := value.DecodeRow(existing); err == nil {
-				m.deleteStaleEntries(cl, t, row, old)
+				m.deleteStaleEntries(cl, ixs, t, row, old)
+			}
+		} else {
+			deleteEntries(cl, entryKeysFor(ixs, t, row))
+			// A concurrent insert of the same key may have committed while
+			// we were deleting — and its entry keys can coincide with the
+			// ones just removed. Restore whatever the winner's row needs.
+			// (A winner whose record lands after this read but whose entry
+			// puts preceded our deletions remains exposed for that sliver;
+			// the alternative — never rolling back — leaked the entries
+			// permanently.)
+			if rec2, ok := cl.Get(rkey); ok {
+				if winner, err := value.DecodeRow(rec2); err == nil {
+					putEntries(cl, entryKeysFor(ixs, t, winner))
+				}
 			}
 		}
 		pk := make(value.Row, len(t.PrimaryKey))
@@ -103,12 +137,12 @@ func (m *Maintainer) Insert(cl *kvstore.Client, t *schema.Table, row value.Row) 
 	}
 	// (3) Check cardinality constraints with count-range requests.
 	for _, card := range t.Cardinalities {
-		n := m.countMatching(cl, t, card, row)
+		n := m.countMatching(cl, cat, ixs, t, card, row)
 		if n > card.Limit {
 			// Violation: undo the insert (record first so readers stop
 			// seeing it, then entries).
 			cl.Delete(rkey)
-			deleteEntries(cl, m.entryKeysFor(t, row))
+			deleteEntries(cl, entryKeysFor(ixs, t, row))
 			return &ErrCardinalityExceeded{Table: t.Name, Columns: card.Columns, Limit: card.Limit}
 		}
 	}
@@ -120,8 +154,8 @@ func (m *Maintainer) Insert(cl *kvstore.Client, t *schema.Table, row value.Row) 
 // (the compiler will have created one for any constraint it exploits);
 // otherwise it falls back to counting over the record range, which is
 // only valid when the constraint columns prefix the primary key.
-func (m *Maintainer) countMatching(cl *kvstore.Client, t *schema.Table, card schema.Cardinality, row value.Row) int {
-	if ix := m.constraintIndex(t, card); ix != nil {
+func (m *Maintainer) countMatching(cl *kvstore.Client, cat *schema.Catalog, ixs []*schema.Index, t *schema.Table, card schema.Cardinality, row value.Row) int {
+	if ix := constraintIndex(cat, ixs, card); ix != nil {
 		prefix := IndexPrefix(ix)
 		for i := range card.Columns {
 			f := ix.Fields[i]
@@ -160,26 +194,61 @@ func (m *Maintainer) countMatching(cl *kvstore.Client, t *schema.Table, card sch
 	return n
 }
 
-// constraintIndex finds a secondary index whose leading non-token fields
-// are exactly the constraint columns (in any order of the constraint).
-func (m *Maintainer) constraintIndex(t *schema.Table, card schema.Cardinality) *schema.Index {
-	for _, ix := range m.secondaryIndexes(t) {
+// constraintIndex finds a ready secondary index whose leading non-token
+// fields are exactly the constraint columns, in any order: the count
+// scans a prefix bound by equality on every constraint column, so the
+// order the index stores them in does not matter. (The match used to be
+// positional, rejecting indexes that permute the constraint columns even
+// though they serve the count just as well.) A building index must not
+// be used — its backfill may not have reached every pre-existing row
+// yet, and an undercount would admit constraint-violating inserts; the
+// callers' fallback paths count over the records, which are always
+// complete.
+func constraintIndex(cat *schema.Catalog, ixs []*schema.Index, card schema.Cardinality) *schema.Index {
+	for _, ix := range ixs {
+		if cat.IndexState(ix) != schema.StateReady {
+			continue
+		}
 		if len(ix.Fields) < len(card.Columns) {
 			continue
 		}
 		ok := true
-		for i, col := range card.Columns {
+		for i := range card.Columns {
 			f := ix.Fields[i]
-			if f.Token || !strings.EqualFold(f.Column, col) {
+			if f.Token || !containsFold(card.Columns, f.Column) {
 				ok = false
 				break
 			}
 		}
-		if ok {
+		if ok && distinctFold(ix.Fields[:len(card.Columns)]) {
 			return ix
 		}
 	}
 	return nil
+}
+
+// containsFold reports whether cols contains s, case-insensitively.
+func containsFold(cols []string, s string) bool {
+	for _, c := range cols {
+		if strings.EqualFold(c, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// distinctFold reports whether the fields name pairwise-distinct columns
+// (so "leading fields drawn from the constraint columns" implies they
+// cover all of them).
+func distinctFold(fields []schema.IndexField) bool {
+	for i := range fields {
+		for j := i + 1; j < len(fields); j++ {
+			if strings.EqualFold(fields[i].Column, fields[j].Column) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 func (m *Maintainer) prefixesPrimaryKey(t *schema.Table, cols []string) bool {
@@ -199,6 +268,7 @@ func (m *Maintainer) prefixesPrimaryKey(t *schema.Table, cols []string) bool {
 // deletion — the ordering that tolerates a crash at any point with only
 // dangling entries as fallout.
 func (m *Maintainer) Update(cl *kvstore.Client, t *schema.Table, newRow value.Row) error {
+	ixs := m.secondaryIndexes(t)
 	rkey := RecordKey(t, newRow)
 	oldRec, ok := cl.Get(rkey)
 	if !ok {
@@ -209,19 +279,19 @@ func (m *Maintainer) Update(cl *kvstore.Client, t *schema.Table, newRow value.Ro
 		return fmt.Errorf("index: corrupt record in %s: %w", t.Name, err)
 	}
 	// (1) New entries, in parallel.
-	putEntries(cl, m.entryKeysFor(t, newRow))
+	putEntries(cl, entryKeysFor(ixs, t, newRow))
 	// (2) Record.
 	cl.Put(rkey, value.EncodeRow(newRow))
 	// (3) Stale entries.
-	m.deleteStaleEntries(cl, t, oldRow, newRow)
+	m.deleteStaleEntries(cl, ixs, t, oldRow, newRow)
 	return nil
 }
 
 // deleteStaleEntries removes index entries produced by oldRow but not by
 // keepRow.
-func (m *Maintainer) deleteStaleEntries(cl *kvstore.Client, t *schema.Table, oldRow, keepRow value.Row) {
+func (m *Maintainer) deleteStaleEntries(cl *kvstore.Client, ixs []*schema.Index, t *schema.Table, oldRow, keepRow value.Row) {
 	var stale [][]byte
-	for _, ix := range m.secondaryIndexes(t) {
+	for _, ix := range ixs {
 		keep := make(map[string]bool)
 		for _, key := range EntryKeys(ix, t, keepRow) {
 			keep[string(key)] = true
@@ -238,6 +308,7 @@ func (m *Maintainer) deleteStaleEntries(cl *kvstore.Client, t *schema.Table, old
 // Delete removes a row and its index entries (record first, so readers
 // immediately stop seeing it; entries become dangling until removed).
 func (m *Maintainer) Delete(cl *kvstore.Client, t *schema.Table, pk value.Row) error {
+	ixs := m.secondaryIndexes(t)
 	rkey := RecordKeyFromPK(t, pk)
 	rec, ok := cl.Get(rkey)
 	if !ok {
@@ -248,14 +319,14 @@ func (m *Maintainer) Delete(cl *kvstore.Client, t *schema.Table, pk value.Row) e
 		return fmt.Errorf("index: corrupt record in %s: %w", t.Name, err)
 	}
 	cl.Delete(rkey)
-	deleteEntries(cl, m.entryKeysFor(t, row))
+	deleteEntries(cl, entryKeysFor(ixs, t, row))
 	return nil
 }
 
 // entryKeysFor collects every secondary index entry key a row produces.
-func (m *Maintainer) entryKeysFor(t *schema.Table, row value.Row) [][]byte {
+func entryKeysFor(ixs []*schema.Index, t *schema.Table, row value.Row) [][]byte {
 	var keys [][]byte
-	for _, ix := range m.secondaryIndexes(t) {
+	for _, ix := range ixs {
 		keys = append(keys, EntryKeys(ix, t, row)...)
 	}
 	return keys
@@ -294,7 +365,12 @@ func deleteEntries(cl *kvstore.Client, keys [][]byte) {
 }
 
 // Backfill builds a newly created secondary index from the existing
-// records of its table.
+// records of its table. It is the scan half of the online build
+// protocol: the index is registered (building) before the scan starts,
+// so concurrent writes maintain it, and the caller flips it ready
+// afterwards (engine.ensureBuilt, which also drains writers that could
+// still hold a pre-registration catalog snapshot). Entry puts are
+// idempotent, so concurrent or duplicate backfills are harmless.
 func (m *Maintainer) Backfill(cl *kvstore.Client, ix *schema.Index) error {
 	if ix.Primary {
 		return nil
@@ -336,14 +412,14 @@ func (m *Maintainer) GCDangling(cl *kvstore.Client, ix *schema.Index) (int, erro
 			return removed, err
 		}
 		rkey := RecordKeyFromPK(t, pk)
-		if _, ok := cl.Get(rkey); !ok {
+		rec, ok := cl.Get(rkey)
+		if !ok {
 			cl.Delete(kv.Key)
 			removed++
 			continue
 		}
 		// The record exists but may no longer produce this entry (stale
 		// after a half-completed update).
-		rec, _ := cl.Get(rkey)
 		row, err := value.DecodeRow(rec)
 		if err != nil {
 			continue

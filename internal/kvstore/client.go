@@ -19,7 +19,15 @@ import (
 // unsynchronized by design, keeping the per-operation hot path free of
 // atomics. Spawn one Client per goroutine/session (the Parallel method
 // creates children automatically); the Cluster behind them is safe for
-// any number of concurrent Clients.
+// any number of concurrent Clients, including while it rebalances.
+//
+// Every operation claims one routing-table snapshot for its duration.
+// Reads route through the snapshot (old owners keep serving a range
+// until its move completes, so reads never fail mid-rebalance). Writes
+// additionally double-write to the destinations of any in-flight move
+// covering their key, and re-apply themselves if the routing table
+// changed while they ran — the pair of rules that guarantees a rebalance
+// loses no concurrent write.
 type Client struct {
 	c    *Cluster
 	proc *sim.Proc  // nil in immediate mode
@@ -107,10 +115,12 @@ func (cl *Client) readReplica(p int) int {
 
 // Get returns the value under key, or (nil, false).
 func (cl *Client) Get(key []byte) ([]byte, bool) {
-	p := cl.c.partitionOf(key)
+	rt := cl.c.beginOp()
+	p := rt.partitionOf(key)
 	id := cl.readReplica(p)
 	v, ok := cl.c.nodes[id].get(key)
 	cl.visit(id, 1, len(v))
+	cl.c.endOp(rt)
 	return v, ok
 }
 
@@ -134,9 +144,11 @@ func (cl *Client) multiGet(keys [][]byte, parallel bool) [][]byte {
 	if len(keys) == 0 {
 		return out
 	}
+	rt := cl.c.beginOp()
+	defer cl.c.endOp(rt)
 	if len(keys) == 1 {
 		// Point-lookup fast path: no grouping or dedup scratch.
-		id := cl.readReplica(cl.c.partitionOf(keys[0]))
+		id := cl.readReplica(rt.partitionOf(keys[0]))
 		v, ok := cl.c.nodes[id].get(keys[0])
 		payload := 0
 		if ok {
@@ -167,7 +179,7 @@ func (cl *Client) multiGet(keys [][]byte, parallel bool) [][]byte {
 		for j++; j < len(cl.order) && bytes.Equal(keys[cl.order[j]], keys[rep]); j++ {
 			cl.dups = append(cl.dups, cl.order[j], rep)
 		}
-		id := cl.readReplica(cl.c.partitionOf(keys[rep]))
+		id := cl.readReplica(rt.partitionOf(keys[rep]))
 		cl.byNode[id] = append(cl.byNode[id], rep)
 	}
 	fetch := func(sub *Client, id int, idxs []int) {
@@ -210,17 +222,53 @@ func (cl *Client) multiGet(keys [][]byte, parallel bool) [][]byte {
 // Put stores value under key on every replica (parallel in simulated
 // mode, or primary-then-async under AsyncReplication).
 func (cl *Client) Put(key, value []byte) {
-	cl.write(key, func(n *node) { n.put(key, value) })
+	cl.write(key, value, false)
 }
 
 // Delete removes key from every replica.
 func (cl *Client) Delete(key []byte) {
-	cl.write(key, func(n *node) { n.delete(key) })
+	cl.write(key, nil, true)
 }
 
-func (cl *Client) write(key []byte, apply func(*node)) {
-	p := cl.c.partitionOf(key)
+// write routes one put/delete. It applies the mutation under the claimed
+// routing table — including double-writes to any in-flight move covering
+// the key — and retries if the table changed while it ran: the write
+// then re-applies under the new layout, so a concurrent rebalance can
+// never strand it on a node that is no longer the key's owner. Re-
+// application is idempotent (puts overwrite with the same value, deletes
+// re-delete).
+func (cl *Client) write(key, val []byte, del bool) {
+	for {
+		rt := cl.c.beginOp()
+		cl.writeUnder(rt, key, val, del)
+		settled := cl.c.routing.Load() == rt
+		cl.c.endOp(rt)
+		if settled {
+			return
+		}
+	}
+}
+
+// writeUnder applies one put/delete under a specific routing table.
+func (cl *Client) writeUnder(rt *routing, key, val []byte, del bool) {
+	apply := func(n *node) {
+		if del {
+			n.delete(key)
+		} else {
+			n.put(key, val)
+		}
+	}
+	p := rt.partitionOf(key)
 	ids := cl.c.replicaNodes(p)
+	mv := coveringMove(rt, key)
+	if del && mv != nil {
+		cl.tombstoneDelete(mv, ids, key)
+		for _, id := range ids {
+			cl.visit(id, 1, len(key))
+		}
+		cl.visitDsts(mv, ids, key)
+		return
+	}
 	if cl.c.cfg.AsyncReplication && cl.proc != nil && len(ids) > 1 {
 		// Synchronous primary write; replicas catch up after ReplicaLag.
 		primary := ids[0]
@@ -234,6 +282,9 @@ func (cl *Client) write(key []byte, apply func(*node)) {
 				apply(cl.c.nodes[id])
 			}
 		})
+		// Move destinations are written synchronously even under async
+		// replication: the flip must find them complete.
+		cl.doubleWrite(mv, key, val, ids[:1])
 		return
 	}
 	if cl.proc == nil || len(ids) == 1 {
@@ -241,40 +292,136 @@ func (cl *Client) write(key []byte, apply func(*node)) {
 			apply(cl.c.nodes[id])
 			cl.visit(id, 1, len(key))
 		}
+	} else {
+		var fns []func(*Client)
+		for _, id := range ids {
+			id := id
+			fns = append(fns, func(sub *Client) {
+				apply(cl.c.nodes[id])
+				sub.visit(id, 1, len(key))
+			})
+		}
+		cl.Parallel(fns...)
+	}
+	cl.doubleWrite(mv, key, val, ids)
+}
+
+// coveringMove returns the in-flight move whose range contains key, or
+// nil. Moves are disjoint, so at most one matches.
+func coveringMove(rt *routing, key []byte) *move {
+	for _, mv := range rt.moves {
+		if mv.covers(key) {
+			return mv
+		}
+	}
+	return nil
+}
+
+// tombstoneDelete is the delete protocol for a key in a moving range:
+// the tombstone and every node's deletion — old owners and move
+// destinations — happen atomically with respect to the range copy, so
+// the copy can never re-insert the key afterwards. Mutations only; the
+// caller pays the visits (sleeping inside the move mutex would stall a
+// simulated environment).
+func (cl *Client) tombstoneDelete(mv *move, ids []int, key []byte) {
+	mv.mu.Lock()
+	mv.tombs[string(key)] = struct{}{}
+	for _, id := range ids {
+		cl.c.nodes[id].delete(key)
+	}
+	for _, id := range mv.dst {
+		if !slices.Contains(ids, id) {
+			cl.c.nodes[id].delete(key)
+		}
+	}
+	mv.mu.Unlock()
+}
+
+// visitDsts pays one visit per move destination not already written as
+// a current replica.
+func (cl *Client) visitDsts(mv *move, ids []int, key []byte) {
+	for _, id := range mv.dst {
+		if !slices.Contains(ids, id) {
+			cl.visit(id, 1, len(key))
+		}
+	}
+}
+
+// doubleWrite puts val onto the move's destination nodes (skipping any
+// already written as current replicas). A plain put suffices: the range
+// copy uses put-if-absent, so the writer's fresher value always wins
+// regardless of interleaving.
+func (cl *Client) doubleWrite(mv *move, key, val []byte, written []int) {
+	if mv == nil {
 		return
 	}
-	var fns []func(*Client)
-	for _, id := range ids {
-		id := id
-		fns = append(fns, func(sub *Client) {
-			apply(cl.c.nodes[id])
-			sub.visit(id, 1, len(key))
-		})
+	for _, id := range mv.dst {
+		if slices.Contains(written, id) {
+			continue
+		}
+		cl.c.nodes[id].put(key, val)
+		cl.visit(id, 1, len(key)+len(val))
 	}
-	cl.Parallel(fns...)
 }
 
 // TestAndSet atomically updates key on the primary when the current value
 // matches expect (nil = must be absent), then propagates to replicas. A
 // nil update deletes the key. It reports whether the swap happened.
+//
+// The test runs against the claimed routing table's primary. If the swap
+// is accepted but the routing changed while the operation ran, the
+// accepted write is re-applied under the new table (the test itself is
+// not re-run — it already decided). If the swap is rejected under a
+// table that changed mid-operation, the whole operation retries, since
+// the authoritative primary may have moved.
 func (cl *Client) TestAndSet(key, expect, update []byte) bool {
-	p := cl.c.partitionOf(key)
-	ids := cl.c.replicaNodes(p)
-	primary := ids[0]
-	ok := cl.c.nodes[primary].testAndSet(key, expect, update)
-	cl.visit(primary, 1, len(key)+len(update))
-	if !ok {
-		return false
-	}
-	for _, id := range ids[1:] {
-		if update == nil {
-			cl.c.nodes[id].delete(key)
-		} else {
-			cl.c.nodes[id].put(key, update)
+	for {
+		rt := cl.c.beginOp()
+		p := rt.partitionOf(key)
+		ids := cl.c.replicaNodes(p)
+		primary := ids[0]
+		ok := cl.c.nodes[primary].testAndSet(key, expect, update)
+		cl.visit(primary, 1, len(key)+len(update))
+		if !ok {
+			settled := cl.c.routing.Load() == rt
+			cl.c.endOp(rt)
+			if settled {
+				return false
+			}
+			continue
 		}
-		cl.visit(id, 1, len(update))
+		mv := coveringMove(rt, key)
+		if update == nil && mv != nil {
+			// Accepted delete in a moving range: tombstone-first re-delete
+			// on every old owner and destination — including the primary,
+			// which the copy could otherwise repopulate if it read the key
+			// just before the test-and-set removed it. (The primary's
+			// visit was already paid by the test-and-set.)
+			cl.tombstoneDelete(mv, ids, key)
+			for _, id := range ids[1:] {
+				cl.visit(id, 1, len(key))
+			}
+			cl.visitDsts(mv, ids, key)
+		} else {
+			for _, id := range ids[1:] {
+				if update == nil {
+					cl.c.nodes[id].delete(key)
+				} else {
+					cl.c.nodes[id].put(key, update)
+				}
+				cl.visit(id, 1, len(update))
+			}
+			cl.doubleWrite(mv, key, update, ids)
+		}
+		settled := cl.c.routing.Load() == rt
+		cl.c.endOp(rt)
+		if !settled {
+			// The accepted value must also reach the owners of the new
+			// layout; re-apply it as a plain (idempotent) write.
+			cl.write(key, update, update == nil)
+		}
+		return true
 	}
-	return true
 }
 
 // RangeRequest describes a range read over [Start, End). A nil Start or
@@ -289,7 +436,14 @@ type RangeRequest struct {
 // GetRange reads a contiguous key range in order, walking partitions as
 // needed. Each partition visited costs one storage operation.
 func (cl *Client) GetRange(req RangeRequest) []KV {
-	nParts := len(cl.c.splits) + 1
+	rt := cl.c.beginOp()
+	out := cl.getRange(rt, req)
+	cl.c.endOp(rt)
+	return out
+}
+
+func (cl *Client) getRange(rt *routing, req RangeRequest) []KV {
+	nParts := rt.parts()
 	var out []KV
 	remaining := req.Limit
 
@@ -299,7 +453,7 @@ func (cl *Client) GetRange(req RangeRequest) []KV {
 		if req.Limit > 0 {
 			lim = remaining
 		}
-		kvs := cl.c.nodes[id].scan(boundedStart(cl.c, p, req.Start), boundedEnd(cl.c, p, req.End), lim, req.Reverse)
+		kvs := cl.c.nodes[id].scan(boundedStart(rt, p, req.Start), boundedEnd(rt, p, req.End), lim, req.Reverse)
 		bytesTotal := 0
 		for _, kv := range kvs {
 			bytesTotal += len(kv.Value)
@@ -318,10 +472,10 @@ func (cl *Client) GetRange(req RangeRequest) []KV {
 	if !req.Reverse {
 		start := 0
 		if req.Start != nil {
-			start = cl.c.partitionOf(req.Start)
+			start = rt.partitionOf(req.Start)
 		}
 		for p := start; p < nParts; p++ {
-			if req.End != nil && p > 0 && len(cl.c.splits) >= p && bytes.Compare(cl.c.splits[p-1], req.End) >= 0 {
+			if req.End != nil && p > 0 && len(rt.splits) >= p && bytes.Compare(rt.splits[p-1], req.End) >= 0 {
 				break
 			}
 			if !visitPartition(p) {
@@ -334,10 +488,10 @@ func (cl *Client) GetRange(req RangeRequest) []KV {
 			// The partition owning End also holds the keys just below
 			// it, except when End sits exactly on a split boundary — then
 			// the extra partition scan is harmless (empty result).
-			start = cl.c.partitionOf(req.End)
+			start = rt.partitionOf(req.End)
 		}
 		for p := start; p >= 0; p-- {
-			if req.Start != nil && p < nParts-1 && bytes.Compare(cl.c.splits[p], req.Start) <= 0 {
+			if req.Start != nil && p < nParts-1 && bytes.Compare(rt.splits[p], req.Start) <= 0 {
 				break // partition entirely below Start
 			}
 			if !visitPartition(p) {
@@ -360,9 +514,11 @@ func (cl *Client) GetRange(req RangeRequest) []KV {
 // immediate mode where there is no latency to hide, it falls back to the
 // sequential early-stopping walk.
 func (cl *Client) GetRangeScatter(req RangeRequest) []KV {
-	lo, hi := cl.c.rangeParts(req.Start, req.End)
+	rt := cl.c.beginOp()
+	defer cl.c.endOp(rt)
+	lo, hi := rt.rangeParts(req.Start, req.End)
 	if cl.proc == nil || lo == hi {
-		return cl.GetRange(req)
+		return cl.getRange(rt, req)
 	}
 	parts := make([][]KV, hi-lo+1)
 	ids := make([]int, hi-lo+1)
@@ -373,7 +529,7 @@ func (cl *Client) GetRangeScatter(req RangeRequest) []KV {
 	for p := lo; p <= hi; p++ {
 		p := p
 		fns[p-lo] = func(sub *Client) {
-			kvs := cl.c.nodes[ids[p-lo]].scan(boundedStart(cl.c, p, req.Start), boundedEnd(cl.c, p, req.End), req.Limit, req.Reverse)
+			kvs := cl.c.nodes[ids[p-lo]].scan(boundedStart(rt, p, req.Start), boundedEnd(rt, p, req.End), req.Limit, req.Reverse)
 			payload := 0
 			for _, kv := range kvs {
 				payload += len(kv.Value)
@@ -406,9 +562,11 @@ func (cl *Client) GetRangeScatter(req RangeRequest) []KV {
 // irrelevant), making the write path's constraint check cost one round
 // trip instead of one per partition.
 func (cl *Client) CountRange(start, end []byte) int {
-	lo, hi := cl.c.rangeParts(start, end)
+	rt := cl.c.beginOp()
+	defer cl.c.endOp(rt)
+	lo, hi := rt.rangeParts(start, end)
 	countPartition := func(sub *Client, p, id int) int {
-		n := cl.c.nodes[id].count(boundedStart(cl.c, p, start), boundedEnd(cl.c, p, end))
+		n := cl.c.nodes[id].count(boundedStart(rt, p, start), boundedEnd(rt, p, end))
 		sub.visit(id, max(1, n), 0)
 		return n
 	}
@@ -433,47 +591,26 @@ func (cl *Client) CountRange(start, end []byte) int {
 	return total
 }
 
-// rangeParts returns the inclusive window [lo, hi] of partitions whose
-// key range intersects [start, end). nil start/end leave that side
-// unbounded. An empty range still yields a one-partition window so range
-// operations always visit (and account) at least one node.
-func (c *Cluster) rangeParts(start, end []byte) (lo, hi int) {
-	lo, hi = 0, len(c.splits)
-	if start != nil {
-		lo = c.partitionOf(start)
-	}
-	if end != nil {
-		// hi = largest partition whose lower bound splits[hi-1] < end.
-		hi = sort.Search(len(c.splits), func(i int) bool {
-			return bytes.Compare(c.splits[i], end) >= 0
-		})
-	}
-	if hi < lo {
-		hi = lo
-	}
-	return lo, hi
-}
-
 // boundedStart clips start to partition p's lower bound. Since replicas
 // hold whole partitions this is equivalent to the raw bound, but clipping
 // keeps per-partition scans from double-counting items replicated onto
 // successor nodes.
-func boundedStart(c *Cluster, p int, start []byte) []byte {
+func boundedStart(rt *routing, p int, start []byte) []byte {
 	if p == 0 {
 		return start
 	}
-	lower := c.splits[p-1]
+	lower := rt.splits[p-1]
 	if start == nil || bytes.Compare(lower, start) > 0 {
 		return lower
 	}
 	return start
 }
 
-func boundedEnd(c *Cluster, p int, end []byte) []byte {
-	if p >= len(c.splits) {
+func boundedEnd(rt *routing, p int, end []byte) []byte {
+	if p >= len(rt.splits) {
 		return end
 	}
-	upper := c.splits[p]
+	upper := rt.splits[p]
 	if end == nil || bytes.Compare(upper, end) < 0 {
 		return upper
 	}

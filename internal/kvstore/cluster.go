@@ -15,11 +15,12 @@ package kvstore
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
-	"piql/internal/btree"
 	"piql/internal/sim"
 )
 
@@ -44,18 +45,109 @@ type Config struct {
 
 // Cluster is a simulated SCADS-style key/value store. It is safe for
 // concurrent use by any number of Clients: node record stores are
-// mutex-guarded and the op counters are atomic. The exceptions are
-// Rebalance and SetNodeSlowdown, which repartition/reconfigure and must
-// not run concurrently with traffic (they model the SCADS Director,
-// which quiesces moves).
+// mutex-guarded, the op counters are atomic, and the partition map is an
+// epoch-stamped routing table behind an atomic pointer. Rebalance models
+// the SCADS Director's live repartitioning and runs concurrently with
+// traffic: ranges are copied while writers double-write to old and new
+// owners, then the routing epoch flips (see Rebalance). SetNodeSlowdown
+// may also run at any time.
 type Cluster struct {
-	cfg    Config
-	env    *sim.Env // nil in immediate mode
-	nodes  []*node
-	splits [][]byte // len nodes-1; partition i owns [splits[i-1], splits[i])
+	cfg   Config
+	env   *sim.Env // nil in immediate mode
+	nodes []*node
+
+	// routing is the current epoch-stamped partition map. Operations
+	// claim a snapshot for their duration (beginOp/endOp) so Rebalance
+	// can tell when a retired table has drained before it deletes moved
+	// ranges from their former owners.
+	routing atomic.Pointer[routing]
+
+	// rebalanceMu serializes concurrent Rebalance calls (moves of one
+	// rebalance must finish before the next recomputes the layout).
+	rebalanceMu sync.Mutex
 
 	ops       atomic.Int64 // total storage operations served
 	clientSeq atomic.Int64
+}
+
+// routing is one immutable epoch of the partition map: partition i owns
+// [splits[i-1], splits[i]). While a rebalance is copying data, moves
+// carries the in-flight range transfers so writers can double-write.
+type routing struct {
+	epoch  int64
+	splits [][]byte // len parts-1
+	moves  []*move  // disjoint ranges being copied to new owners
+
+	// active counts operations currently executing against this table.
+	// Rebalance drains it (after publishing a successor) before deleting
+	// moved ranges from their old owners, so no in-flight operation ever
+	// reads or writes a wiped range.
+	active atomic.Int64
+}
+
+// move is one in-flight range transfer [lo, hi) to the nodes in dst.
+// Writers that observe it double-write; deletes record a tombstone so
+// the background copy cannot resurrect a key deleted mid-move.
+type move struct {
+	lo, hi []byte // nil = unbounded on that side
+	dst    []int
+
+	mu    sync.Mutex
+	tombs map[string]struct{} // keys deleted during the move
+}
+
+// covers reports whether key falls inside the move's range.
+func (m *move) covers(key []byte) bool {
+	if m.lo != nil && bytes.Compare(key, m.lo) < 0 {
+		return false
+	}
+	if m.hi != nil && bytes.Compare(key, m.hi) >= 0 {
+		return false
+	}
+	return true
+}
+
+// partitionOf returns the index of the partition owning key.
+func (rt *routing) partitionOf(key []byte) int {
+	// splits[i] is the lower bound of partition i+1.
+	return sort.Search(len(rt.splits), func(i int) bool {
+		return bytes.Compare(key, rt.splits[i]) < 0
+	})
+}
+
+// parts returns the number of partitions.
+func (rt *routing) parts() int { return len(rt.splits) + 1 }
+
+// bounds returns partition p's key range (nil = unbounded side).
+func (rt *routing) bounds(p int) (lo, hi []byte) {
+	if p > 0 {
+		lo = rt.splits[p-1]
+	}
+	if p < len(rt.splits) {
+		hi = rt.splits[p]
+	}
+	return lo, hi
+}
+
+// rangeParts returns the inclusive window [lo, hi] of partitions whose
+// key range intersects [start, end). nil start/end leave that side
+// unbounded. An empty range still yields a one-partition window so range
+// operations always visit (and account) at least one node.
+func (rt *routing) rangeParts(start, end []byte) (lo, hi int) {
+	lo, hi = 0, len(rt.splits)
+	if start != nil {
+		lo = rt.partitionOf(start)
+	}
+	if end != nil {
+		// hi = largest partition whose lower bound splits[hi-1] < end.
+		hi = sort.Search(len(rt.splits), func(i int) bool {
+			return bytes.Compare(rt.splits[i], end) >= 0
+		})
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
 }
 
 // New creates a cluster. env may be nil for immediate (zero-latency) mode.
@@ -79,7 +171,35 @@ func New(cfg Config, env *sim.Env) *Cluster {
 	for i := 0; i < cfg.Nodes; i++ {
 		c.nodes = append(c.nodes, newNode(i, cfg.Seed, env, cfg.NodeServers))
 	}
+	c.routing.Store(&routing{}) // epoch 0: one partition, all keys on node 0's replicas
 	return c
+}
+
+// beginOp claims the current routing table for one operation. The claim
+// is revalidated after the increment so a concurrent Rebalance that
+// published a successor in between cannot observe a drained table while
+// this operation still intends to use it.
+func (c *Cluster) beginOp() *routing {
+	for {
+		rt := c.routing.Load()
+		rt.active.Add(1)
+		if c.routing.Load() == rt {
+			return rt
+		}
+		rt.active.Add(-1)
+	}
+}
+
+// endOp releases an operation's claim on its routing table.
+func (c *Cluster) endOp(rt *routing) { rt.active.Add(-1) }
+
+// drain waits until no operation still holds the retired table. Only
+// called by Rebalance, after a successor table is published, so the wait
+// is bounded by in-flight operation latency.
+func (c *Cluster) drain(rt *routing) {
+	for rt.active.Load() > 0 {
+		runtime.Gosched()
+	}
 }
 
 // Config returns the cluster's configuration.
@@ -111,15 +231,9 @@ func (c *Cluster) SetNodeSlowdown(nodeID int, factor float64) {
 	n.mu.Unlock()
 }
 
-// partitionOf returns the index of the partition owning key.
-func (c *Cluster) partitionOf(key []byte) int {
-	// splits[i] is the lower bound of partition i+1.
-	return sort.Search(len(c.splits), func(i int) bool {
-		return bytes.Compare(key, c.splits[i]) < 0
-	})
-}
-
 // replicaNodes returns the node IDs holding partition p, primary first.
+// The mapping depends only on the partition index and node count, so it
+// is valid under every routing epoch.
 func (c *Cluster) replicaNodes(p int) []int {
 	ids := make([]int, c.cfg.ReplicationFactor)
 	for r := 0; r < c.cfg.ReplicationFactor; r++ {
@@ -129,23 +243,46 @@ func (c *Cluster) replicaNodes(p int) []int {
 }
 
 // Rebalance recomputes partition split points so that data is spread
-// evenly over nodes, then redistributes all stored items. It models the
-// SCADS Director's repartitioning and is called by the harness after bulk
-// loading. It must not run concurrently with other operations.
+// evenly over nodes, then moves ranges to their new owners. It models
+// the SCADS Director's live repartitioning and is safe to run under
+// concurrent read/write traffic:
+//
+//  1. it publishes an intermediate routing table (epoch+1) carrying the
+//     planned moves — from that moment every write to a moving range
+//     double-writes to the old and new owners, and deletes leave
+//     tombstones so the copy cannot resurrect them;
+//  2. it copies each moving range from the old primaries into the new
+//     owners with put-if-absent (a concurrent writer's fresher value
+//     always wins);
+//  3. it flips the epoch (epoch+2): reads and writes now route to the
+//     new owners, which hold the complete range;
+//  4. it drains operations still using the retired tables, then deletes
+//     moved ranges from nodes that no longer own them.
+//
+// Reads never fail mid-move: until the flip they are served by the old
+// owners, which remain complete; after the flip by the new owners, which
+// the copy plus double-writes have made complete. Concurrent Rebalance
+// calls serialize among themselves.
 func (c *Cluster) Rebalance() {
-	// Sample keys from all nodes (deduplicating replicas via merge).
+	c.rebalanceMu.Lock()
+	defer c.rebalanceMu.Unlock()
+	old := c.routing.Load()
+
+	// Sample the key distribution from each partition's primary replica.
+	// Scans are clipped to the partition's own range so replica-held data
+	// of neighboring partitions is not double-counted, and under async
+	// replication only the primary — the authoritative copy — is read
+	// (a lagging replica must never resurrect a stale value).
 	var keys [][]byte
-	seen := make(map[string]struct{})
-	for _, n := range c.nodes {
-		for _, kv := range n.scan(nil, nil, 0, false) {
-			k := string(kv.Key)
-			if _, dup := seen[k]; !dup {
-				seen[k] = struct{}{}
-				keys = append(keys, kv.Key)
-			}
+	for p := 0; p < old.parts(); p++ {
+		lo, hi := old.bounds(p)
+		primary := c.replicaNodes(p)[0]
+		for _, kv := range c.nodes[primary].scan(lo, hi, 0, false) {
+			keys = append(keys, kv.Key)
 		}
 	}
-	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
+	// keys is globally sorted: per-partition scans are ordered and the
+	// partitions are disjoint, ascending ranges.
 
 	n := len(c.nodes)
 	splits := make([][]byte, 0, n-1)
@@ -158,37 +295,91 @@ func (c *Cluster) Rebalance() {
 			splits = append(splits, keys[idx])
 		}
 	}
-	// Collect all items before clearing, then reinsert under new routing.
-	type kvPair struct{ k, v []byte }
-	items := make([]kvPair, 0, len(keys))
-	seenItems := make(map[string]struct{})
-	for _, nd := range c.nodes {
-		for _, kv := range nd.scan(nil, nil, 0, false) {
-			if _, dup := seenItems[string(kv.Key)]; dup {
-				continue
+	next := &routing{epoch: old.epoch + 2, splits: splits}
+
+	// Plan one move per new partition whose ownership actually changes,
+	// and publish the intermediate table: same splits and owners as
+	// before, but writers now double-write into the new layout. A new
+	// partition contained in a single old partition with the same
+	// replica set needs no move — its owners already hold the complete
+	// range — so stable ranges pay neither copy nor double-writes.
+	moves := make([]*move, 0, next.parts())
+	for p := 0; p < next.parts(); p++ {
+		lo, hi := next.bounds(p)
+		oplo, ophi := old.rangeParts(lo, hi)
+		if oplo == ophi && (p-oplo)%n == 0 { // replicaNodes depends on p mod nodes
+			continue
+		}
+		moves = append(moves, &move{
+			lo: lo, hi: hi,
+			dst:   c.replicaNodes(p),
+			tombs: make(map[string]struct{}),
+		})
+	}
+	mid := &routing{epoch: old.epoch + 1, splits: old.splits, moves: moves}
+	c.routing.Store(mid)
+
+	// Copy every moving range from the old layout's primaries. A key
+	// already present on the destination was double-written by a
+	// concurrent writer and is fresher than the copy's snapshot, so the
+	// copy must not overwrite it; a tombstoned key was deleted mid-move
+	// and must not come back.
+	for _, mv := range moves {
+		lo, hi := old.rangeParts(mv.lo, mv.hi)
+		for p := lo; p <= hi; p++ {
+			src := c.replicaNodes(p)[0]
+			kvs := c.nodes[src].scan(boundedStart(old, p, mv.lo), boundedEnd(old, p, mv.hi), 0, false)
+			for _, kv := range kvs {
+				mv.mu.Lock()
+				if _, dead := mv.tombs[string(kv.Key)]; !dead {
+					for _, id := range mv.dst {
+						c.nodes[id].putIfAbsent(kv.Key, kv.Value)
+					}
+				}
+				mv.mu.Unlock()
 			}
-			seenItems[string(kv.Key)] = struct{}{}
-			items = append(items, kvPair{kv.Key, kv.Value})
 		}
 	}
-	for _, nd := range c.nodes {
-		nd.mu.Lock()
-		nd.tree = btree.New()
-		nd.mu.Unlock()
-	}
-	c.splits = splits
-	for _, it := range items {
-		p := c.partitionOf(it.k)
-		for _, id := range c.replicaNodes(p) {
-			c.nodes[id].put(it.k, it.v)
+
+	// Flip: the new owners are complete; route everything to them.
+	c.routing.Store(next)
+
+	// Retire the old tables: once no operation holds them, no read can
+	// touch a former owner, and the moved ranges can be deleted.
+	c.drain(old)
+	c.drain(mid)
+	c.cleanup(next)
+}
+
+// cleanup deletes every key a node holds but does not own under rt.
+// Concurrent writes are safe: a write routed by rt only lands on owners,
+// which cleanup never touches for that key's range.
+func (c *Cluster) cleanup(rt *routing) {
+	for id, nd := range c.nodes {
+		for _, kv := range nd.scan(nil, nil, 0, false) {
+			owner := false
+			for _, rid := range c.replicaNodes(rt.partitionOf(kv.Key)) {
+				if rid == id {
+					owner = true
+					break
+				}
+			}
+			if !owner {
+				nd.delete(kv.Key)
+			}
 		}
 	}
 }
 
+// Epoch returns the current routing epoch. It advances by two per
+// rebalance (one for the move-in-progress table, one for the flip).
+func (c *Cluster) Epoch() int64 { return c.routing.Load().epoch }
+
 // Splits returns a copy of the current partition split points.
 func (c *Cluster) Splits() [][]byte {
-	out := make([][]byte, len(c.splits))
-	copy(out, c.splits)
+	splits := c.routing.Load().splits
+	out := make([][]byte, len(splits))
+	copy(out, splits)
 	return out
 }
 

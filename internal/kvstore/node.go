@@ -56,6 +56,19 @@ func (n *node) put(key, val []byte) {
 	n.tree.Put(key, val)
 }
 
+// putIfAbsent stores val only when key is not present, reporting whether
+// it wrote. The rebalance copy uses it so a double-written (fresher)
+// value is never clobbered by the copy's older snapshot.
+func (n *node) putIfAbsent(key, val []byte) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.tree.Get(key); ok {
+		return false
+	}
+	n.tree.Put(key, val)
+	return true
+}
+
 func (n *node) delete(key []byte) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()

@@ -71,7 +71,7 @@ func TestGetRangeScatterConcurrency(t *testing.T) {
 	env := sim.NewEnv()
 	c := New(Config{Nodes: 8, ReplicationFactor: 1, Seed: 3}, env)
 	loadAndSplit(c, 800)
-	if parts := len(c.splits) + 1; parts != 8 {
+	if parts := len(c.Splits()) + 1; parts != 8 {
 		t.Fatalf("expected 8 partitions after rebalance, got %d", parts)
 	}
 
@@ -128,7 +128,7 @@ func TestCountRangeParallel(t *testing.T) {
 	if gotTotal != wantTotal {
 		t.Fatalf("simulated CountRange = %d, want %d", gotTotal, wantTotal)
 	}
-	parts := int64(len(c.splits) + 1)
+	parts := int64(len(c.Splits()) + 1)
 	if ops < 2 || ops > parts {
 		t.Fatalf("CountRange ops = %d, want in [2, %d]", ops, parts)
 	}

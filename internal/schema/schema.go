@@ -180,6 +180,29 @@ func (ix *Index) String() string {
 	return fmt.Sprintf("%s(%s)", ix.Table, strings.Join(parts, ", "))
 }
 
+// IndexState is the lifecycle phase of an index in a catalog. The state
+// lives in the catalog (keyed by structural signature), not in the Index
+// value, so Index values stay immutable and shareable across snapshots
+// while the state advances through copy-on-write catalog updates.
+type IndexState int
+
+const (
+	// StateBuilding marks an index that is registered — and therefore
+	// already maintained by the write path — but whose backfill has not
+	// completed: it may still miss entries for pre-existing rows, so the
+	// planner must not serve queries from it.
+	StateBuilding IndexState = iota
+	// StateReady marks a fully backfilled index, safe to query.
+	StateReady
+)
+
+func (st IndexState) String() string {
+	if st == StateReady {
+		return "ready"
+	}
+	return "building"
+}
+
 // Signature identifies an index by its structure, ignoring the name, so
 // the engine can deduplicate compiler-requested indexes.
 func (ix *Index) Signature() string {
@@ -209,7 +232,8 @@ func (ix *Index) Signature() string {
 // them across snapshots (and across compiled plans) safe.
 type Catalog struct {
 	tables  map[string]*Table
-	indexes map[string][]*Index // by lower(table)
+	indexes map[string][]*Index   // by lower(table)
+	state   map[string]IndexState // by index signature; absent = building
 }
 
 // NewCatalog returns an empty catalog.
@@ -217,6 +241,7 @@ func NewCatalog() *Catalog {
 	return &Catalog{
 		tables:  make(map[string]*Table),
 		indexes: make(map[string][]*Index),
+		state:   make(map[string]IndexState),
 	}
 }
 
@@ -234,6 +259,9 @@ func (c *Catalog) Clone() *Catalog {
 	}
 	for k, ixs := range c.indexes {
 		nc.indexes[k] = append([]*Index(nil), ixs...)
+	}
+	for sig, st := range c.state {
+		nc.state[sig] = st
 	}
 	return nc
 }
@@ -302,6 +330,7 @@ func (c *Catalog) AddTable(t *Table) error {
 		pk.Fields = append(pk.Fields, IndexField{Column: col})
 	}
 	c.indexes[key] = append(c.indexes[key], pk)
+	c.state[pk.Signature()] = StateReady // the record layout needs no backfill
 	return nil
 }
 
@@ -346,10 +375,26 @@ func (c *Catalog) AddIndex(ix *Index) (*Index, error) {
 		}
 	}
 	c.indexes[strings.ToLower(ix.Table)] = append(c.indexes[strings.ToLower(ix.Table)], ix)
+	// A new secondary index starts life building: the write path maintains
+	// it from this moment, but the planner must wait for the backfill to
+	// flip it ready (engine.ensureBuilt).
+	c.state[sig] = StateBuilding
 	return ix, nil
 }
 
 // Indexes returns the indexes on a table.
 func (c *Catalog) Indexes(table string) []*Index {
 	return c.indexes[strings.ToLower(table)]
+}
+
+// IndexState returns the lifecycle state of an index in this catalog.
+// Unregistered indexes report building (the conservative answer).
+func (c *Catalog) IndexState(ix *Index) IndexState {
+	return c.state[ix.Signature()]
+}
+
+// SetIndexReady marks an index's backfill complete. Like every catalog
+// mutation it must only run on an unpublished clone (copy-on-write).
+func (c *Catalog) SetIndexReady(ix *Index) {
+	c.state[ix.Signature()] = StateReady
 }

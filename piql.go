@@ -42,12 +42,12 @@
 // resume elsewhere). SetStrategy applies to subsequent calls and should
 // be set up front, not raced with in-flight queries.
 //
-// Known limitation: CREATE INDEX concurrent with a write-heavy workload
-// on the same table can miss rows — a writer still on the pre-index
-// catalog snapshot can insert a row the backfill scan has already
-// passed, leaving that row absent from the new index until repaired
-// (see index.Maintainer.GCDangling for the reverse case). Run
-// schema-changing DDL before opening the table to write traffic.
+// CREATE INDEX is safe under a concurrent write-heavy workload on the
+// same table: the index is maintained by every write from the moment it
+// is registered in the catalog (state "building"), the backfill drains
+// in-flight writers before scanning, and queries are served from the
+// index only once it flips to "ready". The store likewise rebalances
+// under live traffic (see kvstore.Cluster.Rebalance).
 package piql
 
 import (
