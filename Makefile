@@ -29,9 +29,13 @@ race:
 	$(GO) test -race ./...
 
 # chaos runs just the online-maintenance gate, raced — the quick check
-# after touching the index lifecycle, write path, or routing table.
+# after touching the index lifecycle, write path, or routing table. It
+# includes the conditional-writer fleet (TestChaosOnlineOperations and
+# TestTestAndSetLinearizableAcrossRebalance model-check every TestAndSet
+# outcome across repeated chunked rebalances) and the chunk-window and
+# post-flip-sweep regressions.
 chaos:
-	$(GO) test -race -run 'TestChaosOnlineOperations|TestRebalanceUnderTraffic|TestRebalanceRangeReadsUnderTraffic|TestCreateIndexUnderConcurrentWrites|TestInsertRollbackRacingDelete' ./internal/...
+	$(GO) test -race -run 'TestChaosOnlineOperations|TestRebalanceUnderTraffic|TestRebalanceRangeReadsUnderTraffic|TestCreateIndexUnderConcurrentWrites|TestInsertRollbackRacingDelete|TestTestAndSetLinearizableAcrossRebalance|TestRebalanceChunkedCopy|TestRebalanceDeleteInEarlierChunkNoResurrect|TestCreateIndexRacingDeletesNoDangling|TestSimulatedCreateIndexDrainsWriters' ./internal/...
 
 # The hot-path benchmarks tracked across PRs: raw engine overhead,
 # the three execution strategies, and concurrent-session throughput.
@@ -40,10 +44,11 @@ BENCH_HOT = BenchmarkExecuteFindUser|BenchmarkFig12ExecutionStrategies|Benchmark
 # bench runs the hot benchmarks once with allocation stats and records
 # the raw run — newline-delimited test2json events, including every
 # ns/op / B/op / allocs/op line — as the perf-trajectory artifact
-# BENCH_3.json.
+# BENCH_4.json (compare against BENCH_3.json for the epoch-fencing
+# atomics' cost on the hot Get/Put path).
 bench:
-	$(GO) test -run xxx -bench '$(BENCH_HOT)' -benchtime 1x -benchmem -v -json . > BENCH_3.json
-	@grep -oE '(Benchmark[A-Za-z]+)?[^"]*allocs/op' BENCH_3.json | sed 's/\\t/  /g' || true
+	$(GO) test -run xxx -bench '$(BENCH_HOT)' -benchtime 1x -benchmem -v -json . > BENCH_4.json
+	@grep -oE '(Benchmark[A-Za-z]+)?[^"]*allocs/op' BENCH_4.json | sed 's/\\t/  /g' || true
 
 # bench-smoke is the short-mode gate inside ci: the cheapest hot
 # benchmark, enough to catch an executor hot path that stopped compiling

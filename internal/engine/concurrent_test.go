@@ -128,7 +128,9 @@ func TestConcurrentSessions(t *testing.T) {
 // needing a new secondary index. The first parks mid-backfill on
 // simulated store latency; the second must not block on the
 // single-flight channel (it holds the sim scheduler's only token — the
-// builder could never resume), but duplicate the idempotent backfill.
+// builder could never resume). It polls the build with a virtual-time
+// Yield instead, waiting for the same single-flight result as a real
+// goroutine would.
 func TestSimulatedSessionsColdPrepareSameIndex(t *testing.T) {
 	env := sim.NewEnv()
 	cluster := kvstore.New(kvstore.Config{Nodes: 2, ReplicationFactor: 2, Seed: 7}, env)

@@ -17,6 +17,7 @@ type Cursor struct {
 	prepared *Prepared
 	params   value.Row
 	resume   exec.ResumeState
+	scratch  exec.Scratch // buffers reused across pages (Lazy walk keys)
 	done     bool
 }
 
@@ -39,6 +40,7 @@ func (c *Cursor) Next(s *Session) (*exec.Result, error) {
 		Params:   c.params,
 		Strategy: s.strat,
 		Resume:   c.resume,
+		Scratch:  &c.scratch,
 	}
 	res, err := exec.Run(c.prepared.plan, ctx)
 	if err != nil {

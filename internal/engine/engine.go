@@ -83,6 +83,16 @@ type Engine struct {
 	// writer can still be acting on a pre-index catalog snapshot.
 	writeGate sync.RWMutex
 
+	// simDrains is the cooperative-mode analogue of a pending exclusive
+	// writeGate acquisition. A simulated builder cannot block in Lock()
+	// (it holds the scheduler token), and a bare TryLock spin never
+	// wins under sustained writers — a simulated writer is parked only
+	// while it is *inside* an op holding the gate, so the gate is never
+	// observably free. While simDrains > 0, simulated write operations
+	// yield before taking the gate, so only in-flight ops separate the
+	// drainer from its barrier.
+	simDrains atomic.Int32
+
 	defStrat atomic.Int32 // exec.Strategy
 }
 
@@ -207,8 +217,10 @@ type indexBuild struct {
 // request an index runs the backfill while racing sessions block until
 // it completes (previously two sessions could race the signature map,
 // with the loser reading the index mid-backfill). A successful build
-// flips the index to ready through a copy-on-write catalog publish; a
-// failed build is forgotten so a later Prepare can retry it.
+// flips the index to ready through a copy-on-write catalog publish and
+// then sweeps the dangling entries deletes racing the backfill scan can
+// leave (see sweepBackfillRace); a failed build is forgotten so a later
+// Prepare can retry it.
 func (e *Engine) ensureBuilt(s *Session, ixs []*schema.Index) error {
 	for _, ix := range ixs {
 		if ix.Primary {
@@ -227,24 +239,19 @@ func (e *Engine) ensureBuilt(s *Session, ixs []*schema.Index) error {
 		e.buildMu.Unlock()
 		if inFlight {
 			// A simulated-mode session holds the sim scheduler's token:
-			// blocking on the channel would deadlock the whole virtual-time
-			// environment (the builder proc could never be resumed). Entry
-			// puts are idempotent, so just duplicate the backfill instead.
+			// blocking on the channel would deadlock the whole virtual-
+			// time environment. Poll instead, parking for zero virtual
+			// time between attempts so the builder — simulated or real —
+			// makes progress. (The old workaround duplicated the whole
+			// backfill; now sim waiters get the same single-flight wait
+			// as real goroutines.)
 			if s.client.Simulated() {
-				select {
-				case <-b.done:
-					if b.err != nil {
-						return b.err
-					}
-				default:
-					if err := e.maint.Backfill(s.client, ix); err != nil {
-						return err
-					}
-					e.markReady(ix) // this session's scan was complete
+				for !b.finished() {
+					s.client.Yield()
 				}
-				continue
+			} else {
+				<-b.done
 			}
-			<-b.done
 			if b.err != nil {
 				return b.err
 			}
@@ -252,17 +259,16 @@ func (e *Engine) ensureBuilt(s *Session, ixs []*schema.Index) error {
 		}
 		// This session is the builder. The index is already registered
 		// (building) in the published catalog, so every write that starts
-		// from here on maintains it. Drain writers that may still hold a
-		// pre-index snapshot before scanning — except in simulated mode,
-		// where blocking on the gate while holding the scheduler token
-		// would deadlock virtual time (simulated builds accept the
-		// cooperative scheduler's coarser interleaving instead).
-		if !s.client.Simulated() {
-			e.writeGate.Lock()
-			//lint:ignore SA2001 empty critical section is the drain barrier
-			e.writeGate.Unlock()
-		}
+		// from here on maintains it. Open the build-tombstone registry
+		// first — every delete that could race the scan records its entry
+		// keys there — then drain writers that may still hold a pre-index
+		// snapshot: any write that starts after the drain sees both the
+		// index and the registry; any write from before finishes before
+		// the scan and is picked up (or skipped) by it.
+		e.maint.BeginBuildTombstones(ix)
+		e.drainWriters(s)
 		b.err = e.maint.Backfill(s.client, ix)
+		suspects := e.maint.TakeBuildTombstones(ix)
 		if b.err == nil {
 			e.markReady(ix)
 		} else {
@@ -270,6 +276,13 @@ func (e *Engine) ensureBuilt(s *Session, ixs []*schema.Index) error {
 			delete(e.builds, sig)
 			e.buildMu.Unlock()
 		}
+		// Sweep even after a failed backfill: the aborted scan may
+		// already have re-put entries for rows deleted while it ran, and
+		// a retry's registry starts fresh — its scan no longer sees the
+		// deleted rows, so these suspects are the only record of the
+		// ghosts. Deleting a confirmed-dangling entry is safe at any
+		// lifecycle stage.
+		e.sweepBackfillRace(s, ix, suspects)
 		close(b.done)
 		if b.err != nil {
 			return b.err
@@ -278,8 +291,96 @@ func (e *Engine) ensureBuilt(s *Session, ixs []*schema.Index) error {
 	return nil
 }
 
+// finished reports whether the build's done channel is closed, without
+// blocking — the poll a cooperative simulated waiter needs.
+func (b *indexBuild) finished() bool {
+	select {
+	case <-b.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// drainWriters blocks until every write operation that started before
+// the call has finished: one brief exclusive acquire of writeGate. A
+// simulated session cannot block on the gate — it holds the cooperative
+// scheduler's token, and the writers it is waiting for are parked
+// processes that need that token to finish — so it raises simDrains
+// (new simulated write ops yield instead of starting, exactly as a
+// pending real Lock blocks new readers) and spins on TryLock, parking
+// until the next event between attempts; the in-flight gate holders
+// run to completion in between. This gives sim runs the same bounded,
+// building→ready drain as real goroutines.
+func (e *Engine) drainWriters(s *Session) {
+	if s.client.Simulated() {
+		e.simDrains.Add(1)
+		for !e.writeGate.TryLock() {
+			s.client.Yield()
+		}
+		e.writeGate.Unlock()
+		e.simDrains.Add(-1)
+		return
+	}
+	e.writeGate.Lock()
+	//lint:ignore SA2001 empty critical section is the drain barrier
+	e.writeGate.Unlock()
+}
+
+// awaitDrains holds a simulated write operation at the door while a
+// drain is pending — the cooperative counterpart of sync.RWMutex's
+// writer preference. Called before every shared writeGate acquisition;
+// immediate-mode sessions rely on the RWMutex itself.
+func (s *Session) awaitDrains() {
+	if !s.client.Simulated() {
+		return
+	}
+	for s.eng.simDrains.Load() != 0 {
+		s.client.Yield()
+	}
+}
+
+// sweepBackfillRace closes the delete-racing-backfill window: a row
+// deleted while the backfill scan ran can have its entry re-put by the
+// scan after the delete removed it — possibly on a subset of replicas,
+// since replica writes are not atomic across nodes — leaving a dangling
+// entry that previously lingered until a lazy GCDangling pass. The
+// suspects are the build-tombstone registry's contents: exactly the
+// entry keys writers deleted while the backfill ran, with no index
+// re-scan (a scan could even miss a replica-diverged ghost, because
+// range reads pick one replica). The sweep confirms each suspect under
+// a writer drain — so an in-flight insert re-adding the same key is
+// never mistaken for a dangle — and deletes the confirmed ones, which
+// also re-converges diverged replicas (a delete reaches every node).
+// Best-effort by design: an error leaves entries for the lazy GC,
+// never a missing entry.
+func (e *Engine) sweepBackfillRace(s *Session, ix *schema.Index, suspects [][]byte) {
+	if len(suspects) == 0 {
+		return
+	}
+	if s.client.Simulated() {
+		// A simulated sweep must not hold the gate across virtual-time
+		// parks (writers blocked on the held gate could never run
+		// again). Instead: drain writers in virtual time — every
+		// in-flight insert has committed its record — then confirm
+		// through an immediate (zero-latency) client. The builder holds
+		// the cooperative scheduler's only token and never parks during
+		// the confirm, so no writer can interleave between a suspect's
+		// re-check and its delete: the same exclusion the write gate
+		// provides for real goroutines. (The sweep's requests pay no
+		// virtual time; maintenance cost is not part of the modeled
+		// workload.)
+		e.drainWriters(s)
+		_, _ = e.maint.DeleteConfirmedDangling(e.cluster.NewClient(nil), ix, suspects)
+		return
+	}
+	e.writeGate.Lock()
+	defer e.writeGate.Unlock()
+	_, _ = e.maint.DeleteConfirmedDangling(s.client, ix, suspects)
+}
+
 // markReady publishes a catalog snapshot with the index flipped to
-// ready. Idempotent (racing duplicate builders in simulated mode).
+// ready. Idempotent.
 func (e *Engine) markReady(ix *schema.Index) {
 	_ = e.updateCatalog(func(next *schema.Catalog) error {
 		next.SetIndexReady(ix)
@@ -397,6 +498,7 @@ func (s *Session) Query(sql string, params ...value.Value) (*exec.Result, error)
 // ensureBuilt). Shared acquisition is uncontended in the steady state.
 
 func (s *Session) insert(stmt *parser.Insert, params []value.Value) error {
+	s.awaitDrains()
 	s.eng.writeGate.RLock()
 	defer s.eng.writeGate.RUnlock()
 	t := s.eng.Catalog().Table(stmt.Table)
@@ -411,6 +513,7 @@ func (s *Session) insert(stmt *parser.Insert, params []value.Value) error {
 }
 
 func (s *Session) update(stmt *parser.Update, params []value.Value) error {
+	s.awaitDrains()
 	s.eng.writeGate.RLock()
 	defer s.eng.writeGate.RUnlock()
 	t := s.eng.Catalog().Table(stmt.Table)
@@ -451,6 +554,7 @@ func (s *Session) update(stmt *parser.Update, params []value.Value) error {
 }
 
 func (s *Session) delete(stmt *parser.Delete, params []value.Value) error {
+	s.awaitDrains()
 	s.eng.writeGate.RLock()
 	defer s.eng.writeGate.RUnlock()
 	t := s.eng.Catalog().Table(stmt.Table)

@@ -360,6 +360,51 @@ func TestPaginationFullTraversal(t *testing.T) {
 	}
 }
 
+// TestPaginationLazyStrategy pages the same cursor query under the
+// LazyExecutor, whose tuple-at-a-time range walk advances a successor
+// key per tuple. The cursor threads one scratch buffer through every
+// page (exec.Scratch), so the walk reuses it instead of allocating per
+// tuple — this pins the results staying identical to the batched
+// strategies across page boundaries, where a stale or clobbered buffer
+// would skip or repeat tuples.
+func TestPaginationLazyStrategy(t *testing.T) {
+	_, s := newTestEngine(t, 4)
+	loadSCADr(t, s, 5, 47, 2)
+	q, err := s.Prepare(`SELECT timestamp FROM thoughts WHERE owner = ? ORDER BY timestamp DESC PAGINATE 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetStrategy(exec.Lazy)
+	cur, err := q.Paginate(value.Str("user002"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []int64
+	for pages := 0; !cur.Done(); pages++ {
+		if pages > 10 {
+			t.Fatal("cursor did not terminate")
+		}
+		res, err := cur.Next(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res == nil {
+			break
+		}
+		for _, row := range res.Rows {
+			all = append(all, row[0].I)
+		}
+	}
+	if len(all) != 47 {
+		t.Fatalf("lazy traversal saw %d thoughts, want 47", len(all))
+	}
+	for i := range all {
+		if all[i] != int64(1046-i) {
+			t.Fatalf("lazy position %d = %d, want %d", i, all[i], 1046-i)
+		}
+	}
+}
+
 // TestCursorSerializationAcrossSessions ships a serialized cursor to a
 // "different application server" (fresh session) and resumes.
 func TestCursorSerializationAcrossSessions(t *testing.T) {

@@ -5,10 +5,12 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"piql/internal/index"
 	"piql/internal/kvstore"
 	"piql/internal/schema"
+	"piql/internal/sim"
 	"piql/internal/value"
 )
 
@@ -134,6 +136,199 @@ func prefixEnd(prefix []byte) []byte {
 		}
 	}
 	return nil
+}
+
+// TestSimulatedCreateIndexDrainsWriters is the sim-mode half of the
+// online-build guarantee: virtual-time writer processes insert rows
+// (parking mid-operation on store latency, catalog snapshot in hand)
+// while another process runs CREATE INDEX. The builder used to skip the
+// writer drain in simulated mode — blocking on the gate would deadlock
+// the cooperative scheduler — so a writer still acting on a pre-index
+// snapshot could insert a row the backfill scan had already passed.
+// With the yield-based drain the builder waits the writers out in
+// virtual time, and the ready index must cover every row, exactly as
+// under real goroutines.
+func TestSimulatedCreateIndexDrainsWriters(t *testing.T) {
+	for round := 0; round < 3; round++ {
+		env := sim.NewEnv()
+		cluster := kvstore.New(kvstore.Config{Nodes: 4, ReplicationFactor: 2, Seed: int64(31 + round)}, env)
+		eng := New(cluster)
+		loader := eng.Session(nil)
+		if err := loader.Exec(`CREATE TABLE simfolk (name VARCHAR(30), town VARCHAR(30), tag VARCHAR(10), PRIMARY KEY (name))`); err != nil {
+			t.Fatal(err)
+		}
+		// A pre-built index makes every insert pay an entry put *before*
+		// its record write — so a simulated writer parks mid-operation
+		// with its (possibly pre-index) catalog snapshot in hand. That is
+		// the window the drain must close for the index raced below.
+		if err := loader.Exec(`CREATE INDEX sim_tag ON simfolk (tag, name)`); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 80; i++ {
+			if err := loader.Exec(`INSERT INTO simfolk VALUES (?, 'Berkeley', 't0')`,
+				value.Str(fmt.Sprintf("seed-%03d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var total atomic.Int64
+		var procErr error
+		const writers = 4
+		for g := 0; g < writers; g++ {
+			g := g
+			env.Spawn(func(p *sim.Proc) {
+				s := eng.Session(p)
+				for i := 0; i < 60; i++ {
+					if err := s.Exec(`INSERT INTO simfolk VALUES (?, 'Berkeley', 't1')`,
+						value.Str(fmt.Sprintf("w%d-%03d", g, i))); err != nil {
+						procErr = fmt.Errorf("writer %d: %v", g, err)
+						return
+					}
+					total.Add(1)
+				}
+			})
+		}
+		env.Spawn(func(p *sim.Proc) {
+			p.Sleep(2 * time.Millisecond) // land mid-stream
+			s := eng.Session(p)
+			if err := s.Exec(`CREATE INDEX sim_town ON simfolk (town, name)`); err != nil {
+				procErr = fmt.Errorf("create index: %v", err)
+			}
+		})
+		env.Run(0)
+		env.Stop()
+		if procErr != nil {
+			t.Fatal(procErr)
+		}
+
+		var ix *schema.Index
+		for _, cand := range eng.Catalog().Indexes("simfolk") {
+			if cand.Name == "sim_town" {
+				ix = cand
+			}
+		}
+		if ix == nil {
+			t.Fatal("raced secondary index missing")
+		}
+		if st := eng.Catalog().IndexState(ix); st != schema.StateReady {
+			t.Fatalf("index state %v after simulated build, want ready", st)
+		}
+		tbl := eng.Catalog().Table("simfolk")
+		cl := cluster.NewClient(nil)
+		prefix := index.RecordPrefix(tbl)
+		records := 0
+		for _, kv := range cl.GetRange(kvstore.RangeRequest{Start: prefix, End: prefixEnd(prefix)}) {
+			row, err := value.DecodeRow(kv.Value)
+			if err != nil {
+				t.Fatal(err)
+			}
+			records++
+			for _, ekey := range index.EntryKeys(ix, tbl, row) {
+				if _, ok := cl.Get(ekey); !ok {
+					t.Fatalf("round %d: row %v written during the simulated backfill is missing its entry", round, row)
+				}
+			}
+		}
+		if want := int(total.Load()) + 80; records != want {
+			t.Fatalf("round %d: %d records, want %d", round, records, want)
+		}
+	}
+}
+
+// TestCreateIndexRacingDeletesNoDangling proves the post-flip sweep: a
+// delete racing the backfill scan can have its entry re-put after the
+// row is gone, which previously dangled until a lazy GCDangling pass.
+// ensureBuilt now sweeps suspects after the flip and confirms them under
+// a writer drain, so once CREATE INDEX and the deleters finish, the
+// index must mirror the records exactly — with no GC call here.
+func TestCreateIndexRacingDeletesNoDangling(t *testing.T) {
+	for round := 0; round < 6; round++ {
+		cluster := kvstore.New(kvstore.Config{Nodes: 4, ReplicationFactor: 2, Seed: int64(round + 41)}, nil)
+		eng := New(cluster)
+		loader := eng.Session(nil)
+		if err := loader.Exec(`CREATE TABLE doomed (id VARCHAR(30), tag VARCHAR(20), PRIMARY KEY (id))`); err != nil {
+			t.Fatal(err)
+		}
+		const rows = 3000
+		for i := 0; i < rows; i++ {
+			if err := loader.Exec(`INSERT INTO doomed VALUES (?, ?)`,
+				value.Str(fmt.Sprintf("row-%04d", i)), value.Str(fmt.Sprintf("tag-%02d", i%7))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, 3)
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				s := eng.Session(nil)
+				// Race the backfill, not the loader: hold until the index is
+				// registered (building), then delete while its scan re-puts
+				// entries — the exact interleaving that used to dangle.
+				for len(eng.Catalog().Indexes("doomed")) < 2 {
+				}
+				for i := g; i < rows; i += 2 { // split the rows between deleters
+					if i%3 == 0 {
+						continue // leave a third of the table alive
+					}
+					if err := s.Exec(`DELETE FROM doomed WHERE id = ?`,
+						value.Str(fmt.Sprintf("row-%04d", i))); err != nil {
+						select {
+						case errs <- err:
+						default:
+						}
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := eng.Session(nil)
+			if err := s.Exec(`CREATE INDEX doomed_tag ON doomed (tag, id)`); err != nil {
+				select {
+				case errs <- err:
+				default:
+				}
+			}
+		}()
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+
+		var ix *schema.Index
+		for _, cand := range eng.Catalog().Indexes("doomed") {
+			if !cand.Primary {
+				ix = cand
+			}
+		}
+		tbl := eng.Catalog().Table("doomed")
+		cl := cluster.NewClient(nil)
+		want := make(map[string]bool)
+		rp := index.RecordPrefix(tbl)
+		for _, kv := range cl.GetRange(kvstore.RangeRequest{Start: rp, End: prefixEnd(rp)}) {
+			row, err := value.DecodeRow(kv.Value)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ekey := range index.EntryKeys(ix, tbl, row) {
+				want[string(ekey)] = true
+			}
+		}
+		ip := index.IndexPrefix(ix)
+		for _, kv := range cl.GetRange(kvstore.RangeRequest{Start: ip, End: prefixEnd(ip)}) {
+			if !want[string(kv.Key)] {
+				t.Fatalf("round %d: dangling entry %q survived the post-flip sweep", round, kv.Key)
+			}
+			delete(want, string(kv.Key))
+		}
+		for k := range want {
+			t.Fatalf("round %d: record missing its entry %q", round, []byte(k))
+		}
+	}
 }
 
 // TestCreateIndexFailureIsRetryable pins the failed-build path: a

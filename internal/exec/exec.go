@@ -56,6 +56,19 @@ type Ctx struct {
 	// queries; nil means start from the beginning. Run replaces it with
 	// the state to pass to the next page.
 	Resume ResumeState
+	// Scratch optionally carries buffers reused across executions. A
+	// Cursor threads the same Scratch through every page, so the Lazy
+	// strategy's tuple-at-a-time pagination walk reuses one successor-key
+	// buffer across all Next calls instead of allocating per tuple.
+	Scratch *Scratch
+}
+
+// Scratch is a reusable buffer set for repeated executions of the same
+// query (one page after another through a Cursor). The zero value is
+// ready to use; a Scratch must not be shared between concurrent
+// executions.
+type Scratch struct {
+	key []byte // successor-key buffer for the Lazy tuple-at-a-time walk
 }
 
 // ResumeState maps a remote operator's ordinal (leaf first) to the

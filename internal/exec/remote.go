@@ -114,6 +114,17 @@ func (e *executor) fetchRange(start, end []byte, limit int, reverse bool) []kvst
 	case e.ctx.Strategy != Lazy || limit <= 0:
 		return e.ctx.Client.GetRange(req)
 	}
+	// Tuple-at-a-time walk: each fetched key becomes the next request's
+	// start bound. The successor key lives in a scratch buffer reused
+	// across tuples — and, when the caller threads a Scratch through
+	// (Cursor pagination), across pages — so the walk's only per-tuple
+	// cost is the request itself, not an allocation. Rebinding the
+	// buffer between iterations is safe: GetRange reads its bounds only
+	// for the duration of the call.
+	var buf []byte
+	if e.ctx.Scratch != nil {
+		buf = e.ctx.Scratch.key
+	}
 	var out []kvstore.KV
 	for len(out) < limit {
 		kvs := e.ctx.Client.GetRange(kvstore.RangeRequest{Start: start, End: end, Limit: 1, Reverse: reverse})
@@ -124,8 +135,13 @@ func (e *executor) fetchRange(start, end []byte, limit int, reverse bool) []kvst
 		if reverse {
 			end = kvs[0].Key
 		} else {
-			start = successor(kvs[0].Key)
+			buf = append(buf[:0], kvs[0].Key...)
+			buf = append(buf, 0x00)
+			start = buf
 		}
+	}
+	if e.ctx.Scratch != nil {
+		e.ctx.Scratch.key = buf
 	}
 	return out
 }

@@ -30,26 +30,47 @@ type ChaosConfig struct {
 	OpsPerWriter int
 	// Rebalances is how many times the cluster rebalances during the run.
 	Rebalances int
+	// CASWriters is the number of conditional-writer goroutines racing
+	// TestAndSet on CASKeys shared keys. Every accepted swap is recorded
+	// and replayed against a serial model after the run: with unique
+	// update values, a linearizable register admits exactly one accepted
+	// swap per state, so a double-accept across a rebalance flip (the
+	// pre-fencing anomaly) or a lost accepted swap fails the audit.
+	CASWriters int
+	// CASKeys is how many shared keys the conditional writers contend on.
+	CASKeys int
+	// CASOpsPerWriter is each conditional writer's attempt count.
+	CASOpsPerWriter int
+	// MoveChunkKeys bounds the rebalance copy's chunk windows (0 =
+	// store default); the chaos run keeps it small so every rebalance
+	// crosses many windows.
+	MoveChunkKeys int
 	// Seed drives the cluster's randomness.
 	Seed int64
 }
 
 // DefaultChaosConfig keeps the run under a second in immediate mode.
 func DefaultChaosConfig() ChaosConfig {
-	return ChaosConfig{Nodes: 6, Writers: 8, OpsPerWriter: 300, Rebalances: 8, Seed: 1}
+	return ChaosConfig{
+		Nodes: 6, Writers: 8, OpsPerWriter: 300, Rebalances: 8,
+		CASWriters: 6, CASKeys: 4, CASOpsPerWriter: 400, MoveChunkKeys: 32,
+		Seed: 1,
+	}
 }
 
 // ChaosResult summarizes a chaos run. Any integrity violation is
 // reported through the error return of RunChaos instead; the counters
 // here prove the run actually exercised the online paths.
 type ChaosResult struct {
-	Inserted   int64 // rows successfully inserted
-	Deleted    int64 // rows deleted again
-	Reads      int64 // point queries issued by writers mid-run
-	Rebalances int   // rebalances completed during traffic
-	Records    int   // rows surviving at the end
-	Entries    int   // index entries at the end (== Records when clean)
-	Epoch      int64 // final routing epoch
+	Inserted     int64 // rows successfully inserted
+	Deleted      int64 // rows deleted again
+	Reads        int64 // point queries issued by writers mid-run
+	Rebalances   int   // rebalances completed during traffic
+	Records      int   // rows surviving at the end
+	Entries      int   // index entries at the end (== Records when clean)
+	Epoch        int64 // final routing epoch
+	CASAccepted  int64 // conditional swaps accepted (all model-checked)
+	FenceRejects int64 // conditional decisions retried after epoch fencing
 }
 
 // RunChaos builds a table, starts the writer fleet, and — while the
@@ -69,10 +90,14 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	if cfg.OpsPerWriter <= 0 {
 		cfg.OpsPerWriter = 200
 	}
+	if cfg.CASWriters > 0 && cfg.CASKeys <= 0 {
+		cfg.CASKeys = 1 // the audit loop must cover every key the fleet touches
+	}
 	cluster := kvstore.New(kvstore.Config{
 		Nodes:             cfg.Nodes,
 		ReplicationFactor: 2,
 		Seed:              cfg.Seed,
+		MoveChunkKeys:     cfg.MoveChunkKeys,
 	}, nil)
 	eng := engine.New(cluster)
 	loader := eng.Session(nil)
@@ -158,6 +183,32 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		}(g)
 	}
 
+	// The conditional-writer fleet: raw TestAndSet races on shared store
+	// keys, each writer expecting the value it just read and installing a
+	// globally unique one. Accepted swaps are recorded for the serial
+	// model audit after the run.
+	type casSwap struct{ key, expect, update string }
+	var casMu sync.Mutex
+	var casAccepted []casSwap
+	casKey := func(i int) []byte { return []byte(fmt.Sprintf("chaos-cas-%02d", i%cfg.CASKeys)) }
+	for g := 0; g < cfg.CASWriters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl := cluster.NewClient(nil)
+			for i := 0; i < cfg.CASOpsPerWriter; i++ {
+				k := casKey(g + i)
+				cur, _ := cl.Get(k) // nil = absent
+				up := []byte(fmt.Sprintf("cas-w%02d-%06d", g, i))
+				if cl.TestAndSet(k, cur, up) {
+					casMu.Lock()
+					casAccepted = append(casAccepted, casSwap{string(k), string(cur), string(up)})
+					casMu.Unlock()
+				}
+			}
+		}(g)
+	}
+
 	// The storm: build an index and rebalance, all while the fleet writes.
 	stormErr := make(chan error, 1)
 	var rebalanced atomic.Int64
@@ -183,6 +234,56 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	if err := <-stormErr; err != nil {
 		return nil, err
 	}
+
+	// Serial model check of every conditional outcome: per key the
+	// accepted swaps must chain — one accept per state, starting from
+	// absent, ending at the stored value. A fork means two swaps were
+	// accepted from the same state (a double-accept across an epoch
+	// flip); a short or mis-terminated chain means an accepted swap was
+	// lost.
+	auditCl := cluster.NewClient(nil)
+	chains := make(map[string]map[string]casSwap)
+	for _, sw := range casAccepted {
+		m := chains[sw.key]
+		if m == nil {
+			m = make(map[string]casSwap)
+			chains[sw.key] = m
+		}
+		if prev, dup := m[sw.expect]; dup {
+			return nil, fmt.Errorf("chaos: double-accepted TestAndSet on %s: %q and %q both won from state %q",
+				sw.key, prev.update, sw.update, sw.expect)
+		}
+		m[sw.expect] = sw
+	}
+	for i := 0; i < cfg.CASKeys; i++ {
+		k := string(casKey(i))
+		chain := chains[k]
+		cur := ""
+		steps := 0
+		for {
+			sw, ok := chain[cur]
+			if !ok {
+				break
+			}
+			cur = sw.update
+			steps++
+		}
+		if steps != len(chain) {
+			return nil, fmt.Errorf("chaos: %s has %d accepted swaps but the serial chain explains %d",
+				k, len(chain), steps)
+		}
+		got, ok := auditCl.Get([]byte(k))
+		if cur == "" {
+			if ok {
+				return nil, fmt.Errorf("chaos: %s should be absent, holds %q", k, got)
+			}
+		} else if !ok || string(got) != cur {
+			return nil, fmt.Errorf("chaos: lost accepted swap on %s: chain ends at %q, store holds %q (present=%v)",
+				k, cur, got, ok)
+		}
+	}
+	res.CASAccepted = int64(len(casAccepted))
+	res.FenceRejects = cluster.FenceRejects()
 
 	// Audit: the index is ready and mirrors the records exactly.
 	cat := eng.Catalog()
@@ -212,11 +313,13 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 			want[string(ekey)] = true
 		}
 	}
-	// A delete racing the backfill scan can leave a dangling entry (the
-	// entry re-put lands after the row's deletion) — the documented,
-	// GC-able fallout class of Section 7.2's ordering. Collect those,
-	// then require the index to mirror the records exactly. A *missing*
-	// entry is never tolerable: that is the write gap this PR closes.
+	// Deletes racing the backfill are swept by the build-tombstone pass
+	// inside CREATE INDEX, so they no longer dangle. What GC may still
+	// collect is the documented insert-rollback sliver (a duplicate
+	// insert's rollback racing the winner's entry writes) — Section
+	// 7.2's GC-able fallout class. Collect that, then require the index
+	// to mirror the records exactly. A *missing* entry is never
+	// tolerable: that is the write gap the online-build protocol closes.
 	gc := index.NewMaintainer(eng)
 	if _, err := gc.GCDangling(cl, ix); err != nil {
 		return nil, fmt.Errorf("chaos: gc: %w", err)
@@ -247,6 +350,8 @@ func grpName(i int) string { return fmt.Sprintf("grp-%02d", i%16) }
 func (r *ChaosResult) Print(out io.Writer) {
 	fmt.Fprintf(out, "chaos: online backfill + %d rebalances under live writes\n", r.Rebalances)
 	fmt.Fprintf(out, "  inserted %d, deleted %d, read-back checks %d\n", r.Inserted, r.Deleted, r.Reads)
+	fmt.Fprintf(out, "  conditional writers: %d accepted swaps, all model-checked; %d fence retries\n",
+		r.CASAccepted, r.FenceRejects)
 	fmt.Fprintf(out, "  final: %d records, %d index entries, routing epoch %d — clean\n\n",
 		r.Records, r.Entries, r.Epoch)
 }

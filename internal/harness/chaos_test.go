@@ -6,16 +6,23 @@ import (
 )
 
 // TestChaosOnlineOperations gates the online paths in CI (make race runs
-// it under the race detector): writers hammer the engine while an index
-// backfills and the cluster rebalances repeatedly. RunChaos returns an
-// error on any failed read, lost key, missing index entry, or
-// un-GC-able dangling entry.
+// it under the race detector): writers hammer the engine — and a
+// conditional-writer fleet races TestAndSet on shared keys — while an
+// index backfills and the cluster runs repeated chunked rebalances.
+// RunChaos returns an error on any failed read, lost key, missing index
+// entry, un-GC-able dangling entry, or any conditional outcome the
+// serial model cannot explain (double-accepted or lost swaps).
 func TestChaosOnlineOperations(t *testing.T) {
 	cfg := DefaultChaosConfig()
 	if testing.Short() {
 		cfg.Writers = 4
-		cfg.OpsPerWriter = 100
+		// Must exceed the writer fleet's 119-id cycle: the delete branch
+		// only fires on a row a *previous* iteration inserted at the same
+		// id, which first happens once i wraps past 119.
+		cfg.OpsPerWriter = 150
 		cfg.Rebalances = 3
+		cfg.CASWriters = 3
+		cfg.CASOpsPerWriter = 150
 	}
 	res, err := RunChaos(cfg)
 	if err != nil {
@@ -23,6 +30,9 @@ func TestChaosOnlineOperations(t *testing.T) {
 	}
 	if res.Inserted == 0 || res.Deleted == 0 || res.Reads == 0 {
 		t.Fatalf("chaos exercised nothing: %+v", res)
+	}
+	if res.CASAccepted == 0 {
+		t.Fatalf("conditional-writer fleet accepted nothing: %+v", res)
 	}
 	if res.Rebalances != cfg.Rebalances {
 		t.Fatalf("completed %d rebalances, want %d", res.Rebalances, cfg.Rebalances)

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"piql/internal/codec"
 	"piql/internal/kvstore"
@@ -23,16 +25,92 @@ type CatalogSource interface {
 // store, keeping every registered secondary index consistent and
 // enforcing the schema's uniqueness and cardinality constraints.
 //
-// A Maintainer holds no mutable state of its own: it is safe for
-// concurrent use as long as each call gets its own kvstore.Client and
-// the CatalogSource is safe (an atomically published snapshot is).
+// A Maintainer holds no per-row state: it is safe for concurrent use as
+// long as each call gets its own kvstore.Client and the CatalogSource
+// is safe (an atomically published snapshot is). Its only mutable state
+// is the build-tombstone registry — the mutex-guarded rendezvous
+// between writers deleting entries of a still-building index and that
+// index's backfill (see BeginBuildTombstones).
 type Maintainer struct {
 	src CatalogSource
+
+	// activeBuilds counts open registries so the steady-state delete
+	// path (no backfill in flight) pays one atomic load, not a lock.
+	activeBuilds atomic.Int32
+
+	// buildTombs records, per in-flight backfill (by index signature),
+	// every entry key a writer deleted while the index was building.
+	// The backfill's scan snapshot may re-put such an entry after the
+	// delete — and because replica writes are not atomic across nodes,
+	// the put and the delete can even interleave per replica, leaving
+	// the entry on some replicas only. The builder re-checks exactly
+	// these keys after its scan and deletes the ones still dangling
+	// (a delete reaches every replica, so it also re-converges them).
+	tombMu     sync.Mutex
+	buildTombs map[string]map[string]struct{}
 }
 
 // NewMaintainer returns a write-path helper over the catalog source.
 func NewMaintainer(src CatalogSource) *Maintainer {
 	return &Maintainer{src: src}
+}
+
+// BeginBuildTombstones opens the tombstone registry for one index
+// backfill. From this call until TakeBuildTombstones, every writer that
+// deletes entries of the index records their keys first (writers find
+// the registry by the index's signature). The builder must open the
+// registry before draining writers, so any write that could overlap the
+// scan already sees it.
+func (m *Maintainer) BeginBuildTombstones(ix *schema.Index) {
+	m.tombMu.Lock()
+	if m.buildTombs == nil {
+		m.buildTombs = make(map[string]map[string]struct{})
+	}
+	if _, open := m.buildTombs[ix.Signature()]; !open {
+		m.buildTombs[ix.Signature()] = make(map[string]struct{})
+		m.activeBuilds.Add(1)
+	}
+	m.tombMu.Unlock()
+}
+
+// TakeBuildTombstones closes the registry and returns the entry keys
+// deleted while the backfill ran — the exact suspect set for the
+// post-flip dangling sweep. Returns nil if the registry was never
+// opened.
+func (m *Maintainer) TakeBuildTombstones(ix *schema.Index) [][]byte {
+	m.tombMu.Lock()
+	defer m.tombMu.Unlock()
+	set, open := m.buildTombs[ix.Signature()]
+	if open {
+		delete(m.buildTombs, ix.Signature())
+		m.activeBuilds.Add(-1)
+	}
+	if len(set) == 0 {
+		return nil
+	}
+	keys := make([][]byte, 0, len(set))
+	for k := range set {
+		keys = append(keys, []byte(k))
+	}
+	return keys
+}
+
+// recordBuildTombstones notes entry keys a writer is about to delete,
+// when ix has an open backfill registry. Must be called before the
+// deletes are issued: a key recorded after the builder collected the
+// registry is guaranteed to be deleted after every backfill put of that
+// key, which cannot leave a dangle.
+func (m *Maintainer) recordBuildTombstones(ix *schema.Index, keys [][]byte) {
+	if len(keys) == 0 || m.activeBuilds.Load() == 0 {
+		return
+	}
+	m.tombMu.Lock()
+	if set, ok := m.buildTombs[ix.Signature()]; ok {
+		for _, k := range keys {
+			set[string(k)] = struct{}{}
+		}
+	}
+	m.tombMu.Unlock()
 }
 
 // ErrDuplicateKey is returned when an insert collides with an existing
@@ -102,6 +180,12 @@ func (m *Maintainer) Insert(cl *kvstore.Client, t *schema.Table, row value.Row) 
 	// matters between the entries and the record, not among entries).
 	putEntries(cl, entryKeysFor(ixs, t, row))
 	// (2) Insert the record if absent (uniqueness via test-and-set).
+	// TestAndSet is linearizable across rebalances: the store absorbs
+	// epoch-fencing retries internally (a fenced decision was never made,
+	// so re-running the test is safe), which means a false return here is
+	// always a genuine duplicate — decided by the one authoritative
+	// primary — never a routing artifact. Duplicate-key detection and the
+	// rollback below rely on that exactness.
 	rkey := RecordKey(t, row)
 	if !cl.TestAndSet(rkey, nil, rec) {
 		// Roll back the entries we just wrote. While the colliding row
@@ -115,7 +199,7 @@ func (m *Maintainer) Insert(cl *kvstore.Client, t *schema.Table, row value.Row) 
 				m.deleteStaleEntries(cl, ixs, t, row, old)
 			}
 		} else {
-			deleteEntries(cl, entryKeysFor(ixs, t, row))
+			m.deleteRowEntries(cl, ixs, t, row)
 			// A concurrent insert of the same key may have committed while
 			// we were deleting — and its entry keys can coincide with the
 			// ones just removed. Restore whatever the winner's row needs.
@@ -142,7 +226,7 @@ func (m *Maintainer) Insert(cl *kvstore.Client, t *schema.Table, row value.Row) 
 			// Violation: undo the insert (record first so readers stop
 			// seeing it, then entries).
 			cl.Delete(rkey)
-			deleteEntries(cl, entryKeysFor(ixs, t, row))
+			m.deleteRowEntries(cl, ixs, t, row)
 			return &ErrCardinalityExceeded{Table: t.Name, Columns: card.Columns, Limit: card.Limit}
 		}
 	}
@@ -296,13 +380,28 @@ func (m *Maintainer) deleteStaleEntries(cl *kvstore.Client, ixs []*schema.Index,
 		for _, key := range EntryKeys(ix, t, keepRow) {
 			keep[string(key)] = true
 		}
+		var ixStale [][]byte
 		for _, key := range EntryKeys(ix, t, oldRow) {
 			if !keep[string(key)] {
-				stale = append(stale, key)
+				ixStale = append(ixStale, key)
 			}
 		}
+		m.recordBuildTombstones(ix, ixStale)
+		stale = append(stale, ixStale...)
 	}
 	deleteEntries(cl, stale)
+}
+
+// deleteRowEntries removes every entry row produces, recording build
+// tombstones first for any index whose backfill is in flight.
+func (m *Maintainer) deleteRowEntries(cl *kvstore.Client, ixs []*schema.Index, t *schema.Table, row value.Row) {
+	var keys [][]byte
+	for _, ix := range ixs {
+		eks := EntryKeys(ix, t, row)
+		m.recordBuildTombstones(ix, eks)
+		keys = append(keys, eks...)
+	}
+	deleteEntries(cl, keys)
 }
 
 // Delete removes a row and its index entries (record first, so readers
@@ -319,7 +418,7 @@ func (m *Maintainer) Delete(cl *kvstore.Client, t *schema.Table, pk value.Row) e
 		return fmt.Errorf("index: corrupt record in %s: %w", t.Name, err)
 	}
 	cl.Delete(rkey)
-	deleteEntries(cl, entryKeysFor(ixs, t, row))
+	m.deleteRowEntries(cl, ixs, t, row)
 	return nil
 }
 
@@ -407,34 +506,96 @@ func (m *Maintainer) GCDangling(cl *kvstore.Client, ix *schema.Index) (int, erro
 	prefix := IndexPrefix(ix)
 	removed := 0
 	for _, kv := range cl.GetRange(kvstore.RangeRequest{Start: prefix, End: codec.PrefixEnd(prefix)}) {
-		pk, err := DecodeEntry(ix, t, kv.Key)
+		dangling, err := m.entryDangling(cl, ix, t, kv.Key)
 		if err != nil {
 			return removed, err
 		}
-		rkey := RecordKeyFromPK(t, pk)
-		rec, ok := cl.Get(rkey)
-		if !ok {
-			cl.Delete(kv.Key)
-			removed++
-			continue
-		}
-		// The record exists but may no longer produce this entry (stale
-		// after a half-completed update).
-		row, err := value.DecodeRow(rec)
-		if err != nil {
-			continue
-		}
-		current := false
-		for _, key := range EntryKeys(ix, t, row) {
-			if bytes.Equal(key, kv.Key) {
-				current = true
-				break
-			}
-		}
-		if !current {
+		if dangling {
 			cl.Delete(kv.Key)
 			removed++
 		}
 	}
 	return removed, nil
+}
+
+// entryDangling reports whether the index entry key points at a record
+// that no longer exists or no longer produces it (stale after a
+// half-completed update). An undecodable record is not dangling — its
+// entry may still be live, and deleting on corruption would hide the
+// corruption.
+func (m *Maintainer) entryDangling(cl *kvstore.Client, ix *schema.Index, t *schema.Table, ekey []byte) (bool, error) {
+	pk, err := DecodeEntry(ix, t, ekey)
+	if err != nil {
+		return false, err
+	}
+	rec, ok := cl.Get(RecordKeyFromPK(t, pk))
+	if !ok {
+		return true, nil
+	}
+	row, err := value.DecodeRow(rec)
+	if err != nil {
+		return false, nil
+	}
+	for _, key := range EntryKeys(ix, t, row) {
+		if bytes.Equal(key, ekey) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// DeleteConfirmedDangling re-checks each suspect entry key and deletes
+// the ones still dangling, returning how many it removed. Suspects come
+// from the build-tombstone registry: entry keys deleted while the
+// index's backfill ran, which the scan may have re-put afterwards —
+// possibly on a subset of replicas only, since replica writes are not
+// atomic, which is why the delete here (which reaches every replica)
+// is also the re-convergence step. For the check to be free of false
+// positives the caller must exclude concurrent writers (e.g. hold the
+// engine's write gate exclusively): with no write in flight, an entry
+// without a matching record is genuinely dangling, not the
+// entries-before-record half of an in-flight insert of the same key.
+func (m *Maintainer) DeleteConfirmedDangling(cl *kvstore.Client, ix *schema.Index, suspects [][]byte) (int, error) {
+	if ix.Primary || len(suspects) == 0 {
+		return 0, nil
+	}
+	t := m.src.Catalog().Table(ix.Table)
+	if t == nil {
+		return 0, fmt.Errorf("index: sweep of index on unknown table %q", ix.Table)
+	}
+	// The caller typically holds the engine's write gate, stalling every
+	// writer — so the confirm pays one batched, deduplicated record
+	// fetch and one concurrent delete set, not a round trip per suspect.
+	rkeys := make([][]byte, len(suspects))
+	for i, ekey := range suspects {
+		pk, err := DecodeEntry(ix, t, ekey)
+		if err != nil {
+			return 0, err
+		}
+		rkeys[i] = RecordKeyFromPK(t, pk)
+	}
+	recs := cl.MultiGet(rkeys)
+	var dead [][]byte
+	for i, ekey := range suspects {
+		if recs[i] == nil {
+			dead = append(dead, ekey)
+			continue
+		}
+		row, err := value.DecodeRow(recs[i])
+		if err != nil {
+			continue // corrupt record: not provably dangling, leave it
+		}
+		current := false
+		for _, key := range EntryKeys(ix, t, row) {
+			if bytes.Equal(key, ekey) {
+				current = true
+				break
+			}
+		}
+		if !current {
+			dead = append(dead, ekey)
+		}
+	}
+	deleteEntries(cl, dead)
+	return len(dead), nil
 }

@@ -3,6 +3,7 @@ package kvstore
 import (
 	"bytes"
 	"math/rand"
+	"runtime"
 	"slices"
 	"sort"
 	"time"
@@ -33,8 +34,9 @@ type Client struct {
 	proc *sim.Proc  // nil in immediate mode
 	rng  *rand.Rand // replica choice + RTT sampling
 
-	ops    int64 // operations issued through this client (and its children)
-	parent *Client
+	ops          int64 // operations issued through this client (and its children)
+	fenceRetries int64 // conditional ops retried after an epoch-fencing reject
+	parent       *Client
 
 	// Scratch reused across operations to keep the per-request hot path
 	// allocation-lean. Safe because a Client is single-goroutine and the
@@ -71,6 +73,18 @@ func (cl *Client) ResetOps() int64 {
 // code holding the scheduler token must never block on channels or
 // locks another simulated process needs to make progress.
 func (cl *Client) Simulated() bool { return cl.proc != nil }
+
+// Yield parks the simulated process until the next pending event,
+// letting every other runnable process advance before it resumes — the
+// cooperative scheduler's runtime.Gosched. It is how simulated code
+// waits for a condition another process must establish (e.g. the index
+// backfill's writer drain) without blocking on a channel or lock while
+// holding the scheduler token. No-op in immediate mode.
+func (cl *Client) Yield() {
+	if cl.proc != nil {
+		cl.proc.Yield()
+	}
+}
 
 // Now returns the process's virtual time, or 0 in immediate mode.
 func (cl *Client) Now() time.Duration {
@@ -318,14 +332,25 @@ func coveringMove(rt *routing, key []byte) *move {
 }
 
 // tombstoneDelete is the delete protocol for a key in a moving range:
-// the tombstone and every node's deletion — old owners and move
-// destinations — happen atomically with respect to the range copy, so
-// the copy can never re-insert the key afterwards. Mutations only; the
-// caller pays the visits (sleeping inside the move mutex would stall a
-// simulated environment).
+// every node's deletion — old owners and move destinations — happens
+// atomically with respect to the range copy, with a tombstone recorded
+// when the key falls inside the open chunk window (the only span whose
+// scan snapshot could still re-insert it; see copyMove). Mutations only;
+// the caller pays the visits (sleeping inside the move mutex would stall
+// a simulated environment).
 func (cl *Client) tombstoneDelete(mv *move, ids []int, key []byte) {
 	mv.mu.Lock()
-	mv.tombs[string(key)] = struct{}{}
+	cl.deleteInMove(mv, ids, key)
+	mv.mu.Unlock()
+}
+
+// deleteInMove deletes key from the old owners in ids and the move's
+// destinations, tombstoning it when the open chunk window covers it.
+// Caller holds mv.mu.
+func (cl *Client) deleteInMove(mv *move, ids []int, key []byte) {
+	if mv.inWindow(key) {
+		mv.tombs[string(key)] = struct{}{}
+	}
 	for _, id := range ids {
 		cl.c.nodes[id].delete(key)
 	}
@@ -334,7 +359,6 @@ func (cl *Client) tombstoneDelete(mv *move, ids []int, key []byte) {
 			cl.c.nodes[id].delete(key)
 		}
 	}
-	mv.mu.Unlock()
 }
 
 // visitDsts pays one visit per move destination not already written as
@@ -364,65 +388,108 @@ func (cl *Client) doubleWrite(mv *move, key, val []byte, written []int) {
 	}
 }
 
-// TestAndSet atomically updates key on the primary when the current value
-// matches expect (nil = must be absent), then propagates to replicas. A
-// nil update deletes the key. It reports whether the swap happened.
+// TestAndSet atomically updates key on its authoritative primary when
+// the current value matches expect (nil = must be absent), then
+// propagates to replicas. A nil update deletes the key. It reports
+// whether the swap happened.
 //
-// The test runs against the claimed routing table's primary. If the swap
-// is accepted but the routing changed while the operation ran, the
-// accepted write is re-applied under the new table (the test itself is
-// not re-run — it already decided). If the swap is rejected under a
-// table that changed mid-operation, the whole operation retries, since
-// the authoritative primary may have moved.
+// TestAndSet is linearizable across rebalances. The decision runs under
+// per-node epoch fencing: the primary rejects it (ErrFenced) when the
+// claimed routing epoch is stale for the key's range — ownership moved —
+// and the client retries under a fresh table, so exactly one node can
+// ever accept a swap for a key, even while the routing flips. On a range
+// mid-move, the decision and its propagation to the move's destinations
+// happen inside the move window (mv.mu), serializing them against the
+// chunk copy's put-if-absent and against the flip's lease handover; the
+// visits are paid after the window is released (sleeping inside it would
+// stall a simulated environment and every writer on the range).
+//
+// If the swap is accepted but the routing changed while the operation
+// ran, the accepted write is re-applied under the new table (the test
+// itself is not re-run — it already decided, and fencing guarantees no
+// other node decided meanwhile). A genuine rejection under an unchanged
+// table is final.
 func (cl *Client) TestAndSet(key, expect, update []byte) bool {
 	for {
 		rt := cl.c.beginOp()
 		p := rt.partitionOf(key)
 		ids := cl.c.replicaNodes(p)
 		primary := ids[0]
-		ok := cl.c.nodes[primary].testAndSet(key, expect, update)
-		cl.visit(primary, 1, len(key)+len(update))
-		if !ok {
-			settled := cl.c.routing.Load() == rt
-			cl.c.endOp(rt)
-			if settled {
-				return false
+		mv := coveringMove(rt, key)
+		var ok bool
+		var err error
+		if mv == nil {
+			ok, err = cl.c.nodes[primary].testAndSet(key, rt.epoch, expect, update)
+			cl.visit(primary, 1, len(key)+len(update))
+			if ok {
+				for _, id := range ids[1:] {
+					if update == nil {
+						cl.c.nodes[id].delete(key)
+					} else {
+						cl.c.nodes[id].put(key, update)
+					}
+					cl.visit(id, 1, len(update))
+				}
 			}
+		} else {
+			mv.mu.Lock()
+			ok, err = cl.c.nodes[primary].testAndSet(key, rt.epoch, expect, update)
+			if ok {
+				if update == nil {
+					// Accepted delete in a moving range: window-aware
+					// re-delete on every old owner and destination —
+					// including the primary, which the chunk copy could
+					// otherwise repopulate if its scan read the key just
+					// before the test-and-set removed it.
+					cl.deleteInMove(mv, ids, key)
+				} else {
+					for _, id := range ids[1:] {
+						cl.c.nodes[id].put(key, update)
+					}
+					for _, id := range mv.dst {
+						if !slices.Contains(ids, id) {
+							cl.c.nodes[id].put(key, update)
+						}
+					}
+				}
+			}
+			mv.mu.Unlock()
+			cl.visit(primary, 1, len(key)+len(update))
+			if ok {
+				for _, id := range ids[1:] {
+					cl.visit(id, 1, len(update))
+				}
+				cl.visitDsts(mv, ids, key)
+			}
+		}
+		if err != nil {
+			// Fenced: the claimed table is stale for this range. Account
+			// the reject and retry under a fresh table — the publish that
+			// moved ownership lands at most a few instructions after the
+			// fence install.
+			cl.c.fenced.Add(1)
+			cl.fenceRetries++
+			cl.c.endOp(rt)
+			runtime.Gosched()
 			continue
 		}
-		mv := coveringMove(rt, key)
-		if update == nil && mv != nil {
-			// Accepted delete in a moving range: tombstone-first re-delete
-			// on every old owner and destination — including the primary,
-			// which the copy could otherwise repopulate if it read the key
-			// just before the test-and-set removed it. (The primary's
-			// visit was already paid by the test-and-set.)
-			cl.tombstoneDelete(mv, ids, key)
-			for _, id := range ids[1:] {
-				cl.visit(id, 1, len(key))
-			}
-			cl.visitDsts(mv, ids, key)
-		} else {
-			for _, id := range ids[1:] {
-				if update == nil {
-					cl.c.nodes[id].delete(key)
-				} else {
-					cl.c.nodes[id].put(key, update)
-				}
-				cl.visit(id, 1, len(update))
-			}
-			cl.doubleWrite(mv, key, update, ids)
-		}
-		settled := cl.c.routing.Load() == rt
 		cl.c.endOp(rt)
-		if !settled {
-			// The accepted value must also reach the owners of the new
-			// layout; re-apply it as a plain (idempotent) write.
-			cl.write(key, update, update == nil)
-		}
-		return true
+		// No re-application when the routing changed mid-operation (the
+		// pre-fencing protocol re-ran the accepted value as a plain write
+		// under the new table): an accepted swap has already reached every
+		// new owner — through the move window's double-write when the
+		// range was moving, or through the copy, which only starts after
+		// the pre-move table drains, when it was not. Re-applying here
+		// would in fact break linearizability: a swap accepted by the new
+		// primary in the meantime would be clobbered by this operation's
+		// older value. The decision — either way — is final.
+		return ok
 	}
 }
+
+// FenceRetries returns how many times this client's conditional
+// operations were fenced and retried under a fresher routing table.
+func (cl *Client) FenceRetries() int64 { return cl.fenceRetries }
 
 // RangeRequest describes a range read over [Start, End). A nil Start or
 // End leaves that side unbounded. Limit 0 means unlimited. Reverse

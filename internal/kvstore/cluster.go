@@ -41,7 +41,17 @@ type Config struct {
 	AsyncReplication bool
 	// ReplicaLag is the replication delay under AsyncReplication.
 	ReplicaLag time.Duration
+	// MoveChunkKeys bounds how many keys Rebalance copies per move
+	// window: each chunk is published, copied, and retired on its own,
+	// so tombstone memory and the double-write window are bounded by one
+	// chunk's churn instead of a whole partition's. 0 means
+	// DefaultMoveChunkKeys.
+	MoveChunkKeys int
 }
+
+// DefaultMoveChunkKeys is the per-chunk key budget of a rebalance copy
+// when Config.MoveChunkKeys is zero.
+const DefaultMoveChunkKeys = 256
 
 // Cluster is a simulated SCADS-style key/value store. It is safe for
 // concurrent use by any number of Clients: node record stores are
@@ -67,7 +77,12 @@ type Cluster struct {
 	rebalanceMu sync.Mutex
 
 	ops       atomic.Int64 // total storage operations served
+	fenced    atomic.Int64 // conditional decisions rejected by epoch fencing
 	clientSeq atomic.Int64
+
+	// chunkHook, when set (tests only), runs after each non-final chunk
+	// of a move lands, with the cursor the next chunk will start from.
+	chunkHook func(mv *move, nextCursor []byte)
 }
 
 // routing is one immutable epoch of the partition map: partition i owns
@@ -86,14 +101,22 @@ type routing struct {
 }
 
 // move is one in-flight range transfer [lo, hi) to the nodes in dst.
-// Writers that observe it double-write; deletes record a tombstone so
-// the background copy cannot resurrect a key deleted mid-move.
+// Writers that observe it double-write. The copy proceeds in bounded
+// chunks, each published as a window [winLo, winHi): deletes inside the
+// open window record a tombstone so the chunk's put-if-absent copy
+// cannot resurrect them; deletes outside it (a chunk already copied, or
+// one whose scan has not started) simply delete on the destinations too.
+// Conditional operations on the range decide and propagate entirely
+// under mu — the move window — so the copy and the epoch flip can never
+// interleave with a half-propagated swap.
 type move struct {
 	lo, hi []byte // nil = unbounded on that side
 	dst    []int
 
-	mu    sync.Mutex
-	tombs map[string]struct{} // keys deleted during the move
+	mu           sync.Mutex
+	tombs        map[string]struct{} // keys deleted inside the open window
+	winLo, winHi []byte              // current chunk window (valid when winOpen)
+	winOpen      bool
 }
 
 // covers reports whether key falls inside the move's range.
@@ -102,6 +125,21 @@ func (m *move) covers(key []byte) bool {
 		return false
 	}
 	if m.hi != nil && bytes.Compare(key, m.hi) >= 0 {
+		return false
+	}
+	return true
+}
+
+// inWindow reports whether key falls inside the open chunk window.
+// Caller holds mu.
+func (m *move) inWindow(key []byte) bool {
+	if !m.winOpen {
+		return false
+	}
+	if m.winLo != nil && bytes.Compare(key, m.winLo) < 0 {
+		return false
+	}
+	if m.winHi != nil && bytes.Compare(key, m.winHi) >= 0 {
 		return false
 	}
 	return true
@@ -167,11 +205,16 @@ func New(cfg Config, env *sim.Env) *Cluster {
 	if cfg.Latency == (LatencyConfig{}) {
 		cfg.Latency = DefaultLatency()
 	}
+	if cfg.MoveChunkKeys <= 0 {
+		cfg.MoveChunkKeys = DefaultMoveChunkKeys
+	}
 	c := &Cluster{cfg: cfg, env: env}
 	for i := 0; i < cfg.Nodes; i++ {
 		c.nodes = append(c.nodes, newNode(i, cfg.Seed, env, cfg.NodeServers))
 	}
-	c.routing.Store(&routing{}) // epoch 0: one partition, all keys on node 0's replicas
+	rt := &routing{} // epoch 0: one partition, all keys on node 0's replicas
+	c.installLeases(rt)
+	c.routing.Store(rt)
 	return c
 }
 
@@ -212,6 +255,13 @@ func (c *Cluster) NumNodes() int { return len(c.nodes) }
 // summed over all clients. The harness uses it for throughput accounting.
 func (c *Cluster) TotalOps() int64 { return c.ops.Load() }
 
+// FenceRejects returns how many conditional decisions nodes have
+// rejected through epoch fencing since the cluster was created. Each
+// reject corresponds to one client-side retry under a fresher routing
+// table — it is the observable footprint of the linearizable handover,
+// not an error count.
+func (c *Cluster) FenceRejects() int64 { return c.fenced.Load() }
+
 // TotalItems returns the number of stored items summed over nodes
 // (replicas counted separately).
 func (c *Cluster) TotalItems() int {
@@ -249,15 +299,22 @@ func (c *Cluster) replicaNodes(p int) []int {
 //
 //  1. it publishes an intermediate routing table (epoch+1) carrying the
 //     planned moves — from that moment every write to a moving range
-//     double-writes to the old and new owners, and deletes leave
-//     tombstones so the copy cannot resurrect them;
+//     double-writes to the old and new owners — and drains operations
+//     still holding the pre-move table, so every write the copy could
+//     miss has landed on the old owners before any copy scan starts;
 //  2. it copies each moving range from the old primaries into the new
-//     owners with put-if-absent (a concurrent writer's fresher value
-//     always wins);
-//  3. it flips the epoch (epoch+2): reads and writes now route to the
-//     new owners, which hold the complete range;
-//  4. it drains operations still using the retired tables, then deletes
-//     moved ranges from nodes that no longer own them.
+//     owners in bounded chunks (see copyMove): each chunk is its own
+//     published window, with put-if-absent so a concurrent writer's
+//     fresher value always wins and per-window delete tombstones so the
+//     copy cannot resurrect a key deleted mid-chunk;
+//  3. it flips the epoch (epoch+2) while holding every move window:
+//     new primary leases are installed first (epoch fencing — a
+//     conditional op still claiming the old table is rejected by the
+//     old primary and retries under the new one), then the new table is
+//     published, routing reads and writes to the new owners, which hold
+//     the complete range;
+//  4. it drains operations still using the retired move table, then
+//     deletes moved ranges from nodes that no longer own them.
 //
 // Reads never fail mid-move: until the flip they are served by the old
 // owners, which remain complete; after the flip by the new owners, which
@@ -319,16 +376,67 @@ func (c *Cluster) Rebalance() {
 	mid := &routing{epoch: old.epoch + 1, splits: old.splits, moves: moves}
 	c.routing.Store(mid)
 
-	// Copy every moving range from the old layout's primaries. A key
-	// already present on the destination was double-written by a
-	// concurrent writer and is fresher than the copy's snapshot, so the
-	// copy must not overwrite it; a tombstoned key was deleted mid-move
-	// and must not come back.
+	// Drain the pre-move table before any copy scan starts. An operation
+	// that claimed it cannot see the moves, so its writes reach only the
+	// old owners — in particular, a conditional write accepted on an old
+	// primary just before the publish would be invisible to a copy scan
+	// that had already passed its key, and so invisible to the new
+	// primary at the flip (a lost accepted swap). Waiting here makes the
+	// copy's source snapshot complete with respect to every pre-publish
+	// operation; everything after double-writes through the move.
+	c.drain(old)
+
 	for _, mv := range moves {
-		lo, hi := old.rangeParts(mv.lo, mv.hi)
-		for p := lo; p <= hi; p++ {
-			src := c.replicaNodes(p)[0]
-			kvs := c.nodes[src].scan(boundedStart(old, p, mv.lo), boundedEnd(old, p, mv.hi), 0, false)
+		c.copyMove(old, mv)
+	}
+
+	// Flip while holding every move window: no conditional decision can
+	// be mid-propagation, so installing the new primary leases first and
+	// then publishing the table hands authority over atomically — the
+	// old primary fences any straggler claiming a retired epoch.
+	for _, mv := range moves {
+		mv.mu.Lock()
+	}
+	c.installLeases(next)
+	c.routing.Store(next)
+	for _, mv := range moves {
+		mv.mu.Unlock()
+	}
+
+	// Retire the move table: once no operation holds it, no read can
+	// touch a former owner, and the moved ranges can be deleted.
+	c.drain(mid)
+	c.cleanup(next)
+}
+
+// copyMove copies one move's range from the old layout's primaries into
+// the destinations, one bounded chunk at a time: publish the chunk
+// window, scan it, copy it with put-if-absent (a double-written fresher
+// value is never clobbered), then retire the window and its tombstones.
+// Deletes inside the open window tombstone so the chunk copy cannot
+// resurrect them; a delete anywhere else has either already landed on
+// the source before that chunk's scan (the window opens under mu, after
+// the delete finished) or hits a chunk whose copy is complete — both
+// safe without a tombstone. Tombstone memory is therefore bounded by
+// the deletes of one chunk, not of the whole move.
+func (c *Cluster) copyMove(old *routing, mv *move) {
+	chunk := c.cfg.MoveChunkKeys
+	plo, phi := old.rangeParts(mv.lo, mv.hi)
+	for p := plo; p <= phi; p++ {
+		src := c.replicaNodes(p)[0]
+		cursor := boundedStart(old, p, mv.lo)
+		end := boundedEnd(old, p, mv.hi)
+		for {
+			// Open the window over the unscanned remainder, dropping the
+			// previous chunk's tombstones: keys before cursor are fully
+			// copied, and any tombstone recorded for a key beyond the
+			// last chunk had its deletion applied to the source before
+			// this re-acquisition — the upcoming scan cannot see it.
+			mv.mu.Lock()
+			mv.winLo, mv.winHi, mv.winOpen = cursor, end, true
+			clear(mv.tombs)
+			mv.mu.Unlock()
+			kvs := c.nodes[src].scan(cursor, end, chunk, false)
 			for _, kv := range kvs {
 				mv.mu.Lock()
 				if _, dead := mv.tombs[string(kv.Key)]; !dead {
@@ -338,17 +446,21 @@ func (c *Cluster) Rebalance() {
 				}
 				mv.mu.Unlock()
 			}
+			if len(kvs) < chunk {
+				break
+			}
+			cursor = append(append([]byte{}, kvs[len(kvs)-1].Key...), 0x00)
+			if c.chunkHook != nil {
+				c.chunkHook(mv, cursor)
+			}
 		}
 	}
-
-	// Flip: the new owners are complete; route everything to them.
-	c.routing.Store(next)
-
-	// Retire the old tables: once no operation holds them, no read can
-	// touch a former owner, and the moved ranges can be deleted.
-	c.drain(old)
-	c.drain(mid)
-	c.cleanup(next)
+	// Retire the window: the whole range is on the destinations, and
+	// later deletes delete there directly.
+	mv.mu.Lock()
+	mv.winLo, mv.winHi, mv.winOpen = nil, nil, false
+	clear(mv.tombs)
+	mv.mu.Unlock()
 }
 
 // cleanup deletes every key a node holds but does not own under rt.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"piql/internal/btree"
@@ -19,6 +20,12 @@ type node struct {
 	tree *btree.Tree
 	rng  *rand.Rand // service-time sampling; guarded by mu
 
+	// leases are the key ranges this node serves as authoritative primary
+	// for conditional operations, installed by Rebalance at each flip
+	// (see fence.go). Swapped whole through the atomic pointer, so the
+	// fencing check never takes a lock Rebalance also needs.
+	leases atomic.Pointer[leaseTable]
+
 	queue    *sim.Resource // request-processing capacity (nil in immediate mode)
 	slowdown float64       // failure injection: service-time multiplier
 }
@@ -30,6 +37,7 @@ func newNode(id int, seed int64, env *sim.Env, servers int) *node {
 		rng:      rand.New(rand.NewSource(seed ^ int64(id)*0x7F4A7C159E3779B9)),
 		slowdown: 1,
 	}
+	n.leases.Store(emptyLeases)
 	if env != nil {
 		n.queue = env.NewResource(servers)
 	}
@@ -78,17 +86,32 @@ func (n *node) delete(key []byte) bool {
 // testAndSet atomically replaces the value under key with update when the
 // current value matches expect (nil expect means "key must be absent").
 // A nil update deletes the key on success.
-func (n *node) testAndSet(key, expect, update []byte) bool {
+//
+// The decision is epoch-fenced: it runs only when this node holds the
+// authoritative-primary lease for key's range and the caller's claimed
+// routing epoch is not stale for it. Otherwise the swap is not decided
+// at all and a *ErrFenced is returned — the client retries under a
+// fresh routing table. This is what keeps two racing swaps on the same
+// key from both being accepted across a rebalance flip: the old primary
+// is fenced before the new one's lease becomes reachable.
+func (n *node) testAndSet(key []byte, claimedEpoch int64, expect, update []byte) (bool, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	l := n.leases.Load().find(key)
+	if l == nil {
+		return false, &ErrFenced{Node: n.id, Claimed: claimedEpoch}
+	}
+	if claimedEpoch < l.epoch {
+		return false, &ErrFenced{Node: n.id, Claimed: claimedEpoch, Need: l.epoch, Owner: true}
+	}
 	cur, ok := n.tree.Get(key)
 	if expect == nil {
 		if ok {
-			return false
+			return false, nil
 		}
 	} else {
 		if !ok || !bytes.Equal(cur, expect) {
-			return false
+			return false, nil
 		}
 	}
 	if update == nil {
@@ -96,7 +119,7 @@ func (n *node) testAndSet(key, expect, update []byte) bool {
 	} else {
 		n.tree.Put(key, update)
 	}
-	return true
+	return true, nil
 }
 
 // scan returns up to limit items in [start, end), ascending or descending.

@@ -15,10 +15,14 @@ import (
 )
 
 // event wakes a parked process at a virtual time. seq breaks ties FIFO.
+// yield marks a poll wakeup scheduled by Yield: other yielders ignore it
+// when choosing their own wake time, so two polling processes can never
+// keep each other — and the virtual clock — spinning at one instant.
 type event struct {
-	at   time.Duration
-	seq  int64
-	wake chan struct{}
+	at    time.Duration
+	seq   int64
+	wake  chan struct{}
+	yield bool
 }
 
 type eventHeap []event
@@ -114,6 +118,38 @@ func (p *Proc) Sleep(d time.Duration) {
 		d = 0
 	}
 	p.env.schedule(p.env.now+d, p.wake)
+	p.park()
+}
+
+// Yield parks the process until the next non-yield event — the next
+// instant at which some other process makes real progress — resuming in
+// FIFO turn behind it. It is the cooperative scheduler's
+// runtime.Gosched: a process polling for a condition another process
+// must establish yields between polls so the establishing process — and
+// virtual time — can advance. Two subtleties make this more than a
+// Sleep(0): a zero sleep would reschedule the poller at the current
+// time, staying ahead of every future event and freezing the clock; and
+// pending *yield* events must be ignored when picking the wake time, or
+// two pollers (say, a backfill draining writers and a writer waiting
+// out the drain) would treat each other's polls as progress and spin
+// the clock frozen forever.
+func (p *Proc) Yield() {
+	e := p.env
+	at := e.now
+	found := false
+	for _, ev := range e.events {
+		if ev.yield {
+			continue
+		}
+		if !found || ev.at < at {
+			at, found = ev.at, true
+		}
+	}
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, wake: p.wake, yield: true})
 	p.park()
 }
 
