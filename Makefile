@@ -32,10 +32,14 @@ race:
 # after touching the index lifecycle, write path, or routing table. It
 # includes the conditional-writer fleet (TestChaosOnlineOperations and
 # TestTestAndSetLinearizableAcrossRebalance model-check every TestAndSet
-# outcome across repeated chunked rebalances) and the chunk-window and
-# post-flip-sweep regressions.
+# outcome across repeated chunked rebalances), the chunked-copy
+# regressions, and the replica-convergence gates (RunChaos's
+# byte-for-byte per-key audit across all replicas after every storm,
+# plus TestReplicasConvergeUnderRacingWrites racing unordered Put/Delete
+# across rebalances and TestAsyncReplicationRacingWritersConverge for
+# the lagged-replica write-order inversion).
 chaos:
-	$(GO) test -race -run 'TestChaosOnlineOperations|TestRebalanceUnderTraffic|TestRebalanceRangeReadsUnderTraffic|TestCreateIndexUnderConcurrentWrites|TestInsertRollbackRacingDelete|TestTestAndSetLinearizableAcrossRebalance|TestRebalanceChunkedCopy|TestRebalanceDeleteInEarlierChunkNoResurrect|TestCreateIndexRacingDeletesNoDangling|TestSimulatedCreateIndexDrainsWriters' ./internal/...
+	$(GO) test -race -run 'TestChaosOnlineOperations|TestRebalanceUnderTraffic|TestRebalanceRangeReadsUnderTraffic|TestCreateIndexUnderConcurrentWrites|TestInsertRollbackRacingDelete|TestTestAndSetLinearizableAcrossRebalance|TestRebalanceChunkedCopy|TestRebalanceDeleteInEarlierChunkNoResurrect|TestCreateIndexRacingDeletesNoDangling|TestSimulatedCreateIndexDrainsWriters|TestReplicasConvergeUnderRacingWrites|TestAsyncReplicationRacingWritersConverge|TestAsyncCatchUpRespectsOwnership|TestBackfillStampLosesToRacingDelete' ./internal/...
 
 # The hot-path benchmarks tracked across PRs: raw engine overhead,
 # the three execution strategies, and concurrent-session throughput.
@@ -44,11 +48,11 @@ BENCH_HOT = BenchmarkExecuteFindUser|BenchmarkFig12ExecutionStrategies|Benchmark
 # bench runs the hot benchmarks once with allocation stats and records
 # the raw run — newline-delimited test2json events, including every
 # ns/op / B/op / allocs/op line — as the perf-trajectory artifact
-# BENCH_4.json (compare against BENCH_3.json for the epoch-fencing
-# atomics' cost on the hot Get/Put path).
+# BENCH_5.json (compare against BENCH_4.json for the version envelope's
+# overhead on Get/Put p99 and FindUser allocs/op).
 bench:
-	$(GO) test -run xxx -bench '$(BENCH_HOT)' -benchtime 1x -benchmem -v -json . > BENCH_4.json
-	@grep -oE '(Benchmark[A-Za-z]+)?[^"]*allocs/op' BENCH_4.json | sed 's/\\t/  /g' || true
+	$(GO) test -run xxx -bench '$(BENCH_HOT)' -benchtime 1x -benchmem -v -json . > BENCH_5.json
+	@grep -oE '(Benchmark[A-Za-z]+)?[^"]*allocs/op' BENCH_5.json | sed 's/\\t/  /g' || true
 
 # bench-smoke is the short-mode gate inside ci: the cheapest hot
 # benchmark, enough to catch an executor hot path that stopped compiling

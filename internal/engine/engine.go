@@ -217,10 +217,12 @@ type indexBuild struct {
 // request an index runs the backfill while racing sessions block until
 // it completes (previously two sessions could race the signature map,
 // with the loser reading the index mid-backfill). A successful build
-// flips the index to ready through a copy-on-write catalog publish and
-// then sweeps the dangling entries deletes racing the backfill scan can
-// leave (see sweepBackfillRace); a failed build is forgotten so a later
-// Prepare can retry it.
+// first passes the read-only ghost assertion (deletes racing the
+// backfill scan must have outranked its stamped re-puts on every
+// suspect; see verifyBackfillRace) and only then flips the index to
+// ready through a copy-on-write catalog publish; a failed or
+// assertion-violating build is forgotten so a later Prepare can retry
+// it.
 func (e *Engine) ensureBuilt(s *Session, ixs []*schema.Index) error {
 	for _, ix := range ixs {
 		if ix.Primary {
@@ -265,10 +267,28 @@ func (e *Engine) ensureBuilt(s *Session, ixs []*schema.Index) error {
 		// snapshot: any write that starts after the drain sees both the
 		// index and the registry; any write from before finishes before
 		// the scan and is picked up (or skipped) by it.
+		// Draw the scan stamp first: the registry opens and the drain
+		// runs after it, so every write that can race the scan — and in
+		// particular every suspect the registry records — stamps itself
+		// strictly newer than snap. (Drawn after the drain, a delete
+		// that started in between could stamp older than the scan and
+		// genuinely lose to its re-put.)
+		snap := s.client.StampVersion()
 		e.maint.BeginBuildTombstones(ix)
 		e.drainWriters(s)
-		b.err = e.maint.Backfill(s.client, ix)
+		b.err = e.maint.BackfillAt(s.client, ix, snap)
 		suspects := e.maint.TakeBuildTombstones(ix)
+		// Assert before publishing, and even after a failed backfill:
+		// the aborted scan may already have re-put entries for rows
+		// deleted while it ran, and a retry's registry starts fresh —
+		// these suspects are the only record of the candidate ghosts.
+		// The check is read-only (the versioned store already guarantees
+		// the delete won; see Maintainer.VerifyBuildSuspects), so a
+		// violation fails the build — the index is never flipped ready
+		// over a known ghost, and a later Prepare retries the build.
+		if verr := e.verifyBackfillRace(s, ix, snap, suspects); verr != nil && b.err == nil {
+			b.err = verr
+		}
 		if b.err == nil {
 			e.markReady(ix)
 		} else {
@@ -276,13 +296,6 @@ func (e *Engine) ensureBuilt(s *Session, ixs []*schema.Index) error {
 			delete(e.builds, sig)
 			e.buildMu.Unlock()
 		}
-		// Sweep even after a failed backfill: the aborted scan may
-		// already have re-put entries for rows deleted while it ran, and
-		// a retry's registry starts fresh — its scan no longer sees the
-		// deleted rows, so these suspects are the only record of the
-		// ghosts. Deleting a confirmed-dangling entry is safe at any
-		// lifecycle stage.
-		e.sweepBackfillRace(s, ix, suspects)
 		close(b.done)
 		if b.err != nil {
 			return b.err
@@ -340,43 +353,38 @@ func (s *Session) awaitDrains() {
 	}
 }
 
-// sweepBackfillRace closes the delete-racing-backfill window: a row
-// deleted while the backfill scan ran can have its entry re-put by the
-// scan after the delete removed it — possibly on a subset of replicas,
-// since replica writes are not atomic across nodes — leaving a dangling
-// entry that previously lingered until a lazy GCDangling pass. The
-// suspects are the build-tombstone registry's contents: exactly the
+// verifyBackfillRace asserts the delete-racing-backfill invariant: a
+// row deleted while the backfill scan ran can have its entry re-put by
+// the scan after the delete removed it, but the re-put is stamped at
+// the scan-begin version and the delete's tombstone later, so the
+// versioned store guarantees the delete wins on every replica. The
+// suspects are the build-tombstone registry's contents — exactly the
 // entry keys writers deleted while the backfill ran, with no index
-// re-scan (a scan could even miss a replica-diverged ghost, because
-// range reads pick one replica). The sweep confirms each suspect under
-// a writer drain — so an in-flight insert re-adding the same key is
-// never mistaken for a dangle — and deletes the confirmed ones, which
-// also re-converges diverged replicas (a delete reaches every node).
-// Best-effort by design: an error leaves entries for the lazy GC,
-// never a missing entry.
-func (e *Engine) sweepBackfillRace(s *Session, ix *schema.Index, suspects [][]byte) {
+// re-scan — and the check is a version comparison per suspect
+// (Maintainer.VerifyBuildSuspects), run under a writer drain so no
+// delete is still mid-propagation when the versions are read. The
+// pre-versioning protocol had to confirm-and-delete the ghosts here;
+// now a non-nil return means the store broke its ordering invariant.
+func (e *Engine) verifyBackfillRace(s *Session, ix *schema.Index, snap kvstore.Version, suspects [][]byte) error {
 	if len(suspects) == 0 {
-		return
+		return nil
 	}
 	if s.client.Simulated() {
-		// A simulated sweep must not hold the gate across virtual-time
+		// A simulated check must not hold the gate across virtual-time
 		// parks (writers blocked on the held gate could never run
-		// again). Instead: drain writers in virtual time — every
-		// in-flight insert has committed its record — then confirm
-		// through an immediate (zero-latency) client. The builder holds
-		// the cooperative scheduler's only token and never parks during
-		// the confirm, so no writer can interleave between a suspect's
-		// re-check and its delete: the same exclusion the write gate
-		// provides for real goroutines. (The sweep's requests pay no
-		// virtual time; maintenance cost is not part of the modeled
-		// workload.)
+		// again). Instead: drain writers in virtual time, then read the
+		// versions through an immediate (zero-latency) client. The
+		// builder holds the cooperative scheduler's only token and never
+		// parks during the check, so no writer can interleave with it —
+		// the same exclusion the write gate provides for real
+		// goroutines. (The check's requests pay no virtual time;
+		// maintenance cost is not part of the modeled workload.)
 		e.drainWriters(s)
-		_, _ = e.maint.DeleteConfirmedDangling(e.cluster.NewClient(nil), ix, suspects)
-		return
+		return e.maint.VerifyBuildSuspects(e.cluster.NewClient(nil), ix, snap, suspects)
 	}
 	e.writeGate.Lock()
 	defer e.writeGate.Unlock()
-	_, _ = e.maint.DeleteConfirmedDangling(s.client, ix, suspects)
+	return e.maint.VerifyBuildSuspects(s.client, ix, snap, suspects)
 }
 
 // markReady publishes a catalog snapshot with the index flipped to

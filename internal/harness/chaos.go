@@ -71,6 +71,7 @@ type ChaosResult struct {
 	Epoch        int64 // final routing epoch
 	CASAccepted  int64 // conditional swaps accepted (all model-checked)
 	FenceRejects int64 // conditional decisions retried after epoch fencing
+	TombsSwept   int64 // delete tombstones collected by the post-run GC
 }
 
 // RunChaos builds a table, starts the writer fleet, and — while the
@@ -285,6 +286,21 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	res.CASAccepted = int64(len(casAccepted))
 	res.FenceRejects = cluster.FenceRejects()
 
+	// Convergence audit: with the fleet drained, every replica of every
+	// key must hold the identical versioned value — the invariant the
+	// hybrid-timestamp write path guarantees (racing Put/Delete from
+	// different clients used to diverge replicas permanently). Audited
+	// once as-is, then again after force-sweeping every delete tombstone
+	// (safe: the cluster is quiesced), proving GC does not disturb the
+	// converged state.
+	if err := cluster.AuditConvergence(); err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	res.TombsSwept = int64(cluster.GCTombstones(0))
+	if err := cluster.AuditConvergence(); err != nil {
+		return nil, fmt.Errorf("chaos: post-GC: %w", err)
+	}
+
 	// Audit: the index is ready and mirrors the records exactly.
 	cat := eng.Catalog()
 	tbl := cat.Table("chaos_rows")
@@ -352,6 +368,7 @@ func (r *ChaosResult) Print(out io.Writer) {
 	fmt.Fprintf(out, "  inserted %d, deleted %d, read-back checks %d\n", r.Inserted, r.Deleted, r.Reads)
 	fmt.Fprintf(out, "  conditional writers: %d accepted swaps, all model-checked; %d fence retries\n",
 		r.CASAccepted, r.FenceRejects)
+	fmt.Fprintf(out, "  replicas converged (byte-identical per key); %d tombstones swept\n", r.TombsSwept)
 	fmt.Fprintf(out, "  final: %d records, %d index entries, routing epoch %d — clean\n\n",
 		r.Records, r.Entries, r.Epoch)
 }

@@ -119,7 +119,7 @@ func RunFig7(cfg Fig7Config) ([]Fig7Point, error) {
 	maint := index.NewMaintainer(cat)
 	for _, plan := range []*core.Plan{bounded, unbounded} {
 		for _, ix := range plan.RequiredIndexes {
-			if err := maint.Backfill(loader.Client(), ix); err != nil {
+			if _, err := maint.Backfill(loader.Client(), ix); err != nil {
 				return nil, err
 			}
 		}

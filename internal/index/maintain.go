@@ -41,11 +41,13 @@ type Maintainer struct {
 	// buildTombs records, per in-flight backfill (by index signature),
 	// every entry key a writer deleted while the index was building.
 	// The backfill's scan snapshot may re-put such an entry after the
-	// delete — and because replica writes are not atomic across nodes,
-	// the put and the delete can even interleave per replica, leaving
-	// the entry on some replicas only. The builder re-checks exactly
-	// these keys after its scan and deletes the ones still dangling
-	// (a delete reaches every replica, so it also re-converges them).
+	// delete — but backfill entries are stamped at the scan-begin
+	// version while the writer's delete tombstones carry later ones, so
+	// the store's put-if-newer keeps the re-put from ever resurrecting
+	// the entry on any replica. The registry is therefore no longer a
+	// repair worklist but the suspect set for the post-build invariant
+	// check (VerifyBuildSuspects): each recorded key must end up absent
+	// or owned by a write newer than the scan.
 	tombMu     sync.Mutex
 	buildTombs map[string]map[string]struct{}
 }
@@ -75,8 +77,8 @@ func (m *Maintainer) BeginBuildTombstones(ix *schema.Index) {
 
 // TakeBuildTombstones closes the registry and returns the entry keys
 // deleted while the backfill ran — the exact suspect set for the
-// post-flip dangling sweep. Returns nil if the registry was never
-// opened.
+// post-build ghost assertion (VerifyBuildSuspects). Returns nil if the
+// registry was never opened.
 func (m *Maintainer) TakeBuildTombstones(ix *schema.Index) [][]byte {
 	m.tombMu.Lock()
 	defer m.tombMu.Unlock()
@@ -464,13 +466,34 @@ func deleteEntries(cl *kvstore.Client, keys [][]byte) {
 }
 
 // Backfill builds a newly created secondary index from the existing
-// records of its table. It is the scan half of the online build
+// records of its table, returning the scan-begin version its entry
+// writes were stamped with. It is the scan half of the online build
 // protocol: the index is registered (building) before the scan starts,
 // so concurrent writes maintain it, and the caller flips it ready
 // afterwards (engine.ensureBuilt, which also drains writers that could
-// still hold a pre-registration catalog snapshot). Entry puts are
-// idempotent, so concurrent or duplicate backfills are harmless.
-func (m *Maintainer) Backfill(cl *kvstore.Client, ix *schema.Index) error {
+// still hold a pre-registration catalog snapshot).
+//
+// Every entry the backfill writes is stamped at one version drawn
+// before the scan reads anything (PutStamped). That makes the scan a
+// consistent "as of" replay: any write racing the build — in
+// particular a delete whose entries the stale scan would re-put —
+// carries a later version and outranks the backfill on every replica,
+// so the delete-racing-backfill dangle (and its replica-diverged ghost
+// variant) is structurally impossible rather than swept up afterwards.
+// Entry puts are idempotent, so concurrent or duplicate backfills are
+// harmless.
+func (m *Maintainer) Backfill(cl *kvstore.Client, ix *schema.Index) (kvstore.Version, error) {
+	snap := cl.StampVersion()
+	return snap, m.BackfillAt(cl, ix, snap)
+}
+
+// BackfillAt is Backfill with a caller-drawn scan stamp. The caller
+// must draw snap before any write it intends to outrank the scan can
+// stamp itself — the engine draws it before opening the build-tombstone
+// registry and draining writers, so every write that could race the
+// scan (and so every registry suspect) provably carries a version newer
+// than snap.
+func (m *Maintainer) BackfillAt(cl *kvstore.Client, ix *schema.Index, snap kvstore.Version) error {
 	if ix.Primary {
 		return nil
 	}
@@ -478,14 +501,19 @@ func (m *Maintainer) Backfill(cl *kvstore.Client, ix *schema.Index) error {
 	if t == nil {
 		return fmt.Errorf("index: backfill of index on unknown table %q", ix.Table)
 	}
+	// Scan each partition's primary, not a random replica: under async
+	// replication a lagged replica can still show a row whose delete
+	// predates the build — no entry tombstone exists for it (the index
+	// didn't), so an entry minted from that stale read would dangle
+	// with nothing to outrank it.
 	prefix := RecordPrefix(t)
-	for _, kv := range cl.GetRange(kvstore.RangeRequest{Start: prefix, End: codec.PrefixEnd(prefix)}) {
+	for _, kv := range cl.GetRangePrimary(kvstore.RangeRequest{Start: prefix, End: codec.PrefixEnd(prefix)}) {
 		row, err := value.DecodeRow(kv.Value)
 		if err != nil {
 			return fmt.Errorf("index: corrupt record during backfill of %s: %w", ix.Name, err)
 		}
 		for _, key := range EntryKeys(ix, t, row) {
-			cl.Put(key, nil)
+			cl.PutStamped(key, nil, snap)
 		}
 	}
 	return nil
@@ -544,58 +572,36 @@ func (m *Maintainer) entryDangling(cl *kvstore.Client, ix *schema.Index, t *sche
 	return true, nil
 }
 
-// DeleteConfirmedDangling re-checks each suspect entry key and deletes
-// the ones still dangling, returning how many it removed. Suspects come
-// from the build-tombstone registry: entry keys deleted while the
-// index's backfill ran, which the scan may have re-put afterwards —
-// possibly on a subset of replicas only, since replica writes are not
-// atomic, which is why the delete here (which reaches every replica)
-// is also the re-convergence step. For the check to be free of false
-// positives the caller must exclude concurrent writers (e.g. hold the
-// engine's write gate exclusively): with no write in flight, an entry
-// without a matching record is genuinely dangling, not the
-// entries-before-record half of an in-flight insert of the same key.
-func (m *Maintainer) DeleteConfirmedDangling(cl *kvstore.Client, ix *schema.Index, suspects [][]byte) (int, error) {
-	if ix.Primary || len(suspects) == 0 {
-		return 0, nil
+// VerifyBuildSuspects asserts the build's ghost invariant over the
+// build-tombstone registry's suspects: entry keys writers deleted while
+// the backfill ran. Under versioned storage the backfill's re-put of
+// such a key is stamped at the scan-begin version (snap) and the
+// writer's delete tombstone is stamped later, so put-if-newer already
+// guarantees the re-put cannot survive — the pre-versioning protocol
+// re-fetched every suspect's record and deleted confirmed dangles here,
+// which also had to re-converge replica-diverged ghosts. What remains
+// is a version comparison per suspect: each must be absent (the
+// tombstone won) or carry a version newer than snap (a live writer
+// legitimately re-created it). A suspect still stamped at or before
+// snap means a backfill write survived a later delete — a protocol
+// violation, returned as an error, never silently repaired.
+//
+// For the check to be free of false positives the caller must exclude
+// concurrent writers (e.g. hold the engine's write gate exclusively, or
+// drain them), so no delete is mid-propagation when the versions are
+// read. The read goes to each key's authoritative primary — the one
+// replica that holds every write synchronously — so a lagged replica
+// under async replication can never masquerade as a ghost.
+func (m *Maintainer) VerifyBuildSuspects(cl *kvstore.Client, ix *schema.Index, snap kvstore.Version, suspects [][]byte) error {
+	if ix.Primary {
+		return nil
 	}
-	t := m.src.Catalog().Table(ix.Table)
-	if t == nil {
-		return 0, fmt.Errorf("index: sweep of index on unknown table %q", ix.Table)
-	}
-	// The caller typically holds the engine's write gate, stalling every
-	// writer — so the confirm pays one batched, deduplicated record
-	// fetch and one concurrent delete set, not a round trip per suspect.
-	rkeys := make([][]byte, len(suspects))
-	for i, ekey := range suspects {
-		pk, err := DecodeEntry(ix, t, ekey)
-		if err != nil {
-			return 0, err
-		}
-		rkeys[i] = RecordKeyFromPK(t, pk)
-	}
-	recs := cl.MultiGet(rkeys)
-	var dead [][]byte
-	for i, ekey := range suspects {
-		if recs[i] == nil {
-			dead = append(dead, ekey)
-			continue
-		}
-		row, err := value.DecodeRow(recs[i])
-		if err != nil {
-			continue // corrupt record: not provably dangling, leave it
-		}
-		current := false
-		for _, key := range EntryKeys(ix, t, row) {
-			if bytes.Equal(key, ekey) {
-				current = true
-				break
-			}
-		}
-		if !current {
-			dead = append(dead, ekey)
+	for _, ekey := range suspects {
+		_, ver, ok := cl.GetVersionedPrimary(ekey)
+		if ok && !ver.After(snap) {
+			return fmt.Errorf("index: build ghost on %s: entry %q deleted during the backfill still carries scan version %+v (snap %+v)",
+				ix.Name, ekey, ver, snap)
 		}
 	}
-	deleteEntries(cl, dead)
-	return len(dead), nil
+	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"slices"
 	"sort"
+	"sync"
 	"time"
 
 	"piql/internal/sim"
@@ -33,6 +34,7 @@ type Client struct {
 	c    *Cluster
 	proc *sim.Proc  // nil in immediate mode
 	rng  *rand.Rand // replica choice + RTT sampling
+	id   int64      // cluster-unique; the version tiebreaker on writes
 
 	ops          int64 // operations issued through this client (and its children)
 	fenceRetries int64 // conditional ops retried after an epoch-fencing reject
@@ -45,6 +47,8 @@ type Client struct {
 	ids    []int         // multiGet: deterministic node order
 	order  []int         // multiGet: key indexes sorted for deduplication
 	dups   []int         // multiGet: flattened (dup, first) index pairs
+	repl   []int         // replica routing (replicaNodesInto), reused every op
+	subs   []*Client     // fanOut goroutine children, reused across calls
 }
 
 // NewClient creates a client. proc may be nil for immediate mode.
@@ -54,6 +58,7 @@ func (c *Cluster) NewClient(proc *sim.Proc) *Client {
 		c:    c,
 		proc: proc,
 		rng:  rand.New(rand.NewSource(c.cfg.Seed ^ seq*0x5DEECE66D)),
+		id:   seq,
 	}
 }
 
@@ -127,7 +132,9 @@ func (cl *Client) readReplica(p int) int {
 	return (p + cl.rng.Intn(cl.c.cfg.ReplicationFactor)) % len(cl.c.nodes)
 }
 
-// Get returns the value under key, or (nil, false).
+// Get returns the value under key, or (nil, false). The read goes to
+// one replica chosen uniformly; a deleted key (versioned tombstone)
+// reads as absent.
 func (cl *Client) Get(key []byte) ([]byte, bool) {
 	rt := cl.c.beginOp()
 	p := rt.partitionOf(key)
@@ -136,6 +143,58 @@ func (cl *Client) Get(key []byte) ([]byte, bool) {
 	cl.visit(id, 1, len(v))
 	cl.c.endOp(rt)
 	return v, ok
+}
+
+// GetVersionedPrimary is Get plus the stored version, routed to the
+// key's authoritative primary instead of a uniformly-chosen replica. A
+// deleted key reports its tombstone's version with ok=false; a
+// never-written key reports the zero Version. The primary receives
+// every write synchronously — replica catch-ups lag only the
+// non-primary copies — so this read observes the newest version even
+// under AsyncReplication; invariant checks (the index builder's ghost
+// assertion) use it to avoid mistaking a lagged replica for a
+// violation.
+func (cl *Client) GetVersionedPrimary(key []byte) ([]byte, Version, bool) {
+	rt := cl.c.beginOp()
+	p := rt.partitionOf(key)
+	id := cl.c.primaryNode(p)
+	v, ver, ok := cl.c.nodes[id].getVersioned(key)
+	cl.visit(id, 1, len(v))
+	cl.c.endOp(rt)
+	return v, ver, ok
+}
+
+// ReadRepair reads every replica of key, converges any replica observed
+// stale onto the newest version (applying the winning envelope with
+// put-if-newer), and returns the winner's value. It is the on-demand
+// repair path for read-heavy keys under async replication: a caller
+// that just observed a stale or flip-flopping read can force the
+// replicas together without waiting for the replication lag to drain.
+func (cl *Client) ReadRepair(key []byte) ([]byte, bool) {
+	rt := cl.c.beginOp()
+	defer cl.c.endOp(rt)
+	p := rt.partitionOf(key)
+	cl.repl = cl.c.replicaNodesInto(cl.repl[:0], p)
+	var best []byte
+	for _, id := range cl.repl {
+		env, ok := cl.c.nodes[id].getRaw(key)
+		cl.visit(id, 1, len(env))
+		if ok && (best == nil || envVersion(env).After(envVersion(best))) {
+			best = env
+		}
+	}
+	if best == nil {
+		return nil, false
+	}
+	for _, id := range cl.repl {
+		if cl.c.nodes[id].applyIfNewer(key, best) {
+			cl.visit(id, 1, len(best))
+		}
+	}
+	if envIsTombstone(best) {
+		return nil, false
+	}
+	return envValue(best), true
 }
 
 // MultiGet fetches several keys in one batched request per node, with
@@ -234,27 +293,50 @@ func (cl *Client) multiGet(keys [][]byte, parallel bool) [][]byte {
 }
 
 // Put stores value under key on every replica (parallel in simulated
-// mode, or primary-then-async under AsyncReplication).
+// mode, or primary-then-async under AsyncReplication). The write is
+// stamped from the cluster HLC, so racing Puts/Deletes from any number
+// of clients converge every replica to the same winner.
 func (cl *Client) Put(key, value []byte) {
-	cl.write(key, value, false)
+	cl.writeStamped(key, value, false, cl.StampVersion())
 }
 
-// Delete removes key from every replica.
+// Delete removes key from every replica by writing a versioned
+// tombstone (swept after the tombstone-GC grace period), so a delete
+// racing an older Put wins on every replica regardless of arrival
+// order.
 func (cl *Client) Delete(key []byte) {
-	cl.write(key, nil, true)
+	cl.writeStamped(key, nil, true, cl.StampVersion())
 }
 
-// write routes one put/delete. It applies the mutation under the claimed
-// routing table — including double-writes to any in-flight move covering
-// the key — and retries if the table changed while it ran: the write
-// then re-applies under the new layout, so a concurrent rebalance can
-// never strand it on a node that is no longer the key's owner. Re-
-// application is idempotent (puts overwrite with the same value, deletes
-// re-delete).
-func (cl *Client) write(key, val []byte, del bool) {
+// StampVersion draws a fresh write version: a cluster-HLC timestamp
+// with this client as the tiebreaker. Every stamp is newer than all
+// previously drawn stamps.
+func (cl *Client) StampVersion() Version {
+	return Version{TS: cl.c.hlc.Next(), Client: cl.id}
+}
+
+// PutStamped stores value under key at a caller-chosen version instead
+// of a fresh stamp. It loses to every write stamped after ver was
+// drawn, which is the point: a bulk writer replaying data "as of" a
+// snapshot (the index backfill) stamps everything at the snapshot
+// version, and any live write that raced it — including a delete —
+// outranks the replay on every replica.
+func (cl *Client) PutStamped(key, value []byte, ver Version) {
+	cl.writeStamped(key, value, false, ver)
+}
+
+// writeStamped routes one versioned put/delete. The envelope is built
+// once and applied with put-if-newer on every target — current
+// replicas, lagged replicas, and the destinations of any in-flight move
+// covering the key — and the operation retries if the routing table
+// changed while it ran, so a concurrent rebalance can never strand it
+// on a node that is no longer the key's owner. Re-application is
+// naturally idempotent: the same envelope applied twice is a no-op.
+func (cl *Client) writeStamped(key, val []byte, del bool, ver Version) {
+	env := makeEnvelope(ver, del, val)
 	for {
 		rt := cl.c.beginOp()
-		cl.writeUnder(rt, key, val, del)
+		cl.writeUnder(rt, key, env)
 		settled := cl.c.routing.Load() == rt
 		cl.c.endOp(rt)
 		if settled {
@@ -263,47 +345,48 @@ func (cl *Client) write(key, val []byte, del bool) {
 	}
 }
 
-// writeUnder applies one put/delete under a specific routing table.
-func (cl *Client) writeUnder(rt *routing, key, val []byte, del bool) {
-	apply := func(n *node) {
-		if del {
-			n.delete(key)
-		} else {
-			n.put(key, val)
-		}
-	}
+// writeUnder applies one envelope under a specific routing table.
+func (cl *Client) writeUnder(rt *routing, key, env []byte) {
 	p := rt.partitionOf(key)
-	ids := cl.c.replicaNodes(p)
+	cl.repl = cl.c.replicaNodesInto(cl.repl[:0], p)
+	ids := cl.repl
 	mv := coveringMove(rt, key)
-	if del && mv != nil {
-		cl.tombstoneDelete(mv, ids, key)
-		for _, id := range ids {
-			cl.visit(id, 1, len(key))
-		}
-		cl.visitDsts(mv, ids, key)
-		return
-	}
 	if cl.c.cfg.AsyncReplication && cl.proc != nil && len(ids) > 1 {
 		// Synchronous primary write; replicas catch up after ReplicaLag.
+		// The lagged applies reuse the stamped envelope, so however the
+		// catch-ups of racing writers interleave, every replica keeps the
+		// newest version — the divergence the unversioned store allowed.
 		primary := ids[0]
-		apply(cl.c.nodes[primary])
+		cl.c.nodes[primary].applyIfNewer(key, env)
 		cl.visit(primary, 1, len(key))
 		lag := cl.c.cfg.ReplicaLag
-		rest := ids[1:]
+		rest := append([]int(nil), ids[1:]...) // outlives this op's scratch
 		cl.proc.Env().Spawn(func(p *sim.Proc) {
 			p.Sleep(lag)
+			// Revalidate ownership under a claimed routing table at fire
+			// time: the cluster may have rebalanced during the lag, and a
+			// catch-up landing on a node that lost the range would
+			// resurrect the key there after cleanup purged it (the copy
+			// already carried this write from the old primary to the new
+			// owners). The claim also serializes the catch-up against
+			// cleanup — Rebalance drains claim holders before purging.
+			crt := cl.c.beginOp()
+			cp := crt.partitionOf(key)
 			for _, id := range rest {
-				apply(cl.c.nodes[id])
+				if cl.c.isReplica(cp, id) {
+					cl.c.nodes[id].applyIfNewer(key, env)
+				}
 			}
+			cl.c.endOp(crt)
 		})
 		// Move destinations are written synchronously even under async
 		// replication: the flip must find them complete.
-		cl.doubleWrite(mv, key, val, ids[:1])
+		cl.doubleApply(mv, key, env, ids[:1])
 		return
 	}
 	if cl.proc == nil || len(ids) == 1 {
 		for _, id := range ids {
-			apply(cl.c.nodes[id])
+			cl.c.nodes[id].applyIfNewer(key, env)
 			cl.visit(id, 1, len(key))
 		}
 	} else {
@@ -311,13 +394,13 @@ func (cl *Client) writeUnder(rt *routing, key, val []byte, del bool) {
 		for _, id := range ids {
 			id := id
 			fns = append(fns, func(sub *Client) {
-				apply(cl.c.nodes[id])
+				cl.c.nodes[id].applyIfNewer(key, env)
 				sub.visit(id, 1, len(key))
 			})
 		}
 		cl.Parallel(fns...)
 	}
-	cl.doubleWrite(mv, key, val, ids)
+	cl.doubleApply(mv, key, env, ids)
 }
 
 // coveringMove returns the in-flight move whose range contains key, or
@@ -331,36 +414,6 @@ func coveringMove(rt *routing, key []byte) *move {
 	return nil
 }
 
-// tombstoneDelete is the delete protocol for a key in a moving range:
-// every node's deletion — old owners and move destinations — happens
-// atomically with respect to the range copy, with a tombstone recorded
-// when the key falls inside the open chunk window (the only span whose
-// scan snapshot could still re-insert it; see copyMove). Mutations only;
-// the caller pays the visits (sleeping inside the move mutex would stall
-// a simulated environment).
-func (cl *Client) tombstoneDelete(mv *move, ids []int, key []byte) {
-	mv.mu.Lock()
-	cl.deleteInMove(mv, ids, key)
-	mv.mu.Unlock()
-}
-
-// deleteInMove deletes key from the old owners in ids and the move's
-// destinations, tombstoning it when the open chunk window covers it.
-// Caller holds mv.mu.
-func (cl *Client) deleteInMove(mv *move, ids []int, key []byte) {
-	if mv.inWindow(key) {
-		mv.tombs[string(key)] = struct{}{}
-	}
-	for _, id := range ids {
-		cl.c.nodes[id].delete(key)
-	}
-	for _, id := range mv.dst {
-		if !slices.Contains(ids, id) {
-			cl.c.nodes[id].delete(key)
-		}
-	}
-}
-
 // visitDsts pays one visit per move destination not already written as
 // a current replica.
 func (cl *Client) visitDsts(mv *move, ids []int, key []byte) {
@@ -371,11 +424,13 @@ func (cl *Client) visitDsts(mv *move, ids []int, key []byte) {
 	}
 }
 
-// doubleWrite puts val onto the move's destination nodes (skipping any
-// already written as current replicas). A plain put suffices: the range
-// copy uses put-if-absent, so the writer's fresher value always wins
-// regardless of interleaving.
-func (cl *Client) doubleWrite(mv *move, key, val []byte, written []int) {
+// doubleApply lands the envelope on the move's destination nodes
+// (skipping any already written as current replicas). Put-if-newer on
+// both sides makes the double-write commute with the range copy: the
+// writer's fresher envelope — value or tombstone — wins regardless of
+// interleaving, which is what retired the pre-versioning chunk-window
+// tombstone protocol.
+func (cl *Client) doubleApply(mv *move, key, env []byte, written []int) {
 	if mv == nil {
 		return
 	}
@@ -383,8 +438,8 @@ func (cl *Client) doubleWrite(mv *move, key, val []byte, written []int) {
 		if slices.Contains(written, id) {
 			continue
 		}
-		cl.c.nodes[id].put(key, val)
-		cl.visit(id, 1, len(key)+len(val))
+		cl.c.nodes[id].applyIfNewer(key, env)
+		cl.visit(id, 1, len(env))
 	}
 }
 
@@ -397,12 +452,15 @@ func (cl *Client) doubleWrite(mv *move, key, val []byte, written []int) {
 // per-node epoch fencing: the primary rejects it (ErrFenced) when the
 // claimed routing epoch is stale for the key's range — ownership moved —
 // and the client retries under a fresh table, so exactly one node can
-// ever accept a swap for a key, even while the routing flips. On a range
-// mid-move, the decision and its propagation to the move's destinations
-// happen inside the move window (mv.mu), serializing them against the
-// chunk copy's put-if-absent and against the flip's lease handover; the
-// visits are paid after the window is released (sleeping inside it would
-// stall a simulated environment and every writer on the range).
+// ever accept a swap for a key, even while the routing flips. An
+// accepted swap is stamped from the cluster HLC at decision time, so
+// its propagation (put-if-newer on replicas and move destinations)
+// outranks every write the decision observed — an older plain Put can
+// never clobber it. On a range mid-move, the decision and its
+// propagation happen inside the move window (mv.mu), serializing them
+// against the flip's lease handover; the visits are paid after the
+// window is released (sleeping inside it would stall a simulated
+// environment and every writer on the range).
 //
 // If the swap is accepted but the routing changed while the operation
 // ran, the accepted write is re-applied under the new table (the test
@@ -413,43 +471,41 @@ func (cl *Client) TestAndSet(key, expect, update []byte) bool {
 	for {
 		rt := cl.c.beginOp()
 		p := rt.partitionOf(key)
-		ids := cl.c.replicaNodes(p)
+		cl.repl = cl.c.replicaNodesInto(cl.repl[:0], p)
+		ids := cl.repl
 		primary := ids[0]
 		mv := coveringMove(rt, key)
+		var env []byte // the accepted swap's stamped envelope
 		var ok bool
 		var err error
 		if mv == nil {
-			ok, err = cl.c.nodes[primary].testAndSet(key, rt.epoch, expect, update)
+			env, ok, err = cl.c.nodes[primary].testAndSet(key, rt.epoch, expect, update, cl.id)
 			cl.visit(primary, 1, len(key)+len(update))
 			if ok {
+				// Propagate the primary's stamped envelope: its version
+				// was drawn after the decision read the current value, so
+				// put-if-newer can never let an older plain Put — whenever
+				// it arrives — clobber the accepted swap on any replica.
 				for _, id := range ids[1:] {
-					if update == nil {
-						cl.c.nodes[id].delete(key)
-					} else {
-						cl.c.nodes[id].put(key, update)
-					}
+					cl.c.nodes[id].applyIfNewer(key, env)
 					cl.visit(id, 1, len(update))
 				}
 			}
 		} else {
 			mv.mu.Lock()
-			ok, err = cl.c.nodes[primary].testAndSet(key, rt.epoch, expect, update)
+			env, ok, err = cl.c.nodes[primary].testAndSet(key, rt.epoch, expect, update, cl.id)
 			if ok {
-				if update == nil {
-					// Accepted delete in a moving range: window-aware
-					// re-delete on every old owner and destination —
-					// including the primary, which the chunk copy could
-					// otherwise repopulate if its scan read the key just
-					// before the test-and-set removed it.
-					cl.deleteInMove(mv, ids, key)
-				} else {
-					for _, id := range ids[1:] {
-						cl.c.nodes[id].put(key, update)
-					}
-					for _, id := range mv.dst {
-						if !slices.Contains(ids, id) {
-							cl.c.nodes[id].put(key, update)
-						}
+				// Accepted swap in a moving range: land the envelope on
+				// every old owner and move destination inside the move
+				// window, so the epoch flip never observes a
+				// half-propagated decision. (The range copy itself needs
+				// no coordination — its older envelopes lose to this one.)
+				for _, id := range ids[1:] {
+					cl.c.nodes[id].applyIfNewer(key, env)
+				}
+				for _, id := range mv.dst {
+					if !slices.Contains(ids, id) {
+						cl.c.nodes[id].applyIfNewer(key, env)
 					}
 				}
 			}
@@ -504,18 +560,38 @@ type RangeRequest struct {
 // needed. Each partition visited costs one storage operation.
 func (cl *Client) GetRange(req RangeRequest) []KV {
 	rt := cl.c.beginOp()
-	out := cl.getRange(rt, req)
+	out := cl.getRangeOn(rt, req, cl.readReplica)
+	cl.c.endOp(rt)
+	return out
+}
+
+// GetRangePrimary is GetRange served by each partition's authoritative
+// primary instead of a uniformly-chosen replica. The primary holds
+// every write synchronously even under AsyncReplication, so bulk
+// readers that must not act on lagged state — the index backfill,
+// whose stale read of an already-deleted row would mint a dangling
+// entry no tombstone outranks — scan through it (the same reasoning
+// that makes Rebalance collect from primaries).
+func (cl *Client) GetRangePrimary(req RangeRequest) []KV {
+	rt := cl.c.beginOp()
+	out := cl.getRangeOn(rt, req, cl.c.primaryNode)
 	cl.c.endOp(rt)
 	return out
 }
 
 func (cl *Client) getRange(rt *routing, req RangeRequest) []KV {
+	return cl.getRangeOn(rt, req, cl.readReplica)
+}
+
+// getRangeOn walks the partitions intersecting req sequentially, with
+// pick choosing the serving node per partition.
+func (cl *Client) getRangeOn(rt *routing, req RangeRequest, pick func(p int) int) []KV {
 	nParts := rt.parts()
 	var out []KV
 	remaining := req.Limit
 
 	visitPartition := func(p int) bool { // returns false when done
-		id := cl.readReplica(p)
+		id := pick(p)
 		lim := 0
 		if req.Limit > 0 {
 			lim = remaining
@@ -577,14 +653,18 @@ func (cl *Client) getRange(rt *routing, req RangeRequest) []KV {
 // PIQL because every compiled plan is statically bounded: Limit is
 // always a small constant. Wall-clock cost becomes the max of the
 // per-partition round trips instead of their sum, at one storage
-// operation per intersecting partition. With a single partition, or in
-// immediate mode where there is no latency to hide, it falls back to the
-// sequential early-stopping walk.
+// operation per intersecting partition. With a single partition it
+// falls back to the sequential early-stopping walk. In immediate mode
+// the fan-out runs on real goroutines (one per partition, detached
+// child clients whose op counts merge back after the join), so
+// non-simulated backends get the same intra-operator parallelism the
+// virtual-time path models — previously immediate mode silently fell
+// back to the sequential walk.
 func (cl *Client) GetRangeScatter(req RangeRequest) []KV {
 	rt := cl.c.beginOp()
 	defer cl.c.endOp(rt)
 	lo, hi := rt.rangeParts(req.Start, req.End)
-	if cl.proc == nil || lo == hi {
+	if lo == hi {
 		return cl.getRange(rt, req)
 	}
 	parts := make([][]KV, hi-lo+1)
@@ -605,7 +685,7 @@ func (cl *Client) GetRangeScatter(req RangeRequest) []KV {
 			parts[p-lo] = kvs
 		}
 	}
-	cl.Parallel(fns...)
+	cl.fanOut(fns...)
 	var out []KV
 	if req.Reverse {
 		for i := len(parts) - 1; i >= 0; i-- {
@@ -684,6 +764,40 @@ func boundedEnd(rt *routing, p int, end []byte) []byte {
 	return end
 }
 
+// fanOut runs fns concurrently even in immediate mode: simulated
+// clients defer to Parallel (virtual-time children), immediate clients
+// spawn one real goroutine per fn over detached child clients and merge
+// their operation counts into this client's chain after the join (the
+// detachment keeps the per-op counter walk in countOp race-free while
+// the goroutines run). The children are scratch, pooled on the parent
+// and reused across calls like the other per-op buffers. Callers must
+// pre-draw any RNG decisions — the fns must not touch cl.rng.
+func (cl *Client) fanOut(fns ...func(sub *Client)) {
+	if cl.proc != nil {
+		cl.Parallel(fns...)
+		return
+	}
+	for len(cl.subs) < len(fns) {
+		cl.subs = append(cl.subs, &Client{c: cl.c, rng: rand.New(rand.NewSource(cl.rng.Int63())), id: cl.id})
+	}
+	var wg sync.WaitGroup
+	for i, fn := range fns {
+		sub := cl.subs[i]
+		sub.ops = 0
+		wg.Add(1)
+		go func(sub *Client, fn func(*Client)) {
+			defer wg.Done()
+			fn(sub)
+		}(sub, fn)
+	}
+	wg.Wait()
+	for _, sub := range cl.subs[:len(fns)] {
+		for p := cl; p != nil; p = p.parent {
+			p.ops += sub.ops
+		}
+	}
+}
+
 // Parallel runs fns concurrently (virtual-time children sharing this
 // client's op counter) and returns when all complete. In immediate mode
 // the functions run sequentially.
@@ -709,6 +823,7 @@ func (cl *Client) child(proc *sim.Proc) *Client {
 		c:      cl.c,
 		proc:   proc,
 		rng:    rand.New(rand.NewSource(cl.rng.Int63())),
+		id:     cl.id,
 		parent: cl,
 	}
 }

@@ -41,17 +41,25 @@ type Config struct {
 	AsyncReplication bool
 	// ReplicaLag is the replication delay under AsyncReplication.
 	ReplicaLag time.Duration
-	// MoveChunkKeys bounds how many keys Rebalance copies per move
-	// window: each chunk is published, copied, and retired on its own,
-	// so tombstone memory and the double-write window are bounded by one
-	// chunk's churn instead of a whole partition's. 0 means
-	// DefaultMoveChunkKeys.
+	// MoveChunkKeys bounds how many keys Rebalance copies per scan
+	// chunk, keeping the copy's memory footprint independent of
+	// partition size. 0 means DefaultMoveChunkKeys.
 	MoveChunkKeys int
+	// TombstoneGCAge is the grace period before a delete's tombstone may
+	// be swept. It must exceed replica lag plus in-flight operation
+	// latency: sweeping a tombstone forgets the delete's version, so a
+	// write older than the delete that is still undelivered could
+	// resurrect the key. 0 means DefaultTombstoneGCAge.
+	TombstoneGCAge time.Duration
 }
 
 // DefaultMoveChunkKeys is the per-chunk key budget of a rebalance copy
 // when Config.MoveChunkKeys is zero.
 const DefaultMoveChunkKeys = 256
+
+// DefaultTombstoneGCAge is the tombstone grace period when
+// Config.TombstoneGCAge is zero.
+const DefaultTombstoneGCAge = 5 * time.Second
 
 // Cluster is a simulated SCADS-style key/value store. It is safe for
 // concurrent use by any number of Clients: node record stores are
@@ -65,6 +73,11 @@ type Cluster struct {
 	cfg   Config
 	env   *sim.Env // nil in immediate mode
 	nodes []*node
+
+	// hlc is the cluster-wide hybrid logical clock every write is
+	// stamped from (see hlc.go). One shared clock stands in for the
+	// per-node clocks plus timestamp exchange a real deployment runs.
+	hlc HLC
 
 	// routing is the current epoch-stamped partition map. Operations
 	// claim a snapshot for their duration (beginOp/endOp) so Rebalance
@@ -101,22 +114,19 @@ type routing struct {
 }
 
 // move is one in-flight range transfer [lo, hi) to the nodes in dst.
-// Writers that observe it double-write. The copy proceeds in bounded
-// chunks, each published as a window [winLo, winHi): deletes inside the
-// open window record a tombstone so the chunk's put-if-absent copy
-// cannot resurrect them; deletes outside it (a chunk already copied, or
-// one whose scan has not started) simply delete on the destinations too.
-// Conditional operations on the range decide and propagate entirely
-// under mu — the move window — so the copy and the epoch flip can never
-// interleave with a half-propagated swap.
+// Writers that observe it double-write (via applyIfNewer, so arrival
+// order against the copy is irrelevant — versions decide). The copy
+// itself needs no per-key coordination: it replays the source's
+// envelopes, tombstones included, and a concurrent writer's fresher
+// envelope outranks them wherever they land. mu serializes only the
+// conditional path: a TestAndSet on the range decides and propagates
+// entirely under mu, and the epoch flip takes mu on every move, so the
+// lease handover can never interleave with a half-propagated swap.
 type move struct {
 	lo, hi []byte // nil = unbounded on that side
 	dst    []int
 
-	mu           sync.Mutex
-	tombs        map[string]struct{} // keys deleted inside the open window
-	winLo, winHi []byte              // current chunk window (valid when winOpen)
-	winOpen      bool
+	mu sync.Mutex
 }
 
 // covers reports whether key falls inside the move's range.
@@ -125,21 +135,6 @@ func (m *move) covers(key []byte) bool {
 		return false
 	}
 	if m.hi != nil && bytes.Compare(key, m.hi) >= 0 {
-		return false
-	}
-	return true
-}
-
-// inWindow reports whether key falls inside the open chunk window.
-// Caller holds mu.
-func (m *move) inWindow(key []byte) bool {
-	if !m.winOpen {
-		return false
-	}
-	if m.winLo != nil && bytes.Compare(key, m.winLo) < 0 {
-		return false
-	}
-	if m.winHi != nil && bytes.Compare(key, m.winHi) >= 0 {
 		return false
 	}
 	return true
@@ -208,9 +203,12 @@ func New(cfg Config, env *sim.Env) *Cluster {
 	if cfg.MoveChunkKeys <= 0 {
 		cfg.MoveChunkKeys = DefaultMoveChunkKeys
 	}
+	if cfg.TombstoneGCAge <= 0 {
+		cfg.TombstoneGCAge = DefaultTombstoneGCAge
+	}
 	c := &Cluster{cfg: cfg, env: env}
 	for i := 0; i < cfg.Nodes; i++ {
-		c.nodes = append(c.nodes, newNode(i, cfg.Seed, env, cfg.NodeServers))
+		c.nodes = append(c.nodes, newNode(i, cfg.Seed, env, cfg.NodeServers, &c.hlc, cfg.TombstoneGCAge))
 	}
 	rt := &routing{} // epoch 0: one partition, all keys on node 0's replicas
 	c.installLeases(rt)
@@ -285,11 +283,29 @@ func (c *Cluster) SetNodeSlowdown(nodeID int, factor float64) {
 // The mapping depends only on the partition index and node count, so it
 // is valid under every routing epoch.
 func (c *Cluster) replicaNodes(p int) []int {
-	ids := make([]int, c.cfg.ReplicationFactor)
+	return c.replicaNodesInto(make([]int, 0, c.cfg.ReplicationFactor), p)
+}
+
+// replicaNodesInto is replicaNodes appending into a caller-owned buffer
+// — the allocation-free variant the per-operation read/write hot path
+// uses (Client keeps the buffer as scratch and reuses it every op).
+func (c *Cluster) replicaNodesInto(buf []int, p int) []int {
 	for r := 0; r < c.cfg.ReplicationFactor; r++ {
-		ids[r] = (p + r) % len(c.nodes)
+		buf = append(buf, (p+r)%len(c.nodes))
 	}
-	return ids
+	return buf
+}
+
+// primaryNode returns the node serving as partition p's authoritative
+// primary (replica 0) — the single place the placement rule lives for
+// primary-routed reads.
+func (c *Cluster) primaryNode(p int) int { return p % len(c.nodes) }
+
+// isReplica reports whether node id holds partition p under the
+// placement rule (replica r of partition p is node (p+r) mod n).
+func (c *Cluster) isReplica(p, id int) bool {
+	n := len(c.nodes)
+	return ((id-p)%n+n)%n < c.cfg.ReplicationFactor
 }
 
 // Rebalance recomputes partition split points so that data is spread
@@ -303,10 +319,10 @@ func (c *Cluster) replicaNodes(p int) []int {
 //     still holding the pre-move table, so every write the copy could
 //     miss has landed on the old owners before any copy scan starts;
 //  2. it copies each moving range from the old primaries into the new
-//     owners in bounded chunks (see copyMove): each chunk is its own
-//     published window, with put-if-absent so a concurrent writer's
-//     fresher value always wins and per-window delete tombstones so the
-//     copy cannot resurrect a key deleted mid-chunk;
+//     owners in bounded chunks (see copyMove), replaying the source's
+//     version envelopes — tombstones included — with put-if-newer, so a
+//     concurrent writer's fresher value (or delete) always wins no
+//     matter how the copy interleaves with it;
 //  3. it flips the epoch (epoch+2) while holding every move window:
 //     new primary leases are installed first (epoch fencing — a
 //     conditional op still claiming the old table is rejected by the
@@ -367,11 +383,7 @@ func (c *Cluster) Rebalance() {
 		if oplo == ophi && (p-oplo)%n == 0 { // replicaNodes depends on p mod nodes
 			continue
 		}
-		moves = append(moves, &move{
-			lo: lo, hi: hi,
-			dst:   c.replicaNodes(p),
-			tombs: make(map[string]struct{}),
-		})
+		moves = append(moves, &move{lo: lo, hi: hi, dst: c.replicaNodes(p)})
 	}
 	mid := &routing{epoch: old.epoch + 1, splits: old.splits, moves: moves}
 	c.routing.Store(mid)
@@ -410,15 +422,16 @@ func (c *Cluster) Rebalance() {
 }
 
 // copyMove copies one move's range from the old layout's primaries into
-// the destinations, one bounded chunk at a time: publish the chunk
-// window, scan it, copy it with put-if-absent (a double-written fresher
-// value is never clobbered), then retire the window and its tombstones.
-// Deletes inside the open window tombstone so the chunk copy cannot
-// resurrect them; a delete anywhere else has either already landed on
-// the source before that chunk's scan (the window opens under mu, after
-// the delete finished) or hits a chunk whose copy is complete — both
-// safe without a tombstone. Tombstone memory is therefore bounded by
-// the deletes of one chunk, not of the whole move.
+// the destinations, one bounded chunk at a time. The scan is raw — it
+// reads version envelopes, tombstones included — and each item lands
+// with applyIfNewer, so the copy commutes with every concurrent write:
+// a writer's fresher put or delete outranks the copied envelope whether
+// it arrives before or after it, and a copied tombstone carries the
+// deletion to destinations the writer's own double-apply missed. The
+// chunk bound (Config.MoveChunkKeys) only limits the scan's memory;
+// no per-chunk coordination with writers remains (the pre-versioning
+// protocol needed a published chunk window plus delete-tombstone
+// bookkeeping here).
 func (c *Cluster) copyMove(old *routing, mv *move) {
 	chunk := c.cfg.MoveChunkKeys
 	plo, phi := old.rangeParts(mv.lo, mv.hi)
@@ -427,24 +440,11 @@ func (c *Cluster) copyMove(old *routing, mv *move) {
 		cursor := boundedStart(old, p, mv.lo)
 		end := boundedEnd(old, p, mv.hi)
 		for {
-			// Open the window over the unscanned remainder, dropping the
-			// previous chunk's tombstones: keys before cursor are fully
-			// copied, and any tombstone recorded for a key beyond the
-			// last chunk had its deletion applied to the source before
-			// this re-acquisition — the upcoming scan cannot see it.
-			mv.mu.Lock()
-			mv.winLo, mv.winHi, mv.winOpen = cursor, end, true
-			clear(mv.tombs)
-			mv.mu.Unlock()
-			kvs := c.nodes[src].scan(cursor, end, chunk, false)
+			kvs := c.nodes[src].scanRaw(cursor, end, chunk)
 			for _, kv := range kvs {
-				mv.mu.Lock()
-				if _, dead := mv.tombs[string(kv.Key)]; !dead {
-					for _, id := range mv.dst {
-						c.nodes[id].putIfAbsent(kv.Key, kv.Value)
-					}
+				for _, id := range mv.dst {
+					c.nodes[id].applyIfNewer(kv.Key, kv.Value)
 				}
-				mv.mu.Unlock()
 			}
 			if len(kvs) < chunk {
 				break
@@ -455,20 +455,17 @@ func (c *Cluster) copyMove(old *routing, mv *move) {
 			}
 		}
 	}
-	// Retire the window: the whole range is on the destinations, and
-	// later deletes delete there directly.
-	mv.mu.Lock()
-	mv.winLo, mv.winHi, mv.winOpen = nil, nil, false
-	clear(mv.tombs)
-	mv.mu.Unlock()
 }
 
-// cleanup deletes every key a node holds but does not own under rt.
+// cleanup purges every key a node holds but does not own under rt.
 // Concurrent writes are safe: a write routed by rt only lands on owners,
-// which cleanup never touches for that key's range.
+// which cleanup never touches for that key's range. Purging (rather
+// than tombstoning) is correct precisely because the node is not an
+// owner — no read routes to it, and a later rebalance copies from
+// owners, never from it.
 func (c *Cluster) cleanup(rt *routing) {
 	for id, nd := range c.nodes {
-		for _, kv := range nd.scan(nil, nil, 0, false) {
+		for _, kv := range nd.scanRaw(nil, nil, 0) {
 			owner := false
 			for _, rid := range c.replicaNodes(rt.partitionOf(kv.Key)) {
 				if rid == id {
@@ -477,10 +474,77 @@ func (c *Cluster) cleanup(rt *routing) {
 				}
 			}
 			if !owner {
-				nd.delete(kv.Key)
+				nd.purge(kv.Key)
 			}
 		}
 	}
+}
+
+// GCTombstones force-sweeps delete tombstones older than the given age
+// from every node, returning how many were collected. age <= 0 sweeps
+// every tombstone, which is only safe on a quiesced cluster (no write
+// in flight, replication lag drained): a sweep forgets the deletes'
+// versions, so an undelivered older write could otherwise resurrect a
+// key. Nodes also sweep expired tombstones inline once they accumulate
+// past a threshold, so unbounded tombstone growth never depends on this
+// call.
+func (c *Cluster) GCTombstones(age time.Duration) int {
+	cutoff := wallHLC(time.Now().Add(-age))
+	if age <= 0 {
+		cutoff = c.hlc.last.Load() + 1
+	}
+	total := 0
+	for _, nd := range c.nodes {
+		total += nd.gcTombstones(cutoff)
+	}
+	return total
+}
+
+// AuditConvergence verifies the store's convergence invariant: for every
+// partition, all replicas hold byte-identical live state — same keys,
+// same value bytes, same versions (a tombstone and a swept/absent key
+// are equivalent, both meaning "deleted"). It is meaningful on a
+// quiesced cluster (writers joined, replication lag drained); the chaos
+// harness runs it after every storm. Returns nil when converged.
+func (c *Cluster) AuditConvergence() error {
+	rt := c.routing.Load()
+	for p := 0; p < rt.parts(); p++ {
+		lo, hi := rt.bounds(p)
+		ids := c.replicaNodes(p)
+		ref := make(map[string][]byte)
+		for _, kv := range c.nodes[ids[0]].scanRaw(lo, hi, 0) {
+			if !envIsTombstone(kv.Value) {
+				ref[string(kv.Key)] = kv.Value
+			}
+		}
+		for _, id := range ids[1:] {
+			live := 0
+			for _, kv := range c.nodes[id].scanRaw(lo, hi, 0) {
+				if envIsTombstone(kv.Value) {
+					continue
+				}
+				live++
+				want, ok := ref[string(kv.Key)]
+				if !ok {
+					return fmt.Errorf("kvstore: divergence on %q: live %q@%+v on node %d, deleted/absent on primary %d",
+						kv.Key, envValue(kv.Value), envVersion(kv.Value), id, ids[0])
+				}
+				if !bytes.Equal(want, kv.Value) {
+					return fmt.Errorf("kvstore: divergence on %q: node %d holds %q@%+v, primary %d holds %q@%+v",
+						kv.Key, id, envValue(kv.Value), envVersion(kv.Value), ids[0], envValue(want), envVersion(want))
+				}
+			}
+			if live != len(ref) {
+				for k := range ref {
+					if _, _, ok := c.nodes[id].getVersioned([]byte(k)); !ok {
+						return fmt.Errorf("kvstore: divergence on %q: live on primary %d, deleted/absent on node %d",
+							k, ids[0], id)
+					}
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // Epoch returns the current routing epoch. It advances by two per

@@ -1,0 +1,106 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+	"time"
+)
+
+// Hybrid logical clock + version envelope.
+//
+// Every record a node stores carries a version: a hybrid timestamp drawn
+// from the cluster-wide HLC plus the writing client's id as a tiebreaker.
+// Replicas apply a write only when its version is newer than what they
+// hold (node.applyIfNewer), and deletes store versioned tombstones
+// instead of erasing, so all replicas of a key — synchronous, async-
+// lagged, and rebalance copies alike — converge to the same winner
+// regardless of the order writes arrive in. This is what turns the
+// store's Put/Delete from "last writer wins per replica" (which could
+// diverge replicas permanently; see ROADMAP, PR 4 follow-ons) into
+// convergent last-writer-wins.
+
+// hlcLogicalBits is how many low bits of a hybrid timestamp hold the
+// logical counter; the rest hold wall-clock milliseconds. 16 bits allow
+// 65k distinct stamps per millisecond before the clock runs ahead of
+// wall time (it stays monotonic either way).
+const hlcLogicalBits = 16
+
+// HLC is a hybrid logical clock: timestamps are the maximum of the wall
+// clock (in ms, shifted left by hlcLogicalBits) and last-issued+1, so
+// they are strictly increasing across the cluster and still loosely
+// track real time — which is what lets tombstone GC use a wall-clock
+// grace period. Safe for concurrent use.
+type HLC struct {
+	last atomic.Int64
+}
+
+// Next issues a new hybrid timestamp, strictly greater than every
+// timestamp previously issued by this clock.
+func (h *HLC) Next() int64 {
+	for {
+		last := h.last.Load()
+		next := wallHLC(time.Now())
+		if next <= last {
+			next = last + 1
+		}
+		if h.last.CompareAndSwap(last, next) {
+			return next
+		}
+	}
+}
+
+// wallHLC converts a wall-clock instant to the hybrid-timestamp scale.
+func wallHLC(t time.Time) int64 { return t.UnixMilli() << hlcLogicalBits }
+
+// Version orders all writes to one key: hybrid timestamp first, writing
+// client as the tiebreaker. The zero Version is older than any stamped
+// write.
+type Version struct {
+	TS     int64 // hybrid timestamp from the cluster HLC
+	Client int64 // writing client's id (tiebreaker)
+}
+
+// After reports whether v is strictly newer than o.
+func (v Version) After(o Version) bool {
+	if v.TS != o.TS {
+		return v.TS > o.TS
+	}
+	return v.Client > o.Client
+}
+
+// envHeader is the size of the version envelope prefix every stored
+// value carries: 8 bytes timestamp, 8 bytes client id, 1 flag byte.
+const envHeader = 17
+
+const envTombstone = 1 // flag bit: this envelope is a delete marker
+
+// appendEnvelope appends the envelope for (ver, tomb, val) to dst.
+func appendEnvelope(dst []byte, ver Version, tomb bool, val []byte) []byte {
+	var hdr [envHeader]byte
+	binary.BigEndian.PutUint64(hdr[0:8], uint64(ver.TS))
+	binary.BigEndian.PutUint64(hdr[8:16], uint64(ver.Client))
+	if tomb {
+		hdr[16] = envTombstone
+	}
+	return append(append(dst, hdr[:]...), val...)
+}
+
+// makeEnvelope builds one envelope in a fresh slice.
+func makeEnvelope(ver Version, tomb bool, val []byte) []byte {
+	return appendEnvelope(make([]byte, 0, envHeader+len(val)), ver, tomb, val)
+}
+
+// envVersion extracts an envelope's version.
+func envVersion(env []byte) Version {
+	return Version{
+		TS:     int64(binary.BigEndian.Uint64(env[0:8])),
+		Client: int64(binary.BigEndian.Uint64(env[8:16])),
+	}
+}
+
+// envIsTombstone reports whether the envelope is a delete marker.
+func envIsTombstone(env []byte) bool { return env[16]&envTombstone != 0 }
+
+// envValue returns the envelope's payload (empty for tombstones). The
+// returned slice aliases env.
+func envValue(env []byte) []byte { return env[envHeader:] }

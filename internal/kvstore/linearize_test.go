@@ -181,7 +181,7 @@ func TestTestAndSetEpochFencing(t *testing.T) {
 
 	// Stale claim at a primary that gained the range: fenced, not
 	// decided.
-	ok, err := primary.testAndSet(k, 0, nil, []byte("x"))
+	_, ok, err := primary.testAndSet(k, 0, nil, []byte("x"), 1)
 	var fenced *ErrFenced
 	if ok || !errors.As(err, &fenced) {
 		t.Fatalf("stale-epoch testAndSet = (%v, %v), want fenced", ok, err)
@@ -198,13 +198,13 @@ func TestTestAndSetEpochFencing(t *testing.T) {
 		if got := c.nodes[0].leases.Load().find(k0); got == nil || got.epoch != 0 {
 			t.Fatalf("node 0 lease for retained sub-range = %+v, want preserved epoch 0", got)
 		}
-		ok, err := c.nodes[0].testAndSet(k0, 0, val(0), val(0))
+		_, ok, err := c.nodes[0].testAndSet(k0, 0, val(0), val(0), 1)
 		if !ok || err != nil {
 			t.Fatalf("old-epoch claim on retained range = (%v, %v), want decided", ok, err)
 		}
 	}
 	// A non-primary replica holds no lease for the key at all.
-	ok, err = c.nodes[ids[1]].testAndSet(k, rt.epoch, nil, []byte("x"))
+	_, ok, err = c.nodes[ids[1]].testAndSet(k, rt.epoch, nil, []byte("x"), 1)
 	if ok || err == nil || !errors.As(err, &fenced) || fenced.Owner {
 		t.Fatalf("replica testAndSet = (%v, %v), want ownerless fence", ok, err)
 	}

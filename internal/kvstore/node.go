@@ -13,12 +13,33 @@ import (
 
 // node is one simulated storage server: an ordered in-memory record store
 // plus a bounded-capacity request queue and a service-time sampler.
+//
+// Every value in the tree is a version envelope (see hlc.go): mutations
+// go through applyIfNewer, which keeps whichever envelope carries the
+// newest version, and deletes are versioned tombstones rather than
+// removals — the pair of rules that makes replicas converge no matter
+// what order writes arrive in. Reads strip the envelope and treat
+// tombstones as absence.
 type node struct {
 	id int
 
-	mu   sync.Mutex
-	tree *btree.Tree
-	rng  *rand.Rand // service-time sampling; guarded by mu
+	mu        sync.Mutex
+	tree      *btree.Tree
+	rng       *rand.Rand // service-time sampling; guarded by mu
+	tombs     int        // live tombstone count; guarded by mu
+	lastSweep time.Time  // last inline tombstone sweep; guarded by mu
+
+	hlc   *HLC          // cluster clock, for stamping accepted swaps
+	gcAge time.Duration // tombstones older than this are sweepable
+
+	// autoGC enables the inline threshold sweep. Only immediate-mode
+	// clusters set it: the sweep's age cutoff is wall-clock while a
+	// simulated environment delivers replica catch-ups in virtual time,
+	// so a long-running sim could sweep a tombstone before an older
+	// write's catch-up event fires and let it resurrect the key.
+	// Simulated clusters keep every tombstone until an explicit
+	// quiesced Cluster.GCTombstones.
+	autoGC bool
 
 	// leases are the key ranges this node serves as authoritative primary
 	// for conditional operations, installed by Rebalance at each flip
@@ -30,11 +51,19 @@ type node struct {
 	slowdown float64       // failure injection: service-time multiplier
 }
 
-func newNode(id int, seed int64, env *sim.Env, servers int) *node {
+// tombstoneSweepThreshold is how many tombstones a node accumulates
+// before an apply triggers an inline sweep of the expired ones, bounding
+// tombstone memory without a background task.
+const tombstoneSweepThreshold = 4096
+
+func newNode(id int, seed int64, env *sim.Env, servers int, hlc *HLC, gcAge time.Duration) *node {
 	n := &node{
 		id:       id,
 		tree:     btree.New(),
 		rng:      rand.New(rand.NewSource(seed ^ int64(id)*0x7F4A7C159E3779B9)),
+		hlc:      hlc,
+		gcAge:    gcAge,
+		autoGC:   env == nil,
 		slowdown: 1,
 	}
 	n.leases.Store(emptyLeases)
@@ -52,40 +81,131 @@ type KV struct {
 
 // --- storage primitives (no latency; callers add simulation cost) ---
 
+// get returns the live value under key. A tombstone reads as absence.
 func (n *node) get(key []byte) ([]byte, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	env, ok := n.tree.Get(key)
+	if !ok || envIsTombstone(env) {
+		return nil, false
+	}
+	return envValue(env), true
+}
+
+// getVersioned is get plus the stored version. A tombstone reads as
+// absent but still reports its version (the zero Version means the key
+// was never written).
+func (n *node) getVersioned(key []byte) ([]byte, Version, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	env, ok := n.tree.Get(key)
+	if !ok {
+		return nil, Version{}, false
+	}
+	if envIsTombstone(env) {
+		return nil, envVersion(env), false
+	}
+	return envValue(env), envVersion(env), true
+}
+
+// getRaw returns the stored envelope, tombstones included.
+func (n *node) getRaw(key []byte) ([]byte, bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.tree.Get(key)
 }
 
-func (n *node) put(key, val []byte) {
+// applyIfNewer stores the envelope unless the node already holds a newer
+// version for key, reporting whether it applied. This is the only write
+// primitive: because the comparison is on versions, applying the same
+// set of envelopes in any order on every replica yields the same final
+// state — the convergence invariant.
+func (n *node) applyIfNewer(key, env []byte) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.tree.Put(key, val)
-}
-
-// putIfAbsent stores val only when key is not present, reporting whether
-// it wrote. The rebalance copy uses it so a double-written (fresher)
-// value is never clobbered by the copy's older snapshot.
-func (n *node) putIfAbsent(key, val []byte) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if _, ok := n.tree.Get(key); ok {
+	cur, ok := n.tree.Get(key)
+	if ok && !envVersion(env).After(envVersion(cur)) {
 		return false
 	}
-	n.tree.Put(key, val)
+	n.storeLocked(key, env, cur, ok)
 	return true
 }
 
-func (n *node) delete(key []byte) bool {
+// storeLocked writes env over the current envelope (cur/ok from a prior
+// Get), maintaining the tombstone count and triggering the inline sweep
+// when tombstones pile up. The sweep is rate-limited to one per gcAge
+// per node: a delete burst inside one grace window has nothing
+// collectible yet, and re-scanning the whole tree under mu on every
+// further delete would turn the burst quadratic. Caller holds mu.
+func (n *node) storeLocked(key, env, cur []byte, ok bool) {
+	n.tree.Put(key, env)
+	wasTomb := ok && envIsTombstone(cur)
+	isTomb := envIsTombstone(env)
+	if isTomb && !wasTomb {
+		n.tombs++
+		if n.autoGC && n.tombs > tombstoneSweepThreshold && time.Since(n.lastSweep) >= n.gcAge {
+			n.lastSweep = time.Now()
+			n.sweepTombstonesLocked(wallHLC(n.lastSweep.Add(-n.gcAge)))
+		}
+	} else if !isTomb && wasTomb {
+		n.tombs--
+	}
+}
+
+// purge hard-removes key, envelope and all. Only for data the node does
+// not own (rebalance cleanup): purging an owned key would forget its
+// version and let an older lagged write resurrect it.
+func (n *node) purge(key []byte) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	env, ok := n.tree.Get(key)
+	if !ok {
+		return false
+	}
+	if envIsTombstone(env) {
+		n.tombs--
+	}
 	return n.tree.Delete(key)
 }
 
+// sweepTombstonesLocked removes tombstones stamped before cutoff,
+// returning how many it collected. Caller holds mu.
+//
+// Dropping a tombstone forgets the delete's version, so the cutoff must
+// be old enough that no yet-undelivered write could predate it — the
+// grace period (gcAge) has to exceed replica lag plus in-flight
+// operation latency. That bounded-staleness window is the standard
+// tombstone-GC tradeoff; within it, convergence is unconditional.
+func (n *node) sweepTombstonesLocked(cutoff int64) int {
+	var dead [][]byte
+	n.tree.Ascend(nil, nil, func(it btree.Item) bool {
+		if envIsTombstone(it.Value) && envVersion(it.Value).TS < cutoff {
+			dead = append(dead, it.Key)
+		}
+		return true
+	})
+	for _, k := range dead {
+		n.tree.Delete(k)
+	}
+	n.tombs -= len(dead)
+	return len(dead)
+}
+
+// gcTombstones sweeps tombstones stamped before cutoff.
+func (n *node) gcTombstones(cutoff int64) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sweepTombstonesLocked(cutoff)
+}
+
 // testAndSet atomically replaces the value under key with update when the
-// current value matches expect (nil expect means "key must be absent").
-// A nil update deletes the key on success.
+// current live value matches expect (nil expect means "key must be
+// absent"). A nil update deletes the key on success. On acceptance it
+// returns the envelope it stored — stamped from the cluster HLC *after*
+// reading the current value, so the accepted swap's version is newer
+// than every write it observed and its propagation (applyIfNewer on
+// replicas and move destinations) can never be clobbered by an older
+// plain Put that happens to arrive later.
 //
 // The decision is epoch-fenced: it runs only when this node holds the
 // authoritative-primary lease for key's range and the caller's claimed
@@ -94,42 +214,45 @@ func (n *node) delete(key []byte) bool {
 // fresh routing table. This is what keeps two racing swaps on the same
 // key from both being accepted across a rebalance flip: the old primary
 // is fenced before the new one's lease becomes reachable.
-func (n *node) testAndSet(key []byte, claimedEpoch int64, expect, update []byte) (bool, error) {
+func (n *node) testAndSet(key []byte, claimedEpoch int64, expect, update []byte, client int64) ([]byte, bool, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	l := n.leases.Load().find(key)
 	if l == nil {
-		return false, &ErrFenced{Node: n.id, Claimed: claimedEpoch}
+		return nil, false, &ErrFenced{Node: n.id, Claimed: claimedEpoch}
 	}
 	if claimedEpoch < l.epoch {
-		return false, &ErrFenced{Node: n.id, Claimed: claimedEpoch, Need: l.epoch, Owner: true}
+		return nil, false, &ErrFenced{Node: n.id, Claimed: claimedEpoch, Need: l.epoch, Owner: true}
 	}
-	cur, ok := n.tree.Get(key)
+	curEnv, ok := n.tree.Get(key)
+	live := ok && !envIsTombstone(curEnv)
 	if expect == nil {
-		if ok {
-			return false, nil
+		if live {
+			return nil, false, nil
 		}
 	} else {
-		if !ok || !bytes.Equal(cur, expect) {
-			return false, nil
+		if !live || !bytes.Equal(envValue(curEnv), expect) {
+			return nil, false, nil
 		}
 	}
-	if update == nil {
-		n.tree.Delete(key)
-	} else {
-		n.tree.Put(key, update)
-	}
-	return true, nil
+	ver := Version{TS: n.hlc.Next(), Client: client}
+	env := makeEnvelope(ver, update == nil, update)
+	n.storeLocked(key, env, curEnv, ok)
+	return env, true, nil
 }
 
-// scan returns up to limit items in [start, end), ascending or descending.
-// limit <= 0 means unlimited.
+// scan returns up to limit live items in [start, end), ascending or
+// descending, envelopes stripped and tombstones skipped. limit <= 0
+// means unlimited.
 func (n *node) scan(start, end []byte, limit int, reverse bool) []KV {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	var out []KV
 	visit := func(it btree.Item) bool {
-		out = append(out, KV{Key: it.Key, Value: it.Value})
+		if envIsTombstone(it.Value) {
+			return true
+		}
+		out = append(out, KV{Key: it.Key, Value: envValue(it.Value)})
 		return limit <= 0 || len(out) < limit
 	}
 	if reverse {
@@ -140,16 +263,39 @@ func (n *node) scan(start, end []byte, limit int, reverse bool) []KV {
 	return out
 }
 
+// scanRaw returns up to limit stored envelopes in [start, end),
+// tombstones included — the rebalance copy's view, which must carry
+// versions (and deletions) to the destination nodes.
+func (n *node) scanRaw(start, end []byte, limit int) []KV {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []KV
+	n.tree.Ascend(start, end, func(it btree.Item) bool {
+		out = append(out, KV{Key: it.Key, Value: it.Value})
+		return limit <= 0 || len(out) < limit
+	})
+	return out
+}
+
+// count returns the number of live items in [start, end).
 func (n *node) count(start, end []byte) int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.tree.Count(start, end)
+	total := 0
+	n.tree.Ascend(start, end, func(it btree.Item) bool {
+		if !envIsTombstone(it.Value) {
+			total++
+		}
+		return true
+	})
+	return total
 }
 
+// size returns the number of live items the node stores.
 func (n *node) size() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.tree.Len()
+	return n.tree.Len() - n.tombs
 }
 
 // sampleService draws a service time for a request (items tuples, payload
