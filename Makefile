@@ -2,14 +2,28 @@
 # regression) fails it before anything else runs.
 GO ?= go
 
-.PHONY: all ci vet build test race chaos bench bench-all bench-smoke experiments
+.PHONY: all ci vet lint build test race chaos bench bench-all bench-smoke experiments
 
 all: ci
 
-ci: vet build race bench-smoke
+ci: lint build race bench-smoke
 
 vet:
 	$(GO) vet ./...
+
+# lint is the static gate: formatting, the standard vet analyzers, and
+# the project's own concurrency-invariant analyzers (internal/lint) run
+# as a vettool — routing-snapshot claims, envelope integrity, virtual
+# clock discipline, lease-table swaps. Suppressions are //lint:allow
+# directives at the annotated site; see internal/lint.
+VETTOOL = bin/piql-vet
+
+lint:
+	@out=$$(gofmt -l cmd internal *.go); if [ -n "$$out" ]; then \
+		echo "gofmt -l flagged:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) build -o $(VETTOOL) ./cmd/piql-vet
+	$(GO) vet -vettool=$(VETTOOL) ./...
 
 build:
 	$(GO) build ./...

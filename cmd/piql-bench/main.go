@@ -32,7 +32,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: all, table1, fig1, fig6, fig7, fig8-9, fig10-11, fig12, concurrent")
+		"which experiment to run: all, table1, fig1, fig6, fig7, fig8-9, fig10-11, fig12, admission, concurrent")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
 	flag.Parse()
 
@@ -133,6 +133,21 @@ func main() {
 			fatal(err)
 		}
 		res.Print(out, "Fig 10", "Fig 11")
+	}
+
+	if run("admission") {
+		cfg := harness.DefaultAdmissionConfig()
+		if *quick {
+			cfg.Subscribers = 2000
+			cfg.GoodExecutions = 120
+			cfg.BadWorkers = 24
+			cfg.BadExecutions = 15
+		}
+		res, err := harness.RunAdmission(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		harness.PrintAdmission(out, cfg, res)
 	}
 
 	if run("fig12") {

@@ -1,0 +1,153 @@
+// Command piql-vet runs the project's concurrency-invariant analyzers
+// (internal/lint) as a `go vet` tool:
+//
+//	go build -o bin/piql-vet ./cmd/piql-vet
+//	go vet -vettool=bin/piql-vet ./...
+//
+// It speaks the go command's vettool protocol (the same one
+// golang.org/x/tools/go/analysis/unitchecker implements, re-created
+// here on the standard library because this build cannot fetch
+// modules): `-V=full` prints a version line ending in a buildID derived
+// from the executable's contents so `go vet` can cache results, and
+// each analysis unit arrives as a JSON *.cfg file naming the package's
+// Go files. The analyzers are purely syntactic, so units that exist
+// only to export type facts (VetxOnly) are acknowledged with an empty
+// facts file and skipped.
+//
+// Violations print as file:line:col diagnostics and exit with status 2,
+// which `go vet` reports as a failure; a site that is allowed to break
+// a rule carries a //lint:allow directive (see internal/lint).
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"piql/internal/lint"
+)
+
+// config is the subset of the go command's vet configuration the
+// syntactic analyzers need.
+type config struct {
+	ID         string
+	ImportPath string
+	GoFiles    []string
+	VetxOnly   bool
+	VetxOutput string
+}
+
+func main() {
+	var cfgPath string
+	jsonOut := false
+	for _, arg := range os.Args[1:] {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			printVersion()
+			return
+		case arg == "-flags" || arg == "--flags":
+			// go vet asks for the tool's flag list (JSON) so it can
+			// validate pass-through flags before invoking it per unit.
+			fmt.Println(`[{"Name":"json","Bool":true,"Usage":"emit JSON output"}]`)
+			return
+		case arg == "-json" || arg == "--json":
+			jsonOut = true
+		case strings.HasSuffix(arg, ".cfg"):
+			cfgPath = arg
+		case strings.HasPrefix(arg, "-"):
+			// Other vet flags (e.g. analyzer toggles for the standard
+			// tool) do not apply to this checker; ignore them.
+		default:
+			fatalf("unexpected argument %q (want a .cfg file; run via go vet -vettool)", arg)
+		}
+	}
+	if cfgPath == "" {
+		fatalf("no .cfg argument; this tool is meant to be run via go vet -vettool")
+	}
+
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var cfg config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parsing %s: %v", cfgPath, err)
+	}
+	// The analyzers keep no cross-package facts, but go vet expects the
+	// facts file to exist before it will cache the unit.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fatalf("writing facts: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		files = append(files, f)
+	}
+	diags := lint.Run(fset, files, cfg.ImportPath, lint.Analyzers)
+	if len(diags) == 0 {
+		return
+	}
+	if jsonOut {
+		type jsonDiag struct {
+			Posn    string `json:"posn"`
+			Message string `json:"message"`
+		}
+		byAnalyzer := map[string][]jsonDiag{}
+		for _, d := range diags {
+			byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{
+				Posn:    d.Pos.String(),
+				Message: d.Message,
+			})
+		}
+		out, _ := json.MarshalIndent(map[string]any{cfg.ImportPath: byAnalyzer}, "", "\t")
+		os.Stdout.Write(append(out, '\n'))
+		return
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	os.Exit(2)
+}
+
+// printVersion emits the version line `go vet` hashes for its build
+// cache; the buildID must change whenever the tool's behavior could,
+// so it is the hash of the executable itself.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n",
+		filepath.Base(os.Args[0]), h.Sum(nil))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "piql-vet: "+format+"\n", args...)
+	os.Exit(1)
+}

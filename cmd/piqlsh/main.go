@@ -23,10 +23,28 @@ import (
 
 func main() {
 	nodes := flag.Int("nodes", 4, "simulated storage nodes")
+	slo := flag.Duration("slo", 0, "admission SLO on predicted p99 (0 = off; needs -train)")
+	maxOps := flag.Int("maxops", 0, "admission budget on the static operation bound (0 = off)")
+	enforce := flag.Bool("enforce", false, "refuse queries that violate -slo/-maxops at Prepare")
+	train := flag.Bool("train", false, "train the SLO model at startup (tens of seconds); EXPLAIN then prints predicted p99")
 	flag.Parse()
 
-	db := piql.Open(piql.Config{Nodes: *nodes})
+	db := piql.Open(piql.Config{Nodes: *nodes, SLO: *slo, MaxOps: *maxOps, Enforce: *enforce})
+	var model *piql.SLOModel
+	if *train {
+		fmt.Println("training SLO model (tens of seconds)...")
+		m, err := piql.TrainSLOModel()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "piqlsh: train:", err)
+			os.Exit(1)
+		}
+		model = m
+		db.UseSLOModel(model)
+	}
 	fmt.Printf("PIQL shell — %d simulated storage nodes. End statements with ';'. Ctrl-D exits.\n", *nodes)
+	if *enforce {
+		fmt.Printf("admission control ON (slo=%v, maxops=%d)\n", *slo, *maxOps)
+	}
 
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -50,14 +68,14 @@ func main() {
 		stmt := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(buf.String()), ";"))
 		buf.Reset()
 		if stmt != "" {
-			runStatement(db, stmt)
+			runStatement(db, model, stmt)
 		}
 		prompt()
 	}
 	fmt.Println()
 }
 
-func runStatement(db *piql.DB, stmt string) {
+func runStatement(db *piql.DB, model *piql.SLOModel, stmt string) {
 	upper := strings.ToUpper(stmt)
 	switch {
 	case strings.HasPrefix(upper, "EXPLAIN LOGICAL "):
@@ -74,6 +92,16 @@ func runStatement(db *piql.DB, stmt string) {
 			return
 		}
 		fmt.Print(q.Explain())
+		fmt.Println("-- static bound derivation:")
+		fmt.Print(q.Bound().String())
+		if model != nil {
+			pred, err := model.Predict(q)
+			if err != nil {
+				fmt.Println("-- predicted p99: ", err)
+				return
+			}
+			fmt.Printf("-- predicted p99: mean %v, worst interval %v\n", pred.Mean99, pred.Max99)
+		}
 	case strings.HasPrefix(upper, "SELECT"):
 		res, err := db.Query(stmt)
 		if err != nil {

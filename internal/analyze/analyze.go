@@ -1,0 +1,435 @@
+// Package analyze is the static plan boundedness analyzer: the
+// compile-time half of PIQL's scale-independence contract (Sections 4
+// and 6 of the paper). It walks a compiled physical plan, derives a
+// symbolic worst-case operation bound for every remote operator — point
+// gets, MultiGet batch sizes, range-scan limits, join fan-out — from
+// the schema's declared cardinality constraints and the plan's pinned
+// limits, and classifies the plan bounded or unbounded.
+//
+// The bound doubles as the input to the SLO prediction model
+// (internal/predict): each operator contributes its Θ(α, β) parameters,
+// so a Bound can be turned into a predicted p99 without re-walking the
+// plan. An admission Policy combines both: unbounded plans are rejected
+// outright, bounded plans optionally against an operation budget or a
+// predicted-latency SLO.
+package analyze
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"piql/internal/core"
+	"piql/internal/predict"
+	"piql/internal/schema"
+)
+
+// OpBound is one remote operator's contribution to the plan bound.
+type OpBound struct {
+	// Operator is the operator's EXPLAIN label.
+	Operator string
+	// Kind names the key/value access pattern ("point gets",
+	// "range scan", "deref gets", "per-key ranges").
+	Kind string
+	// Ops is the worst-case number of key/value store operations the
+	// operator issues per execution (core.Unbounded if no bound exists).
+	Ops int
+	// Tuples is the worst-case number of tuples the operator emits.
+	Tuples int
+	// Derivation explains the bound symbolically: which pinned limit or
+	// declared cardinality constraint it came from.
+	Derivation string
+	// PredictOps are the operator's Θ(α, β) parameters for the SLO
+	// prediction model (empty when the operator is unbounded).
+	PredictOps []predict.Op
+}
+
+// Bound is the static analysis result for one plan.
+type Bound struct {
+	// Bounded reports whether every operator has a closed-form bound.
+	Bounded bool
+	// Ops is the worst-case total key/value operations per execution
+	// (one page, for paginated queries); core.Unbounded if !Bounded.
+	Ops int
+	// Tuples is the worst-case tuples emitted by the plan root.
+	Tuples int
+	// Chain lists the remote operators leaf-first with their bounds.
+	Chain []OpBound
+	// Offender, Reason, and Suggestions describe the first unbounded
+	// operator when !Bounded.
+	Offender    string
+	Reason      string
+	Suggestions []string
+}
+
+// Plan statically analyzes a compiled plan. Every plan the PIQL
+// compiler emits analyzes as bounded (the compiler rejects the rest);
+// plans from the cost-based baseline optimizer (Section 8.3) may carry
+// unbounded scans and analyze accordingly.
+func Plan(p *core.Plan) *Bound {
+	b := &Bound{Bounded: true}
+	for _, n := range p.RemoteOps() {
+		switch n := n.(type) {
+		case *core.PKLookup:
+			b.addLookup(n)
+		case *core.IndexScan:
+			b.addScan(n)
+		case *core.IndexFKJoin:
+			b.addFKJoin(n)
+		case *core.SortedIndexJoin:
+			b.addSortedJoin(n)
+		}
+		if !b.Bounded {
+			break
+		}
+	}
+	if b.Bounded {
+		b.Ops = 0
+		for _, ob := range b.Chain {
+			b.Ops += ob.Ops
+		}
+		b.Tuples = p.TupleBound()
+	} else {
+		b.Ops = core.Unbounded
+		b.Tuples = core.Unbounded
+	}
+	return b
+}
+
+func (b *Bound) addLookup(n *core.PKLookup) {
+	d := fmt.Sprintf("%d batched random get(s), one per bound primary key of %s", len(n.Keys), n.Table.Name)
+	if len(n.Keys) > 1 {
+		d += fmt.Sprintf(" (IN list expands to %d keys)", len(n.Keys))
+	}
+	b.Chain = append(b.Chain, OpBound{
+		Operator:   n.Label(),
+		Kind:       "point gets",
+		Ops:        len(n.Keys),
+		Tuples:     len(n.Keys),
+		Derivation: d,
+		PredictOps: []predict.Op{{Kind: predict.KindLookup, Alpha: len(n.Keys), Beta: n.Table.RowSizeEstimate()}},
+	})
+}
+
+func (b *Bound) addScan(n *core.IndexScan) {
+	if n.Unbounded {
+		cols := prefixCols(n.Index, len(n.Eq))
+		b.markUnbounded(n.Label(),
+			fmt.Sprintf("index scan on %s has no pinned limit and no cardinality constraint covering (%s)",
+				n.Index.String(), strings.Join(cols, ", ")),
+			fmt.Sprintf("declare CARDINALITY LIMIT n (%s) on %s", strings.Join(cols, ", "), n.Table.Name),
+			"add LIMIT or PAGINATE with ORDER BY on an indexed column to pin the fetch size",
+		)
+		return
+	}
+	t := n.Bounds().Tuples // min(LimitHint, DataStopCard) per fetchBound
+	beta := n.Table.RowSizeEstimate()
+	b.Chain = append(b.Chain, OpBound{
+		Operator:   n.Label(),
+		Kind:       "range scan",
+		Ops:        1,
+		Tuples:     t,
+		Derivation: fmt.Sprintf("1 range read of at most %d entries (%s)", t, scanLimitSource(n)),
+		PredictOps: []predict.Op{{Kind: predict.KindScan, Alpha: t, Beta: beta}},
+	})
+	if n.NeedDeref {
+		b.Chain = append(b.Chain, OpBound{
+			Operator:   "└ deref " + n.Table.Name,
+			Kind:       "deref gets",
+			Ops:        t,
+			Tuples:     t,
+			Derivation: fmt.Sprintf("%d batched get(s): one primary-key dereference per secondary-index entry", t),
+			PredictOps: []predict.Op{{Kind: predict.KindLookup, Alpha: t, Beta: beta}},
+		})
+	}
+}
+
+func (b *Bound) addFKJoin(n *core.IndexFKJoin) {
+	ct := n.ChildPlan.Bounds().Tuples
+	b.Chain = append(b.Chain, OpBound{
+		Operator: n.Label(),
+		Kind:     "point gets",
+		Ops:      ct,
+		Tuples:   ct,
+		Derivation: fmt.Sprintf("%d batched get(s), one per child tuple; the foreign key targets the full primary key of %s, so each joins to at most 1 row",
+			ct, n.Table.Name),
+		PredictOps: []predict.Op{{Kind: predict.KindLookup, Alpha: ct, Beta: n.Table.RowSizeEstimate()}},
+	})
+}
+
+func (b *Bound) addSortedJoin(n *core.SortedIndexJoin) {
+	ct := n.ChildPlan.Bounds().Tuples
+	if n.PerKeyLimit <= 0 {
+		cols := prefixCols(n.Index, len(n.JoinKey))
+		b.markUnbounded(n.Label(),
+			fmt.Sprintf("join fan-out on %s has no per-key bound: no cardinality constraint covers (%s)",
+				n.Index.String(), strings.Join(cols, ", ")),
+			fmt.Sprintf("declare CARDINALITY LIMIT n (%s) on %s", strings.Join(cols, ", "), n.Table.Name),
+		)
+		return
+	}
+	t := ct * n.PerKeyLimit
+	beta := n.Table.RowSizeEstimate()
+	b.Chain = append(b.Chain, OpBound{
+		Operator: n.Label(),
+		Kind:     "per-key ranges",
+		Ops:      ct,
+		Tuples:   t,
+		Derivation: fmt.Sprintf("%d parallel range read(s), one per child tuple, at most %d entries each (%s): ≤ %d tuples",
+			ct, n.PerKeyLimit, joinLimitSource(n), t),
+		PredictOps: []predict.Op{{Kind: predict.KindSortedJoin, Alpha: ct, AlphaJ: n.PerKeyLimit, Beta: beta}},
+	})
+	if n.NeedDeref {
+		b.Chain = append(b.Chain, OpBound{
+			Operator:   "└ deref " + n.Table.Name,
+			Kind:       "deref gets",
+			Ops:        t,
+			Tuples:     t,
+			Derivation: fmt.Sprintf("%d batched get(s): one primary-key dereference per matching index entry", t),
+			PredictOps: []predict.Op{{Kind: predict.KindLookup, Alpha: t, Beta: beta}},
+		})
+	}
+}
+
+func (b *Bound) markUnbounded(operator, reason string, suggestions ...string) {
+	b.Bounded = false
+	b.Offender = operator
+	b.Reason = reason
+	b.Suggestions = suggestions
+	b.Chain = append(b.Chain, OpBound{
+		Operator:   operator,
+		Kind:       "unbounded",
+		Ops:        core.Unbounded,
+		Tuples:     core.Unbounded,
+		Derivation: reason,
+	})
+}
+
+// scanLimitSource names where an IndexScan's fetch bound came from:
+// a pinned LIMIT/PAGINATE hint, a declared cardinality constraint, or
+// the tighter of the two.
+func scanLimitSource(n *core.IndexScan) string {
+	card := func() string {
+		cols := prefixCols(n.Index, len(n.Eq))
+		if c := n.Table.CardinalityConstraint(cols); c != nil && c.Limit == n.DataStopCard {
+			return "declared " + c.String()
+		}
+		if n.Table.IsPrimaryKey(cols) {
+			return "primary-key equality: at most 1 row"
+		}
+		// IN-list expansion or tokenized prefixes multiply the declared
+		// limit; report the derived figure.
+		return fmt.Sprintf("derived cardinality ≤ %d", n.DataStopCard)
+	}
+	switch {
+	case n.LimitHint > 0 && n.DataStopCard > 0 && n.DataStopCard < n.LimitHint:
+		return card()
+	case n.LimitHint > 0:
+		return fmt.Sprintf("pinned LIMIT %d", n.LimitHint)
+	default:
+		return card()
+	}
+}
+
+// joinLimitSource names where a SortedIndexJoin's per-key bound came
+// from: the thoughtstream optimization pins it at the query's stop
+// cardinality, otherwise a declared cardinality constraint caps it.
+func joinLimitSource(n *core.SortedIndexJoin) string {
+	cols := prefixCols(n.Index, len(n.JoinKey))
+	if c := n.Table.CardinalityConstraint(cols); c != nil && c.Limit == n.PerKeyLimit {
+		return "declared " + c.String()
+	}
+	return fmt.Sprintf("LIMIT/PAGINATE pins the per-key fetch at %d (sort+stop pushdown)", n.PerKeyLimit)
+}
+
+// prefixCols returns the first k column names of an index key.
+func prefixCols(ix *schema.Index, k int) []string {
+	cols := ix.KeyColumns()
+	if k < len(cols) {
+		cols = cols[:k]
+	}
+	return cols
+}
+
+// PredictOps returns the plan's Θ(α, β) operator parameters leaf-first — the
+// input to predict.Model.PredictOps. Nil when the plan is unbounded (no
+// finite α exists).
+func (b *Bound) PredictOps() []predict.Op {
+	if !b.Bounded {
+		return nil
+	}
+	var ops []predict.Op
+	for _, ob := range b.Chain {
+		ops = append(ops, ob.PredictOps...)
+	}
+	return ops
+}
+
+// Predict evaluates the bound against a trained SLO model.
+func (b *Bound) Predict(m *predict.Model) (*predict.Prediction, error) {
+	if !b.Bounded {
+		return nil, fmt.Errorf("analyze: cannot predict latency of an unbounded plan")
+	}
+	return m.PredictOps(b.PredictOps())
+}
+
+// String renders the bound as an EXPLAIN-style table: one line per
+// remote operator with its operation bound and symbolic derivation.
+func (b *Bound) String() string {
+	var sb strings.Builder
+	for _, ob := range b.Chain {
+		sb.WriteString(fmt.Sprintf("  %-14s %8s  %s\n", ob.Kind, opsStr(ob.Ops), ob.Derivation))
+	}
+	if b.Bounded {
+		fmt.Fprintf(&sb, "  total: ≤ %d key/value operation(s), ≤ %d tuple(s) — bounded\n", b.Ops, b.Tuples)
+	} else {
+		fmt.Fprintf(&sb, "  total: UNBOUNDED — %s\n", b.Reason)
+	}
+	return sb.String()
+}
+
+func opsStr(n int) string {
+	if n == core.Unbounded {
+		return "∞"
+	}
+	return fmt.Sprintf("%d ops", n)
+}
+
+// ErrUnbounded reports a plan refused by admission control because no
+// static operation bound exists: some operator's fan-out has no
+// declared cardinality cap and no pinned limit.
+type ErrUnbounded struct {
+	// SQL is the offending query text.
+	SQL string
+	// Operator labels the first unbounded operator.
+	Operator string
+	// Reason explains why no bound exists.
+	Reason string
+	// Chain lists the plan's remote operators leaf-first, ending at the
+	// offender.
+	Chain []string
+	// Suggestions are concrete fixes (cardinality limits, pagination).
+	Suggestions []string
+}
+
+func (e *ErrUnbounded) Error() string {
+	msg := fmt.Sprintf("analyze: query refused: no static operation bound: %s", e.Reason)
+	if len(e.Chain) > 0 {
+		msg += "\n  operator chain: " + strings.Join(e.Chain, " → ")
+	}
+	for _, s := range e.Suggestions {
+		msg += "\n  suggestion: " + s
+	}
+	return msg
+}
+
+// ErrOverSLO reports a bounded plan refused by admission control: its
+// static bound exceeds the configured operation budget, or its
+// predicted 99th-percentile latency exceeds the SLO.
+type ErrOverSLO struct {
+	// SQL is the offending query text.
+	SQL string
+	// Ops is the plan's static operation bound.
+	Ops int
+	// MaxOps is the configured budget (0 if the refusal was
+	// latency-based).
+	MaxOps int
+	// SLO and Predicted are set for latency-based refusals: the plan's
+	// predicted 99th-percentile latency (at the policy quantile) exceeds
+	// the objective.
+	SLO       time.Duration
+	Predicted time.Duration
+	// Quantile is the fraction of intervals the SLO must hold in.
+	Quantile float64
+	// Chain lists the plan's remote operators leaf-first.
+	Chain []string
+}
+
+func (e *ErrOverSLO) Error() string {
+	var msg string
+	if e.MaxOps > 0 {
+		msg = fmt.Sprintf("analyze: query refused: static bound of %d key/value operations exceeds the budget of %d", e.Ops, e.MaxOps)
+	} else {
+		msg = fmt.Sprintf("analyze: query refused: predicted p99 of %v (in %.0f%% of intervals) exceeds the %v SLO",
+			e.Predicted, e.Quantile*100, e.SLO)
+	}
+	if len(e.Chain) > 0 {
+		msg += "\n  operator chain: " + strings.Join(e.Chain, " → ")
+	}
+	return msg
+}
+
+// Policy is the engine's admission-control configuration: what Prepare
+// refuses. The zero policy admits everything (analysis still runs and
+// the bound is attached to the prepared plan).
+type Policy struct {
+	// Enforce turns refusal on. With Enforce false the policy is
+	// advisory: bounds and predictions are computed but nothing is
+	// rejected.
+	Enforce bool
+	// MaxOps refuses bounded plans whose static operation bound exceeds
+	// this budget (0 = no budget).
+	MaxOps int
+	// SLO refuses plans whose predicted 99th-percentile latency exceeds
+	// this objective (0 = no latency check; requires Model).
+	SLO time.Duration
+	// Quantile is the fraction of training intervals the prediction
+	// must meet the SLO in (default 0.9, per Section 6.3).
+	Quantile float64
+	// Model is the trained per-operator latency model the SLO check
+	// evaluates against.
+	Model *predict.Model
+}
+
+// OperatorChain renders the bound's operators leaf-first for error
+// reporting.
+func (b *Bound) OperatorChain() []string {
+	out := make([]string, len(b.Chain))
+	for i, ob := range b.Chain {
+		out[i] = ob.Operator
+	}
+	return out
+}
+
+// Admit decides whether a plan with the given bound may be prepared.
+// It returns nil, a *ErrUnbounded, or a *ErrOverSLO.
+func (p *Policy) Admit(sql string, b *Bound) error {
+	if p == nil || !p.Enforce {
+		return nil
+	}
+	if !b.Bounded {
+		return &ErrUnbounded{
+			SQL:         sql,
+			Operator:    b.Offender,
+			Reason:      b.Reason,
+			Chain:       b.OperatorChain(),
+			Suggestions: b.Suggestions,
+		}
+	}
+	if p.MaxOps > 0 && b.Ops > p.MaxOps {
+		return &ErrOverSLO{SQL: sql, Ops: b.Ops, MaxOps: p.MaxOps, Chain: b.OperatorChain()}
+	}
+	if p.SLO > 0 && p.Model != nil {
+		q := p.Quantile
+		if q <= 0 {
+			q = 0.9
+		}
+		pred, err := b.Predict(p.Model)
+		if err != nil {
+			// Enforcement is strict: a plan whose latency cannot be
+			// evaluated is refused rather than waved through.
+			return fmt.Errorf("analyze: admission cannot evaluate plan against SLO: %w", err)
+		}
+		if got := pred.Quantile99(q); got > p.SLO {
+			return &ErrOverSLO{
+				SQL:       sql,
+				Ops:       b.Ops,
+				SLO:       p.SLO,
+				Predicted: got,
+				Quantile:  q,
+				Chain:     b.OperatorChain(),
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,271 @@
+package analyze_test
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"piql/internal/analyze"
+	"piql/internal/core"
+	"piql/internal/parser"
+	"piql/internal/predict"
+	"piql/internal/schema"
+)
+
+// scadrCatalog builds the SCADr schema of Section 8.1.2.
+func scadrCatalog(t *testing.T) *schema.Catalog {
+	t.Helper()
+	cat := schema.NewCatalog()
+	ddls := []string{
+		`CREATE TABLE users (
+			username VARCHAR(20),
+			password VARCHAR(20),
+			hometown VARCHAR(30),
+			PRIMARY KEY (username)
+		)`,
+		`CREATE TABLE subscriptions (
+			owner VARCHAR(20),
+			target VARCHAR(20),
+			approved BOOLEAN,
+			PRIMARY KEY (owner, target),
+			FOREIGN KEY (target) REFERENCES users,
+			CARDINALITY LIMIT 100 (owner)
+		)`,
+		`CREATE TABLE thoughts (
+			owner VARCHAR(20),
+			timestamp INT,
+			text VARCHAR(140),
+			PRIMARY KEY (owner, timestamp)
+		)`,
+	}
+	for _, ddl := range ddls {
+		stmt, err := parser.Parse(ddl)
+		if err != nil {
+			t.Fatalf("parse DDL: %v", err)
+		}
+		if err := cat.AddTable(stmt.(*parser.CreateTable).Table); err != nil {
+			t.Fatalf("add table: %v", err)
+		}
+	}
+	return cat
+}
+
+func compile(t *testing.T, cat *schema.Catalog, src string) *core.Plan {
+	t.Helper()
+	stmt, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	plan, err := core.Compile(cat, stmt.(*parser.Select))
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	return plan
+}
+
+const thoughtstreamSQL = `
+	SELECT thoughts.*
+	FROM subscriptions s JOIN thoughts
+	WHERE thoughts.owner = s.target
+	  AND s.owner = [1: uname]
+	  AND s.approved = true
+	ORDER BY thoughts.timestamp DESC
+	LIMIT 10`
+
+func TestPKLookupBound(t *testing.T) {
+	cat := scadrCatalog(t)
+	plan := compile(t, cat, `SELECT * FROM users WHERE username = [1: u]`)
+	b := analyze.Plan(plan)
+	if !b.Bounded {
+		t.Fatalf("pk lookup classified unbounded: %s", b.Reason)
+	}
+	if b.Ops != 1 || b.Tuples != 1 {
+		t.Errorf("bound = %d ops / %d tuples, want 1/1", b.Ops, b.Tuples)
+	}
+	if len(b.Chain) != 1 || b.Chain[0].Kind != "point gets" {
+		t.Fatalf("chain = %+v", b.Chain)
+	}
+	if !strings.Contains(b.Chain[0].Derivation, "primary key") {
+		t.Errorf("derivation should name the primary key, got %q", b.Chain[0].Derivation)
+	}
+}
+
+func TestThoughtstreamBoundAndDerivations(t *testing.T) {
+	cat := scadrCatalog(t)
+	plan := compile(t, cat, thoughtstreamSQL)
+	b := analyze.Plan(plan)
+	if !b.Bounded {
+		t.Fatalf("thoughtstream classified unbounded: %s", b.Reason)
+	}
+	if b.Ops != plan.OpBound() {
+		t.Errorf("analyzer total %d != compiler bound %d", b.Ops, plan.OpBound())
+	}
+	// Leaf first: subscriptions scan (card-bounded), then the sorted
+	// join over thoughts (limit-bounded).
+	if len(b.Chain) != 2 {
+		t.Fatalf("chain length = %d, want 2: %+v", len(b.Chain), b.Chain)
+	}
+	scan, join := b.Chain[0], b.Chain[1]
+	if scan.Kind != "range scan" || scan.Ops != 1 {
+		t.Errorf("leaf = %+v, want one range scan", scan)
+	}
+	if !strings.Contains(scan.Derivation, "CARDINALITY LIMIT 100 (owner)") {
+		t.Errorf("scan derivation should cite the declared constraint, got %q", scan.Derivation)
+	}
+	if join.Kind != "per-key ranges" || join.Ops != 100 {
+		t.Errorf("join = %+v, want 100 per-key ranges", join)
+	}
+	if !strings.Contains(join.Derivation, "per-key fetch at 10") {
+		t.Errorf("join derivation should cite the sort+stop pushdown, got %q", join.Derivation)
+	}
+	if s := b.String(); !strings.Contains(s, "bounded") {
+		t.Errorf("rendering should state boundedness:\n%s", s)
+	}
+}
+
+// TestPredictOpsMatchModelExtraction pins the analyzer's Θ(α, β)
+// extraction to predict.PlanOps — the two walk the same plans and must
+// agree, or predictions made from bounds diverge from predictions made
+// from plans.
+func TestPredictOpsMatchModelExtraction(t *testing.T) {
+	cat := scadrCatalog(t)
+	queries := []string{
+		`SELECT * FROM users WHERE username = [1: u]`,
+		`SELECT * FROM users WHERE hometown = [1: h] LIMIT 10`,
+		thoughtstreamSQL,
+		`SELECT * FROM subscriptions WHERE owner = [1: u]`,
+	}
+	for _, q := range queries {
+		plan := compile(t, cat, q)
+		got := analyze.Plan(plan).PredictOps()
+		want := predict.PlanOps(plan)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s:\n  analyzer ops %+v\n  predict ops  %+v", q, got, want)
+		}
+	}
+}
+
+// costBasedUnbounded compiles the subscriber query the way the Section
+// 8.3 baseline optimizer would: an unbounded covering scan on target.
+func costBasedUnbounded(t *testing.T, cat *schema.Catalog) *core.Plan {
+	t.Helper()
+	stmt, err := parser.Parse(`SELECT * FROM subscriptions WHERE target = [1: t]`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	plan, err := core.CompileCostBased(cat, stmt.(*parser.Select), core.Stats{})
+	if err != nil {
+		t.Fatalf("cost-based compile: %v", err)
+	}
+	if plan.Root.Bounds().Ops != core.Unbounded {
+		t.Fatalf("expected the cost-based plan to be unbounded:\n%s", core.ExplainPhysical(plan.Root))
+	}
+	return plan
+}
+
+func TestUnboundedClassification(t *testing.T) {
+	cat := scadrCatalog(t)
+	b := analyze.Plan(costBasedUnbounded(t, cat))
+	if b.Bounded {
+		t.Fatal("unbounded covering scan classified bounded")
+	}
+	if b.Ops != core.Unbounded || b.Tuples != core.Unbounded {
+		t.Errorf("bound = %d/%d, want unbounded sentinels", b.Ops, b.Tuples)
+	}
+	if !strings.Contains(b.Offender, "IndexScan") {
+		t.Errorf("offender = %q, want the index scan", b.Offender)
+	}
+	if !strings.Contains(b.Reason, "no cardinality constraint") {
+		t.Errorf("reason = %q", b.Reason)
+	}
+	if len(b.Suggestions) == 0 || !strings.Contains(b.Suggestions[0], "CARDINALITY LIMIT") {
+		t.Errorf("suggestions = %v", b.Suggestions)
+	}
+	if _, err := b.Predict(nil); err == nil {
+		t.Error("Predict on an unbounded bound should fail")
+	}
+}
+
+func TestPolicyAdmit(t *testing.T) {
+	cat := scadrCatalog(t)
+	bounded := analyze.Plan(compile(t, cat, thoughtstreamSQL)) // 104 ops
+	unbounded := analyze.Plan(costBasedUnbounded(t, cat))
+
+	var nilPolicy *analyze.Policy
+	if err := nilPolicy.Admit("q", unbounded); err != nil {
+		t.Errorf("nil policy must admit everything, got %v", err)
+	}
+	advisory := &analyze.Policy{MaxOps: 1} // Enforce off
+	if err := advisory.Admit("q", unbounded); err != nil {
+		t.Errorf("advisory policy must admit everything, got %v", err)
+	}
+
+	strict := &analyze.Policy{Enforce: true}
+	err := strict.Admit("SELECT ...", unbounded)
+	var eu *analyze.ErrUnbounded
+	if !errors.As(err, &eu) {
+		t.Fatalf("enforcing policy returned %v, want *ErrUnbounded", err)
+	}
+	if eu.Operator == "" || len(eu.Chain) == 0 || len(eu.Suggestions) == 0 {
+		t.Errorf("ErrUnbounded missing context: %+v", eu)
+	}
+	if err := strict.Admit("q", bounded); err != nil {
+		t.Errorf("no-budget policy rejected a bounded plan: %v", err)
+	}
+
+	budget := &analyze.Policy{Enforce: true, MaxOps: 10}
+	err = budget.Admit("SELECT ...", bounded)
+	var eo *analyze.ErrOverSLO
+	if !errors.As(err, &eo) {
+		t.Fatalf("budget policy returned %v, want *ErrOverSLO", err)
+	}
+	if eo.Ops != bounded.Ops || eo.MaxOps != 10 {
+		t.Errorf("ErrOverSLO = %+v", eo)
+	}
+	if err := (&analyze.Policy{Enforce: true, MaxOps: bounded.Ops}).Admit("q", bounded); err != nil {
+		t.Errorf("budget equal to the bound must admit, got %v", err)
+	}
+}
+
+func TestPolicySLOPrediction(t *testing.T) {
+	model, err := predict.Train(predict.TrainConfig{
+		Nodes:             4,
+		ReplicationFactor: 2,
+		Seed:              1,
+		Intervals:         2,
+		IntervalLength:    5 * time.Second,
+		RepsPerInterval:   2,
+		Alphas:            []int{1, 10, 100},
+		AlphaJs:           []int{1, 10},
+		Betas:             []int{40, 200},
+	})
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	cat := scadrCatalog(t)
+	b := analyze.Plan(compile(t, cat, thoughtstreamSQL))
+
+	pred, err := b.Predict(model)
+	if err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	if pred.Max99 <= 0 {
+		t.Fatalf("prediction = %+v", pred)
+	}
+
+	generous := &analyze.Policy{Enforce: true, SLO: time.Hour, Model: model}
+	if err := generous.Admit("q", b); err != nil {
+		t.Errorf("1h SLO rejected the thoughtstream query: %v", err)
+	}
+	tight := &analyze.Policy{Enforce: true, SLO: time.Nanosecond, Model: model}
+	err = tight.Admit("SELECT ...", b)
+	var eo *analyze.ErrOverSLO
+	if !errors.As(err, &eo) {
+		t.Fatalf("1ns SLO returned %v, want *ErrOverSLO", err)
+	}
+	if eo.Predicted <= eo.SLO || eo.Quantile != 0.9 {
+		t.Errorf("ErrOverSLO = %+v", eo)
+	}
+}

@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"piql/internal/analyze"
+	"piql/internal/core"
+	"piql/internal/kvstore"
+	"piql/internal/value"
+)
+
+// newAdmissionFixture builds an engine with the SCADr-style schema and
+// a handful of rows: one celebrity with fans (the unbounded query's
+// worst case) and ordinary users.
+func newAdmissionFixture(t *testing.T) (*Engine, *Session) {
+	t.Helper()
+	cluster := kvstore.New(kvstore.Config{Nodes: 4, ReplicationFactor: 2, Seed: 7}, nil)
+	eng := New(cluster)
+	s := eng.Session(nil)
+	for _, ddl := range []string{
+		`CREATE TABLE users (username VARCHAR(20), bio VARCHAR(140), PRIMARY KEY (username))`,
+		`CREATE TABLE subscriptions (owner VARCHAR(20), target VARCHAR(20), approved BOOLEAN,
+			PRIMARY KEY (owner, target),
+			FOREIGN KEY (target) REFERENCES users,
+			CARDINALITY LIMIT 100 (owner))`,
+	} {
+		if err := s.Exec(ddl); err != nil {
+			t.Fatalf("ddl: %v", err)
+		}
+	}
+	for _, u := range []string{"celeb", "ann", "bob"} {
+		if err := s.Exec(`INSERT INTO users VALUES (?, 'hi')`, value.Str(u)); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	for _, owner := range []string{"ann", "bob"} {
+		if err := s.Exec(`INSERT INTO subscriptions VALUES (?, 'celeb', true)`, value.Str(owner)); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	return eng, s
+}
+
+const subscriberSQL = `SELECT * FROM subscriptions WHERE target = [1: t]`
+
+func TestPrepareAttachesBound(t *testing.T) {
+	_, s := newAdmissionFixture(t)
+	p, err := s.Prepare(`SELECT * FROM users WHERE username = [1: u]`)
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	b := p.Bound()
+	if b == nil || !b.Bounded {
+		t.Fatalf("prepared plan carries bound %+v, want a bounded analysis", b)
+	}
+	if b.Ops != p.Plan().OpBound() {
+		t.Errorf("bound %d != compiler bound %d", b.Ops, p.Plan().OpBound())
+	}
+}
+
+func TestPrepareCostBasedRunsWithoutPolicy(t *testing.T) {
+	_, s := newAdmissionFixture(t)
+	p, err := s.PrepareCostBased(subscriberSQL, core.Stats{})
+	if err != nil {
+		t.Fatalf("cost-based prepare: %v", err)
+	}
+	if p.Bound().Bounded {
+		t.Fatalf("subscriber query should analyze unbounded:\n%s", p.Plan().Explain())
+	}
+	res, err := p.Execute(s, value.Str("celeb"))
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2 subscribers", len(res.Rows))
+	}
+}
+
+func TestAdmissionRefusesUnbounded(t *testing.T) {
+	eng, s := newAdmissionFixture(t)
+
+	// Cache the unbounded plan before enforcement: re-admission on the
+	// cache hit must still refuse it afterwards.
+	if _, err := s.PrepareCostBased(subscriberSQL, core.Stats{}); err != nil {
+		t.Fatalf("pre-enforcement prepare: %v", err)
+	}
+
+	eng.SetAdmission(&analyze.Policy{Enforce: true})
+	_, err := s.PrepareCostBased(subscriberSQL, core.Stats{})
+	var eu *analyze.ErrUnbounded
+	if !errors.As(err, &eu) {
+		t.Fatalf("got %v, want *analyze.ErrUnbounded", err)
+	}
+	if len(eu.Chain) == 0 || len(eu.Suggestions) == 0 {
+		t.Errorf("refusal lacks context: %+v", eu)
+	}
+	// Bounded traffic is unaffected by enforcement.
+	if _, err := s.Prepare(`SELECT * FROM subscriptions WHERE owner = [1: o]`); err != nil {
+		t.Errorf("bounded query refused: %v", err)
+	}
+	// Dropping the policy re-admits the cached plan.
+	eng.SetAdmission(nil)
+	if _, err := s.PrepareCostBased(subscriberSQL, core.Stats{}); err != nil {
+		t.Errorf("prepare after policy removal: %v", err)
+	}
+}
+
+func TestAdmissionOpBudget(t *testing.T) {
+	eng, s := newAdmissionFixture(t)
+	eng.SetAdmission(&analyze.Policy{Enforce: true, MaxOps: 3})
+
+	// owner equality: 1 range read — admitted.
+	if _, err := s.Prepare(`SELECT * FROM subscriptions WHERE owner = [1: o]`); err != nil {
+		t.Fatalf("1-op query refused under MaxOps=3: %v", err)
+	}
+	// IN list over 5 primary keys: 5 point gets — refused, not cached.
+	over := `SELECT * FROM users WHERE username IN ('a', 'b', 'c', 'd', 'e')`
+	_, err := s.Prepare(over)
+	var eo *analyze.ErrOverSLO
+	if !errors.As(err, &eo) {
+		t.Fatalf("got %v, want *analyze.ErrOverSLO", err)
+	}
+	if eo.Ops != 5 || eo.MaxOps != 3 {
+		t.Errorf("refusal = %+v, want ops 5 over budget 3", eo)
+	}
+	eng.SetAdmission(nil)
+	if _, err := s.Prepare(over); err != nil {
+		t.Errorf("refused plan was cached, or recompile failed: %v", err)
+	}
+}

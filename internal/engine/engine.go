@@ -46,6 +46,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"piql/internal/analyze"
 	"piql/internal/core"
 	"piql/internal/exec"
 	"piql/internal/index"
@@ -93,6 +94,13 @@ type Engine struct {
 	// drainer from its barrier.
 	simDrains atomic.Int32
 
+	// admission is the SLO admission-control policy applied by Prepare
+	// (Section 6: queries whose static bound or predicted latency
+	// violates the SLO are refused before they ever run). Nil or
+	// non-enforcing policies admit everything; the bound is attached to
+	// the prepared plan either way.
+	admission atomic.Pointer[analyze.Policy]
+
 	defStrat atomic.Int32 // exec.Strategy
 }
 
@@ -113,6 +121,16 @@ func New(cluster *kvstore.Cluster) *Engine {
 // created afterwards that do not override it (Section 8.5's executor
 // comparison).
 func (e *Engine) SetDefaultStrategy(s exec.Strategy) { e.defStrat.Store(int32(s)) }
+
+// SetAdmission installs (or, with nil, removes) the admission-control
+// policy. The policy applies to every subsequent Prepare, including
+// cache hits: a plan admitted under an old policy is re-checked against
+// the new one, so tightening the SLO takes effect without a cache
+// flush.
+func (e *Engine) SetAdmission(p *analyze.Policy) { e.admission.Store(p) }
+
+// Admission returns the current admission policy (nil if none).
+func (e *Engine) Admission() *analyze.Policy { return e.admission.Load() }
 
 // Catalog returns the current catalog snapshot. The snapshot is
 // immutable; concurrent DDL publishes new snapshots rather than
@@ -398,20 +416,48 @@ func (e *Engine) markReady(ix *schema.Index) {
 
 // Prepared is a compiled, reusable query.
 type Prepared struct {
-	eng  *Engine
-	plan *core.Plan
-	sql  string
+	eng   *Engine
+	plan  *core.Plan
+	sql   string
+	bound *analyze.Bound
 }
 
 // Prepare compiles a SELECT (building any new indexes the plan needs)
 // or returns the cached plan for previously prepared text. The cache
-// hit — the steady state under load — takes only a read lock.
+// hit — the steady state under load — takes only a read lock. Every
+// prepared plan carries its static operation bound (Prepared.Bound);
+// if an admission policy is enforced, unbounded or over-SLO plans are
+// refused here — before any index is built or cached — with a typed
+// *analyze.ErrUnbounded or *analyze.ErrOverSLO.
 func (s *Session) Prepare(sql string) (*Prepared, error) {
+	return s.prepare(sql, sql, func(cat *schema.Catalog, sel *parser.Select) (*core.Plan, error) {
+		return core.Compile(cat, sel)
+	})
+}
+
+// PrepareCostBased compiles a SELECT the way the Section 8.3 baseline
+// optimizer would — minimizing average operations with no regard for
+// worst-case bounds — so it can produce executable *unbounded* plans
+// the PIQL compiler refuses. This is the misbehaving-tenant path: with
+// an enforcing admission policy installed, such plans are refused at
+// Prepare with *analyze.ErrUnbounded; without one, they run.
+func (s *Session) PrepareCostBased(sql string, stats core.Stats) (*Prepared, error) {
+	return s.prepare("cost-based\x00"+sql, sql, func(cat *schema.Catalog, sel *parser.Select) (*core.Plan, error) {
+		return core.CompileCostBased(cat, sel, stats)
+	})
+}
+
+func (s *Session) prepare(cacheKey, sql string, compile func(*schema.Catalog, *parser.Select) (*core.Plan, error)) (*Prepared, error) {
 	e := s.eng
 	e.plansMu.RLock()
-	p, hit := e.plans[sql]
+	p, hit := e.plans[cacheKey]
 	e.plansMu.RUnlock()
 	if hit {
+		// Re-admit under the current policy: the plan may have been
+		// cached before enforcement was tightened.
+		if err := e.Admission().Admit(sql, p.bound); err != nil {
+			return nil, err
+		}
 		return p, nil
 	}
 
@@ -432,29 +478,37 @@ func (s *Session) Prepare(sql string) (*Prepared, error) {
 	// under ddlMu so the index lands in a published snapshot. (A rejected
 	// query leaves no trace either way.)
 	snap := e.cat.Load()
-	plan, err := core.Compile(snap.Clone(), sel)
+	plan, err := compile(snap.Clone(), sel)
 	if err != nil {
+		return nil, err
+	}
+	// Static boundedness analysis + admission control (Section 6). This
+	// runs before any index build or catalog publish: a refused query
+	// leaves no trace — no backfill work, no cache entry.
+	bound := analyze.Plan(plan)
+	if err := e.Admission().Admit(sql, bound); err != nil {
 		return nil, err
 	}
 	if !snapshotHasIndexes(snap, plan.RequiredIndexes) {
 		err = e.updateCatalog(func(next *schema.Catalog) error {
 			var err error
-			plan, err = core.Compile(next, sel)
+			plan, err = compile(next, sel)
 			return err
 		})
 		if err != nil {
 			return nil, err
 		}
+		bound = analyze.Plan(plan)
 	}
 	if err := e.ensureBuilt(s, plan.RequiredIndexes); err != nil {
 		return nil, err
 	}
-	p = &Prepared{eng: e, plan: plan, sql: sql}
+	p = &Prepared{eng: e, plan: plan, sql: sql, bound: bound}
 	e.plansMu.Lock()
-	if existing, ok := e.plans[sql]; ok {
+	if existing, ok := e.plans[cacheKey]; ok {
 		p = existing // another session won the compile race; use its plan
 	} else {
-		e.plans[sql] = p
+		e.plans[cacheKey] = p
 	}
 	e.plansMu.Unlock()
 	return p, nil
@@ -480,6 +534,10 @@ func snapshotHasIndexes(cat *schema.Catalog, ixs []*schema.Index) bool {
 
 // Plan exposes the compiled plan (bounds, explain output).
 func (p *Prepared) Plan() *core.Plan { return p.plan }
+
+// Bound exposes the plan's static boundedness analysis: the symbolic
+// per-operator operation bound attached at Prepare time.
+func (p *Prepared) Bound() *analyze.Bound { return p.bound }
 
 // SQL returns the source text.
 func (p *Prepared) SQL() string { return p.sql }

@@ -12,6 +12,7 @@ import (
 	"piql/internal/index"
 	"piql/internal/kvstore"
 	"piql/internal/parser"
+	"piql/internal/schema"
 	"piql/internal/sim"
 	"piql/internal/stats"
 	"piql/internal/value"
@@ -52,19 +53,70 @@ const fig7Query = `
 	SELECT * FROM subscriptions
 	WHERE target = [1: targetUser] AND owner IN (%s)`
 
+// fig7DDL is the two-table schema both RunFig7 and Fig7Plans compile
+// against.
+var fig7DDL = []string{
+	`CREATE TABLE users (username VARCHAR(24), password VARCHAR(20), PRIMARY KEY (username))`,
+	`CREATE TABLE subscriptions (owner VARCHAR(24), target VARCHAR(24), approved BOOLEAN,
+		PRIMARY KEY (owner, target),
+		FOREIGN KEY (target) REFERENCES users,
+		CARDINALITY LIMIT 100 (owner))`,
+}
+
+// fig7Plans compiles the subscriber-intersection query both ways
+// against cat: the PIQL bounded-random-lookup plan and the cost-based
+// baseline's unbounded covering scan (fed the 2009 Twitter average of
+// 126 followers per user, which makes the scan look cheap).
+func fig7Plans(cat *schema.Catalog, friends int) (bounded, unbounded *core.Plan, err error) {
+	params := make([]string, friends)
+	for i := range params {
+		params[i] = fmt.Sprintf("[%d]", i+2)
+	}
+	sql := fmt.Sprintf(fig7Query, joinStrings(params, ", "))
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	sel := stmt.(*parser.Select)
+	bounded, err = core.Compile(cat, sel)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fig7: PIQL plan: %w", err)
+	}
+	unbounded, err = core.CompileCostBased(cat, sel, core.Stats{
+		AvgRowsPerKey: map[string]float64{"subscriptions.target": 126},
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("fig7: cost-based plan: %w", err)
+	}
+	if !isUnboundedPlan(unbounded.Root) {
+		return nil, nil, fmt.Errorf("fig7: cost-based optimizer unexpectedly chose a bounded plan:\n%s", unbounded.Explain())
+	}
+	return bounded, unbounded, nil
+}
+
+// Fig7Plans compiles the two Figure 7 plans against a fresh catalog —
+// for static analysis and SLO prediction without running a cluster.
+func Fig7Plans(friends int) (bounded, unbounded *core.Plan, err error) {
+	cat := schema.NewCatalog()
+	for _, ddl := range fig7DDL {
+		stmt, err := parser.Parse(ddl)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := cat.AddTable(stmt.(*parser.CreateTable).Table); err != nil {
+			return nil, nil, err
+		}
+	}
+	return fig7Plans(cat, friends)
+}
+
 // RunFig7 loads users of increasing popularity and measures both plans.
 func RunFig7(cfg Fig7Config) ([]Fig7Point, error) {
 	env := sim.NewEnv()
 	cluster := kvstore.New(kvstore.Config{Nodes: cfg.Nodes, ReplicationFactor: 2, Seed: cfg.Seed}, env)
 	eng := engine.New(cluster)
 	loader := eng.Session(nil)
-	for _, ddl := range []string{
-		`CREATE TABLE users (username VARCHAR(24), password VARCHAR(20), PRIMARY KEY (username))`,
-		`CREATE TABLE subscriptions (owner VARCHAR(24), target VARCHAR(24), approved BOOLEAN,
-			PRIMARY KEY (owner, target),
-			FOREIGN KEY (target) REFERENCES users,
-			CARDINALITY LIMIT 100 (owner))`,
-	} {
+	for _, ddl := range fig7DDL {
 		if err := loader.Exec(ddl); err != nil {
 			return nil, err
 		}
@@ -85,35 +137,13 @@ func RunFig7(cfg Fig7Config) ([]Fig7Point, error) {
 		}
 	}
 
-	// Build both plans for a 50-element IN list.
-	params := make([]string, cfg.Friends)
-	for i := range params {
-		params[i] = fmt.Sprintf("[%d]", i+2)
-	}
-	sql := fmt.Sprintf(fig7Query, joinStrings(params, ", "))
-	stmt, err := parser.Parse(sql)
+	// Build both plans for the IN list, compiling against a private
+	// clone: published catalog snapshots are immutable, and the compiler
+	// registers the indexes it creates.
+	cat := eng.Catalog().Clone()
+	bounded, unbounded, err := fig7Plans(cat, cfg.Friends)
 	if err != nil {
 		return nil, err
-	}
-	sel := stmt.(*parser.Select)
-
-	// Compile against a private clone: published catalog snapshots are
-	// immutable, and the compiler registers the indexes it creates.
-	cat := eng.Catalog().Clone()
-	bounded, err := core.Compile(cat, sel)
-	if err != nil {
-		return nil, fmt.Errorf("fig7: PIQL plan: %w", err)
-	}
-	// The cost-based optimizer sees the 2009 Twitter average: 126
-	// followers per user — so the unbounded scan looks cheap.
-	unbounded, err := core.CompileCostBased(cat, sel, core.Stats{
-		AvgRowsPerKey: map[string]float64{"subscriptions.target": 126},
-	})
-	if err != nil {
-		return nil, fmt.Errorf("fig7: cost-based plan: %w", err)
-	}
-	if !isUnboundedPlan(unbounded.Root) {
-		return nil, fmt.Errorf("fig7: cost-based optimizer unexpectedly chose a bounded plan:\n%s", unbounded.Explain())
 	}
 	// Backfill any indexes the plans created (the by-target index).
 	maint := index.NewMaintainer(cat)

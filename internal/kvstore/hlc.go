@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"encoding/binary"
+	"errors"
 	"sync/atomic"
 	"time"
 )
@@ -104,3 +105,25 @@ func envIsTombstone(env []byte) bool { return env[16]&envTombstone != 0 }
 // envValue returns the envelope's payload (empty for tombstones). The
 // returned slice aliases env.
 func envValue(env []byte) []byte { return env[envHeader:] }
+
+var (
+	errEnvelopeShort = errors.New("kvstore: envelope shorter than its 17-byte header")
+	errEnvelopeFlags = errors.New("kvstore: envelope header has unknown flag bits")
+)
+
+// parseEnvelope validates env and splits it into version, tombstone
+// flag, and payload (the payload aliases env). Unlike the envVersion/
+// envIsTombstone/envValue accessors — which assume a well-formed
+// envelope and index straight into it — it never panics: truncated
+// input and unknown flag bits come back as errors. applyIfNewer runs
+// every incoming envelope through it, so a corrupt envelope is a
+// deterministic reject instead of a crash mid-write.
+func parseEnvelope(env []byte) (ver Version, tomb bool, val []byte, err error) {
+	if len(env) < envHeader {
+		return Version{}, false, nil, errEnvelopeShort
+	}
+	if env[16]&^envTombstone != 0 {
+		return Version{}, false, nil, errEnvelopeFlags
+	}
+	return envVersion(env), envIsTombstone(env), envValue(env), nil
+}

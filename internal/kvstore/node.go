@@ -121,6 +121,13 @@ func (n *node) getRaw(key []byte) ([]byte, bool) {
 // set of envelopes in any order on every replica yields the same final
 // state — the convergence invariant.
 func (n *node) applyIfNewer(key, env []byte) bool {
+	// A malformed envelope is rejected rather than parsed by force: the
+	// accessors below index into the header, so without this guard a
+	// truncated envelope would crash the node mid-write. Every replica
+	// makes the same decision, so convergence is unaffected.
+	if _, _, _, err := parseEnvelope(env); err != nil {
+		return false
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	cur, ok := n.tree.Get(key)

@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// EnvelopeIntegrity enforces that replica writes keep their version
+// envelopes intact (kvstore/hlc.go): applyIfNewer decides writes by
+// comparing the 17-byte version header, so passing it a payload that
+// has been stripped with envValue (or sliced past envHeader) would
+// reinterpret payload bytes as a version — silently corrupting
+// last-writer-wins convergence. The value argument must always be a
+// full envelope.
+var EnvelopeIntegrity = &Analyzer{
+	Name: "envelopeintegrity",
+	Doc:  "applyIfNewer must receive full version envelopes, never envValue output",
+	Run:  runEnvelopeIntegrity,
+}
+
+func runEnvelopeIntegrity(pass *Pass) {
+	for _, f := range pass.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 {
+				return
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "applyIfNewer" {
+				return
+			}
+			arg := call.Args[1]
+			if id, ok := arg.(*ast.Ident); ok {
+				if def := resolveIdent(enclosingFunc(stack), id.Name, call.Pos()); def != nil {
+					arg = def
+				}
+			}
+			if isStrippedEnvelope(arg) {
+				pass.Reportf(call.Args[1].Pos(),
+					"stripped envelope passed to applyIfNewer: pass the full version envelope (17-byte header intact)")
+			}
+		})
+	}
+}
+
+// isStrippedEnvelope recognizes the two ways of dropping the header:
+// calling envValue, or slicing from envHeader.
+func isStrippedEnvelope(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "envValue" {
+			return true
+		}
+	case *ast.SliceExpr:
+		if lo, ok := e.Low.(*ast.Ident); ok && lo.Name == "envHeader" {
+			return true
+		}
+	}
+	return false
+}

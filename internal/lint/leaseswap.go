@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// LeaseSwap enforces the lease-table swap protocol (kvstore/fence.go):
+// a node's lease table is immutable once published — the conditional
+// write path reads it with a bare atomic load and a binary search, no
+// lock shared with Rebalance. Mutating a table reached via
+// leases.Load() (assigning through it, or appending to its slice,
+// which may write the shared backing array) would race those readers;
+// replacements must build a fresh leaseTable and leases.Store() it.
+var LeaseSwap = &Analyzer{
+	Name: "leaseswap",
+	Doc:  "lease tables are swapped whole via leases.Store, never mutated in place",
+	Run:  runLeaseSwap,
+}
+
+func runLeaseSwap(pass *Pass) {
+	for _, f := range pass.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if refsLoadedLeases(lhs, enclosingFunc(stack)) {
+						pass.Reportf(lhs.Pos(),
+							"assignment through leases.Load(): build a new leaseTable and swap it with leases.Store")
+					}
+				}
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && len(n.Args) > 0 &&
+					refsLoadedLeases(n.Args[0], enclosingFunc(stack)) {
+					pass.Reportf(n.Pos(),
+						"append to a loaded lease table may write its shared backing array: copy into a new leaseTable and leases.Store it")
+				}
+			}
+		})
+	}
+}
+
+// refsLoadedLeases reports whether e reaches through a leases.Load()
+// result — directly, or via a local ident assigned from one.
+func refsLoadedLeases(e ast.Expr, fn *ast.FuncDecl) bool {
+	if containsSelectorCall(e, "leases", "Load") {
+		return true
+	}
+	// Follow one level of local indirection: lt := nd.leases.Load();
+	// lt.leases[0] = x.
+	root := e
+	for {
+		switch r := root.(type) {
+		case *ast.SelectorExpr:
+			root = r.X
+		case *ast.IndexExpr:
+			root = r.X
+		case *ast.SliceExpr:
+			root = r.X
+		default:
+			if id, ok := root.(*ast.Ident); ok && root != e {
+				if def := resolveIdent(fn, id.Name, e.Pos()); def != nil {
+					return containsSelectorCall(def, "leases", "Load")
+				}
+			}
+			return false
+		}
+	}
+}

@@ -1,0 +1,286 @@
+// Package lint is a small static-analysis framework plus the project's
+// concurrency-invariant analyzers. It plays the role of
+// golang.org/x/tools/go/analysis for this repository — built on the
+// standard library's go/ast and go/token only, because the build must
+// not fetch modules — and is driven two ways: by cmd/piql-vet through
+// `go vet -vettool` (see that command for the protocol) and by the
+// analyzers' own tests through linttest.
+//
+// The analyzers enforce structural invariants of the concurrent
+// engine/kvstore code that the type system cannot express: how routing
+// snapshots are claimed, that version envelopes reach replicas intact,
+// that simulated processes never block the real clock, and that lease
+// tables are swapped whole. Each one documents its invariant on its
+// Analyzer value.
+//
+// A site that violates the letter of a rule for a documented reason is
+// suppressed with a directive comment naming the analyzer:
+//
+//	//lint:allow routingclaim — control-plane read under c.mu
+//
+// The directive is honored when it appears on the diagnostic's line,
+// on the line above it, or in the doc comment of the enclosing
+// function. Suppression is part of the framework, not the individual
+// analyzers, so every rule gets it uniformly.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass is one analyzer's view of one package: parsed files (comments
+// included) sharing a FileSet. The framework is AST-only — these
+// invariants are structural, so no type information is needed, which
+// keeps the vettool independent of export data.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	// ImportPath is the package's import path ("" when unknown, e.g.
+	// ad-hoc file sets in tests).
+	ImportPath string
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a violation at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers is the registry cmd/piql-vet and the tests run.
+var Analyzers = []*Analyzer{
+	RoutingClaim,
+	EnvelopeIntegrity,
+	SimSleep,
+	LeaseSwap,
+}
+
+// Run applies every analyzer to the files and returns the surviving
+// diagnostics sorted by position. Files named *_test.go are skipped —
+// the invariants govern production code; tests deliberately poke at
+// internals (raw routing loads to assert convergence, wall-clock
+// sleeps around immediate-mode clusters).
+func Run(fset *token.FileSet, files []*ast.File, importPath string, analyzers []*Analyzer) []Diagnostic {
+	var kept []*ast.File
+	for _, f := range files {
+		if strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	allow := collectAllows(fset, kept)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: fset, Files: kept, ImportPath: importPath}
+		a.Run(pass)
+		for _, d := range pass.diags {
+			if !allow.allows(a.Name, d.Pos) {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// allowRe matches a suppression directive; everything after the
+// analyzer name (an em-dash justification, usually) is ignored.
+var allowRe = regexp.MustCompile(`^//lint:allow\s+([a-z]+)`)
+
+// allowSet records where each analyzer is suppressed: the directive
+// lines themselves, plus the line ranges of functions whose doc
+// comment carries a directive.
+type allowSet struct {
+	// lines maps analyzer name -> file -> set of directive lines.
+	lines map[string]map[string]map[int]bool
+	// spans maps analyzer name -> file -> [start, end] line ranges.
+	spans map[string]map[string][][2]int
+}
+
+func (s *allowSet) add(name, file string, line int) {
+	if s.lines[name] == nil {
+		s.lines[name] = map[string]map[int]bool{}
+	}
+	if s.lines[name][file] == nil {
+		s.lines[name][file] = map[int]bool{}
+	}
+	s.lines[name][file][line] = true
+}
+
+func (s *allowSet) addSpan(name, file string, start, end int) {
+	if s.spans[name] == nil {
+		s.spans[name] = map[string][][2]int{}
+	}
+	s.spans[name][file] = append(s.spans[name][file], [2]int{start, end})
+}
+
+// allows reports whether a diagnostic at pos is suppressed: a
+// directive on the same line or the line above, or an enclosing
+// function whose doc comment carries one.
+func (s *allowSet) allows(name string, pos token.Position) bool {
+	if ls := s.lines[name][pos.Filename]; ls[pos.Line] || ls[pos.Line-1] {
+		return true
+	}
+	for _, span := range s.spans[name][pos.Filename] {
+		if pos.Line >= span[0] && pos.Line <= span[1] {
+			return true
+		}
+	}
+	return false
+}
+
+func collectAllows(fset *token.FileSet, files []*ast.File) *allowSet {
+	s := &allowSet{
+		lines: map[string]map[string]map[int]bool{},
+		spans: map[string]map[string][][2]int{},
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if m := allowRe.FindStringSubmatch(c.Text); m != nil {
+					p := fset.Position(c.Pos())
+					s.add(m[1], p.Filename, p.Line)
+				}
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					if m := allowRe.FindStringSubmatch(c.Text); m != nil {
+						start := fset.Position(fd.Pos()).Line
+						end := fset.Position(fd.End()).Line
+						s.addSpan(m[1], fset.Position(fd.Pos()).Filename, start, end)
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// inspectStack walks the file calling fn with each node and the stack
+// of its ancestors (outermost first, not including n itself).
+func inspectStack(f *ast.File, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// enclosingFunc returns the innermost enclosing named function
+// declaration on the stack, or nil (closures return their outermost
+// named host).
+func enclosingFunc(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}
+
+// isSelectorCall reports whether n is a call of the form
+// <expr>.<field>.<method>(...), e.g. c.routing.Load().
+func isSelectorCall(n ast.Node, field, method string) (*ast.CallExpr, bool) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return nil, false
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok || inner.Sel.Name != field {
+		return nil, false
+	}
+	return call, true
+}
+
+// containsSelectorCall reports whether the expression tree rooted at e
+// contains a <...>.<field>.<method>(...) call.
+func containsSelectorCall(e ast.Expr, field, method string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := isSelectorCall(n, field, method); ok {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// resolveIdent finds the expression most recently assigned to name
+// before pos within fn's body (a deliberately simple single-block
+// approximation: the lexically last `name := rhs` or `name = rhs`
+// above pos). Returns nil if name is not a locally assigned ident.
+func resolveIdent(fn *ast.FuncDecl, name string, pos token.Pos) ast.Expr {
+	if fn == nil || fn.Body == nil {
+		return nil
+	}
+	var rhs ast.Expr
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Pos() >= pos {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name != name {
+				continue
+			}
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			} else if len(as.Rhs) == 1 {
+				rhs = as.Rhs[0]
+			}
+		}
+		return true
+	})
+	return rhs
+}

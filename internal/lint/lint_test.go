@@ -1,0 +1,29 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"piql/internal/lint"
+	"piql/internal/lint/linttest"
+)
+
+func TestRoutingClaim(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "routingclaim"), lint.RoutingClaim)
+}
+
+func TestEnvelopeIntegrity(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "envelopeintegrity"), lint.EnvelopeIntegrity)
+}
+
+func TestSimSleep(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "simsleep"), lint.SimSleep)
+}
+
+func TestSimSleepIgnoresNonSimPackages(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "simsleepnosim"), lint.SimSleep)
+}
+
+func TestLeaseSwap(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "leaseswap"), lint.LeaseSwap)
+}

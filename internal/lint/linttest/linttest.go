@@ -1,0 +1,102 @@
+// Package linttest runs lint analyzers over testdata packages and
+// checks their diagnostics against expectations written in the source,
+// in the style of go/analysis/analysistest:
+//
+//	c.routing.Load() // want `raw routing.Load`
+//
+// A `// want` comment expects exactly one diagnostic on its line whose
+// message matches the backquoted or quoted regexp; any diagnostic on a
+// line without one, or an expectation that nothing matches, fails the
+// test.
+package linttest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"piql/internal/lint"
+)
+
+var wantRe = regexp.MustCompile("^// want (`[^`]*`|\"[^\"]*\")$")
+
+// expectation is one `// want` comment.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run parses every .go file under dir as one package and applies the
+// analyzer, comparing diagnostics to `// want` comments.
+func Run(t *testing.T, dir string, a *lint.Analyzer) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var expects []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("linttest: parse %s: %v", path, err)
+		}
+		files = append(files, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				lit := m[1]
+				var pat string
+				if lit[0] == '`' {
+					pat = lit[1 : len(lit)-1]
+				} else if unq, err := strconv.Unquote(lit); err == nil {
+					pat = unq
+				} else {
+					t.Fatalf("linttest: %s: bad want literal %s", fset.Position(c.Pos()), lit)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("linttest: %s: bad want pattern: %v", fset.Position(c.Pos()), err)
+				}
+				p := fset.Position(c.Pos())
+				expects = append(expects, &expectation{file: p.Filename, line: p.Line, pattern: re})
+			}
+		}
+	}
+
+	diags := lint.Run(fset, files, "testdata/"+a.Name, []*lint.Analyzer{a})
+	for _, d := range diags {
+		found := false
+		for _, ex := range expects {
+			if ex.file == d.Pos.Filename && ex.line == d.Pos.Line && ex.pattern.MatchString(d.Message) {
+				ex.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, ex := range expects {
+		if !ex.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", ex.file, ex.line, ex.pattern)
+		}
+	}
+}

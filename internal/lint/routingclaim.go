@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// RoutingClaim enforces the routing-snapshot claim protocol
+// (kvstore/cluster.go): data-path code must obtain routing tables via
+// beginOp/endOp, which registers the operation on the snapshot's
+// wait-group so Rebalance can quiesce in-flight operations before
+// flipping ownership. A raw load of the atomic routing pointer skips
+// the claim — the operation becomes invisible to the rebalancer and
+// can read partitions mid-move.
+//
+// Allowed without a directive:
+//   - the body of beginOp itself (it implements the protocol);
+//   - loads used directly in an ==/!= comparison against an already
+//     claimed snapshot (the "did routing settle" check), which never
+//     dereference the table.
+//
+// Control-plane readers that run under the cluster mutex annotate
+// themselves with //lint:allow routingclaim.
+var RoutingClaim = &Analyzer{
+	Name: "routingclaim",
+	Doc:  "routing snapshots must be claimed via beginOp/endOp, not loaded raw",
+	Run:  runRoutingClaim,
+}
+
+func runRoutingClaim(pass *Pass) {
+	for _, f := range pass.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) {
+			call, ok := isSelectorCall(n, "routing", "Load")
+			if !ok {
+				return
+			}
+			if fd := enclosingFunc(stack); fd != nil && fd.Name.Name == "beginOp" {
+				return
+			}
+			if len(stack) > 0 {
+				if be, ok := stack[len(stack)-1].(*ast.BinaryExpr); ok &&
+					(be.Op == token.EQL || be.Op == token.NEQ) {
+					return
+				}
+			}
+			pass.Reportf(call.Pos(),
+				"raw routing.Load(): claim the snapshot via beginOp/endOp so Rebalance can quiesce it")
+		})
+	}
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// SimSleep enforces the simulation's virtual-clock discipline: code in
+// a package that imports the discrete-event simulator must never call
+// time.Sleep. The simulated cluster advances a virtual clock —
+// (*sim.Proc).Sleep yields to the scheduler; time.Sleep blocks the
+// OS thread, stalls every simulated process sharing it, and measures
+// nothing (virtual time does not pass while it sleeps).
+var SimSleep = &Analyzer{
+	Name: "simsleep",
+	Doc:  "packages using the simulator must sleep in virtual time, not time.Sleep",
+	Run:  runSimSleep,
+}
+
+const simImportPath = "piql/internal/sim"
+
+func runSimSleep(pass *Pass) {
+	usesSim := false
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil &&
+				(path == simImportPath || strings.HasSuffix(path, "/internal/sim")) {
+				usesSim = true
+			}
+		}
+	}
+	if !usesSim {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Sleep" {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "time" && id.Obj == nil {
+				pass.Reportf(call.Pos(),
+					"time.Sleep in simulation code: use (*sim.Proc).Sleep so virtual time advances")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,34 @@
+// Test fixture for the envelopeintegrity analyzer: applyIfNewer must
+// receive full version envelopes.
+package envelopeintegrity
+
+const envHeader = 17
+
+type node struct{}
+
+func (n *node) applyIfNewer(key, env []byte) bool { return len(env) >= envHeader }
+
+func envValue(env []byte) []byte { return env[envHeader:] }
+
+func ok(n *node, key, env []byte) {
+	n.applyIfNewer(key, env) // full envelope: fine
+}
+
+func strippedDirect(n *node, key, env []byte) {
+	n.applyIfNewer(key, envValue(env)) // want `stripped envelope`
+}
+
+func strippedSlice(n *node, key, env []byte) {
+	n.applyIfNewer(key, env[envHeader:]) // want `stripped envelope`
+}
+
+func strippedViaLocal(n *node, key, env []byte) {
+	val := envValue(env)
+	n.applyIfNewer(key, val) // want `stripped envelope`
+}
+
+func reassignedLocal(n *node, key, env []byte) {
+	val := envValue(env)
+	val = env // restored to a full envelope before the call
+	n.applyIfNewer(key, val)
+}

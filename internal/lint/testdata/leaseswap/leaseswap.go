@@ -1,0 +1,52 @@
+// Test fixture for the leaseswap analyzer: published lease tables are
+// immutable; replacements go through leases.Store.
+package leaseswap
+
+import "sync/atomic"
+
+type lease struct{ epoch int64 }
+
+type leaseTable struct {
+	leases []lease
+}
+
+type node struct {
+	leases atomic.Pointer[leaseTable]
+}
+
+func swapWhole(n *node, fresh []lease) {
+	n.leases.Store(&leaseTable{leases: fresh}) // the sanctioned path
+}
+
+func mutateDirect(n *node) {
+	n.leases.Load().leases[0] = lease{epoch: 9} // want `assignment through leases.Load`
+}
+
+func mutateField(n *node, fresh []lease) {
+	n.leases.Load().leases = fresh // want `assignment through leases.Load`
+}
+
+func appendDirect(n *node, l lease) {
+	_ = append(n.leases.Load().leases, l) // want `append to a loaded lease table`
+}
+
+func mutateViaLocal(n *node) {
+	lt := n.leases.Load()
+	lt.leases[0] = lease{epoch: 9} // want `assignment through leases.Load`
+}
+
+func readOnly(n *node, key int) *lease {
+	lt := n.leases.Load()
+	if len(lt.leases) == 0 {
+		return nil
+	}
+	return &lt.leases[0]
+}
+
+func freshCopy(n *node) {
+	lt := n.leases.Load()
+	next := make([]lease, len(lt.leases))
+	copy(next, lt.leases)
+	next[0] = lease{epoch: 9}
+	n.leases.Store(&leaseTable{leases: next})
+}

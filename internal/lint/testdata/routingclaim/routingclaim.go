@@ -1,0 +1,50 @@
+// Test fixture for the routingclaim analyzer: loading the routing
+// pointer raw vs. claiming it through beginOp.
+package routingclaim
+
+import "sync/atomic"
+
+type routing struct{ epoch int64 }
+
+type cluster struct {
+	routing atomic.Pointer[routing]
+}
+
+// beginOp is the sanctioned claim path: raw loads are its job.
+func (c *cluster) beginOp() *routing {
+	rt := c.routing.Load()
+	for {
+		if c.routing.Load() == rt { // settled comparison inside beginOp
+			return rt
+		}
+		rt = c.routing.Load()
+	}
+}
+
+func (c *cluster) dataPath() int64 {
+	rt := c.routing.Load() // want `raw routing.Load`
+	return rt.epoch
+}
+
+func (c *cluster) settledCheck(rt *routing) bool {
+	// Comparison against an already claimed snapshot never follows the
+	// pointer, so it is allowed.
+	return c.routing.Load() == rt
+}
+
+func (c *cluster) chained() int64 {
+	return c.routing.Load().epoch // want `raw routing.Load`
+}
+
+// controlPlane reads routing under the cluster mutex; the directive in
+// this doc comment suppresses the whole function.
+//
+//lint:allow routingclaim — control-plane read under c.mu
+func (c *cluster) controlPlane() *routing {
+	return c.routing.Load()
+}
+
+func (c *cluster) lineDirective() *routing {
+	//lint:allow routingclaim — audit path, cluster quiesced by caller
+	return c.routing.Load()
+}

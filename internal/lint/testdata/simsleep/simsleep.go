@@ -1,0 +1,24 @@
+// Test fixture for the simsleep analyzer: this package imports the
+// simulator, so wall-clock sleeps are forbidden.
+package simsleep
+
+import (
+	"time"
+
+	"piql/internal/sim"
+)
+
+func worker(p *sim.Proc) {
+	p.Sleep(5 * time.Millisecond) // virtual time: fine
+	time.Sleep(time.Millisecond)  // want `time.Sleep in simulation code`
+}
+
+func helper() {
+	time.Sleep(10 * time.Millisecond) // want `time.Sleep in simulation code`
+}
+
+func shadowed() {
+	type fake struct{}
+	time := struct{ f fake }{}
+	_ = time
+}

@@ -1,0 +1,9 @@
+// Test fixture for the simsleep analyzer's scope: this package does
+// not import the simulator, so wall-clock sleeps are allowed.
+package simsleepnosim
+
+import "time"
+
+func retryBackoff() {
+	time.Sleep(50 * time.Millisecond)
+}

@@ -115,6 +115,30 @@ func (t *Table) CardinalityFor(equalityCols []string) int {
 	return best
 }
 
+// CardinalityConstraint returns the tightest declared CARDINALITY LIMIT
+// constraint whose columns are all covered by the given equality
+// columns, or nil if none applies. Unlike CardinalityFor it does not
+// treat a primary-key match as an implicit limit of 1 — it reports only
+// constraints the schema author wrote down, so static analysis can name
+// the declaration a bound came from.
+func (t *Table) CardinalityConstraint(equalityCols []string) *Cardinality {
+	var best *Cardinality
+	for i := range t.Cardinalities {
+		c := &t.Cardinalities[i]
+		if coversAll(equalityCols, c.Columns) {
+			if best == nil || c.Limit < best.Limit {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+// String renders the constraint as written in DDL.
+func (c *Cardinality) String() string {
+	return fmt.Sprintf("CARDINALITY LIMIT %d (%s)", c.Limit, strings.Join(c.Columns, ", "))
+}
+
 // coversAll reports whether every column in want appears in have
 // (case-insensitive).
 func coversAll(have, want []string) bool {

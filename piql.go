@@ -57,6 +57,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"piql/internal/analyze"
 	"piql/internal/core"
 	"piql/internal/engine"
 	"piql/internal/exec"
@@ -100,7 +101,8 @@ const (
 	ParallelExecutor = exec.Parallel
 )
 
-// Config describes the simulated key/value store backing the database.
+// Config describes the simulated key/value store backing the database
+// and the admission-control policy applied at Prepare time.
 type Config struct {
 	// Nodes is the number of storage servers (default 4).
 	Nodes int
@@ -108,6 +110,20 @@ type Config struct {
 	ReplicationFactor int
 	// Seed drives all simulation randomness (default 1).
 	Seed int64
+
+	// SLO is the response-time objective queries are admitted against:
+	// with Enforce set and a model installed (UseSLOModel), Prepare
+	// refuses queries whose predicted 99th-percentile latency exceeds
+	// it (0 = no latency check).
+	SLO time.Duration
+	// MaxOps refuses queries whose static operation bound exceeds this
+	// budget (0 = no budget). Unlike SLO it needs no trained model.
+	MaxOps int
+	// Enforce turns admission control on: unbounded plans are refused
+	// with *ErrUnbounded, over-budget or over-SLO plans with
+	// *ErrOverSLO. Off, the same analysis still runs and is available
+	// through Query.Bound, but nothing is refused.
+	Enforce bool
 }
 
 // DB is a PIQL database handle: a stateless query-processing library
@@ -138,9 +154,24 @@ func Open(cfg Config) *DB {
 		Seed:              cfg.Seed,
 	}, nil)
 	eng := engine.New(cluster)
+	eng.SetAdmission(&analyze.Policy{
+		Enforce: cfg.Enforce,
+		SLO:     cfg.SLO,
+		MaxOps:  cfg.MaxOps,
+	})
 	db := &DB{eng: eng}
 	db.strat.Store(int32(exec.Parallel))
 	return db
+}
+
+// UseSLOModel installs a trained latency model for admission control:
+// with Config.SLO and Config.Enforce set, subsequent Prepares refuse
+// queries whose predicted 99th-percentile latency exceeds the SLO in
+// more than 10% of intervals.
+func (db *DB) UseSLOModel(m *SLOModel) {
+	p := *db.eng.Admission() // Open always installs a policy
+	p.Model = m.model
+	db.eng.SetAdmission(&p)
 }
 
 // acquire checks a session out of the pool (creating one if none is
@@ -212,6 +243,22 @@ func (e *UnboundedQueryError) Error() string {
 	return msg
 }
 
+// Bound is the static boundedness analysis attached to every prepared
+// query: the symbolic worst-case operation bound per remote operator
+// (see internal/analyze).
+type Bound = analyze.Bound
+
+// ErrUnbounded reports a query refused by admission control because no
+// static operation bound exists (only possible through the cost-based
+// baseline path; the PIQL compiler rejects such queries earlier with
+// *UnboundedQueryError).
+type ErrUnbounded = analyze.ErrUnbounded
+
+// ErrOverSLO reports a bounded query refused by admission control: its
+// static bound exceeds Config.MaxOps, or its predicted 99th-percentile
+// latency exceeds Config.SLO.
+type ErrOverSLO = analyze.ErrOverSLO
+
 // Query is a compiled, reusable, statically bounded query.
 type Query struct {
 	db  *DB
@@ -254,6 +301,10 @@ func (q *Query) Execute(params ...Value) (*Result, error) {
 // OpBound returns the static upper bound on key/value store operations
 // one execution may perform — the scale-independence guarantee.
 func (q *Query) OpBound() int { return q.pre.Plan().OpBound() }
+
+// Bound returns the full static analysis: the per-operator operation
+// bounds with their symbolic derivations.
+func (q *Query) Bound() *Bound { return q.pre.Bound() }
 
 // Explain renders the physical plan with per-operator bounds.
 func (q *Query) Explain() string { return q.pre.Plan().Explain() }

@@ -205,3 +205,52 @@ func TestPublicAPIConcurrentUse(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPublicAPIAdmissionControl(t *testing.T) {
+	db := Open(Config{Nodes: 4, MaxOps: 60, Enforce: true})
+	db.MustExec(`CREATE TABLE users (
+		username VARCHAR(20), bio VARCHAR(140), PRIMARY KEY (username))`)
+	db.MustExec(`CREATE TABLE follows (
+		owner VARCHAR(20), target VARCHAR(20),
+		PRIMARY KEY (owner, target),
+		FOREIGN KEY (target) REFERENCES users,
+		CARDINALITY LIMIT 50 (owner))`)
+
+	// 1 point get: admitted, and the bound rides on the Query.
+	q, err := db.Prepare(`SELECT * FROM users WHERE username = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := q.Bound()
+	if b == nil || !b.Bounded || b.Ops != 1 {
+		t.Fatalf("Bound() = %+v", b)
+	}
+
+	// Scan + 50 dereferences + residual budget: the follows fan-out is
+	// 1 range read + 50 gets = 51 ops — admitted under 60, refused
+	// under 10.
+	fanout := `SELECT u.username FROM follows f JOIN users u
+		WHERE u.username = f.target AND f.owner = ?`
+	if _, err := db.Prepare(fanout); err != nil {
+		t.Fatalf("fan-out query refused under MaxOps=60: %v", err)
+	}
+
+	strict := Open(Config{Nodes: 4, MaxOps: 10, Enforce: true})
+	strict.MustExec(`CREATE TABLE follows (
+		owner VARCHAR(20), target VARCHAR(20),
+		PRIMARY KEY (owner, target),
+		CARDINALITY LIMIT 50 (owner))`)
+	_, err = strict.Prepare(`SELECT * FROM follows WHERE owner = ? LIMIT 50`)
+	if err != nil {
+		t.Fatalf("single range read should pass MaxOps=10: %v", err)
+	}
+	_, err = strict.Prepare(`SELECT * FROM follows WHERE owner IN (
+		'a','b','c','d','e','f','g','h','i','j','k') AND target = 'x'`)
+	var over *ErrOverSLO
+	if !errors.As(err, &over) {
+		t.Fatalf("err = %v, want *ErrOverSLO", err)
+	}
+	if over.MaxOps != 10 {
+		t.Fatalf("refusal = %+v", over)
+	}
+}
