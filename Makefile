@@ -2,11 +2,11 @@
 # regression) fails it before anything else runs.
 GO ?= go
 
-.PHONY: all ci vet lint build test race chaos bench bench-all bench-smoke experiments
+.PHONY: all ci vet lint build test race chaos chaos-faults bench bench-all bench-smoke experiments
 
 all: ci
 
-ci: lint build race bench-smoke
+ci: lint build race chaos-faults bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -54,6 +54,14 @@ race:
 # the lagged-replica write-order inversion).
 chaos:
 	$(GO) test -race -run 'TestChaosOnlineOperations|TestRebalanceUnderTraffic|TestRebalanceRangeReadsUnderTraffic|TestCreateIndexUnderConcurrentWrites|TestInsertRollbackRacingDelete|TestTestAndSetLinearizableAcrossRebalance|TestRebalanceChunkedCopy|TestRebalanceDeleteInEarlierChunkNoResurrect|TestCreateIndexRacingDeletesNoDangling|TestSimulatedCreateIndexDrainsWriters|TestReplicasConvergeUnderRacingWrites|TestAsyncReplicationRacingWritersConverge|TestAsyncCatchUpRespectsOwnership|TestBackfillStampLosesToRacingDelete' ./internal/...
+
+# chaos-faults is the failure-injection gate, raced and explicit in ci:
+# the chaos storms with a node crashed or partitioned mid-rebalance
+# (plus the falsification subtests proving read failover and catch-up
+# replay are each load-bearing), lease-expiry fencing recovery, quorum
+# staleness bounds, and the catch-up/crash interleavings.
+chaos-faults:
+	$(GO) test -race -run 'TestChaosSurvivesKillRestartMidRebalance|TestChaosSurvivesPartitionedReplica|TestLeaseExpiryUnwedgesTestAndSet|TestQuorumReadBoundsStaleness|TestAsyncCatchUpKillRestartInterleaving|TestReadRepairLaggedThenKilledReplica|TestErrorChainsRoundTrip|TestRetryableClassification|TestDegradedReadSurfacesRetryable' ./internal/...
 
 # The hot-path benchmarks tracked across PRs: raw engine overhead,
 # the three execution strategies, and concurrent-session throughput.

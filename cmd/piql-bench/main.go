@@ -11,6 +11,12 @@
 // per session count — the engine-concurrency proof, not a paper figure.
 // It is excluded from "all" since its numbers depend on host cores.
 //
+// -experiment faults runs the failure-injection chaos storms (node
+// crash/restart mid-rebalance and partition with lease reclaim) and
+// reports the recovery evidence: catch-ups queued and replayed, ops
+// retried, and the post-heal integrity audits. Also excluded from
+// "all" — the fault windows are wall-clock paced.
+//
 // Absolute numbers come from the latency model of the simulated
 // key/value store, not EC2 hardware; the shapes (linear scaling, flat
 // tails, conservative predictions, bounded-vs-unbounded crossover,
@@ -32,7 +38,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: all, table1, fig1, fig6, fig7, fig8-9, fig10-11, fig12, admission, concurrent")
+		"which experiment to run: all, table1, fig1, fig6, fig7, fig8-9, fig10-11, fig12, admission, concurrent, faults")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
 	flag.Parse()
 
@@ -181,6 +187,27 @@ func main() {
 			fatal(err)
 		}
 		res.Print(out)
+	}
+
+	// Not part of "all": the fault windows are wall-clock paced.
+	if strings.EqualFold(*experiment, "faults") {
+		for _, sc := range []struct {
+			name string
+			f    harness.FaultSchedule
+		}{
+			{"node crash mid-rebalance, restart after two more", harness.FaultSchedule{KillRestart: true, LeaseMs: 60_000}},
+			{"partition with lease expiry + reclaim, then heal", harness.FaultSchedule{Partition: true, LeaseMs: 40}},
+		} {
+			fmt.Fprintf(out, "fault injection: %s\n", sc.name)
+			cfg := harness.DefaultChaosConfig()
+			f := sc.f
+			cfg.Faults = &f
+			res, err := harness.RunChaos(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			res.Print(out)
+		}
 	}
 
 	fmt.Fprintf(out, "total: %v\n", time.Since(start).Round(time.Second))

@@ -101,7 +101,8 @@ type Engine struct {
 	// the prepared plan either way.
 	admission atomic.Pointer[analyze.Policy]
 
-	defStrat atomic.Int32 // exec.Strategy
+	defStrat   atomic.Int32 // exec.Strategy
+	readQuorum atomic.Int32 // replicas per point read for new sessions
 }
 
 // New creates an engine over a cluster.
@@ -121,6 +122,13 @@ func New(cluster *kvstore.Cluster) *Engine {
 // created afterwards that do not override it (Section 8.5's executor
 // comparison).
 func (e *Engine) SetDefaultStrategy(s exec.Strategy) { e.defStrat.Store(int32(s)) }
+
+// SetReadQuorum sets how many replicas sessions created afterwards
+// consult per point read (see kvstore.Client.SetReadQuorum). r <= 1 is
+// the default single-replica read; r = 2 with replication factor 2
+// bounds staleness to zero while any one replica is partitioned,
+// because an acked write reaches every reachable owner synchronously.
+func (e *Engine) SetReadQuorum(r int) { e.readQuorum.Store(int32(r)) }
 
 // SetAdmission installs (or, with nil, removes) the admission-control
 // policy. The policy applies to every subsequent Prepare, including
@@ -152,9 +160,11 @@ type Session struct {
 
 // Session creates a session. proc may be nil for immediate mode.
 func (e *Engine) Session(proc *sim.Proc) *Session {
+	client := e.cluster.NewClient(proc)
+	client.SetReadQuorum(int(e.readQuorum.Load()))
 	return &Session{
 		eng:    e,
-		client: e.cluster.NewClient(proc),
+		client: client,
 		strat:  exec.Strategy(e.defStrat.Load()),
 	}
 }
@@ -591,8 +601,16 @@ func (s *Session) update(stmt *parser.Update, params []value.Value) error {
 		return err
 	}
 	rkey := index.RecordKeyFromPK(t, pk)
+	s.client.TakeErr()
 	rec, ok := s.client.Get(rkey)
 	if !ok {
+		// Distinguish "the row is absent" from "the row's replicas are
+		// unreachable": the latter is transient and must not be reported
+		// as a missing row (callers treat missing-row as a fatal semantic
+		// error and would drop the update on the floor).
+		if derr := s.client.TakeErr(); derr != nil {
+			return fmt.Errorf("engine: update %s: %w", t.Name, derr)
+		}
 		return fmt.Errorf("engine: no row in %s with primary key %s", t.Name, pk)
 	}
 	row, err := value.DecodeRow(rec)

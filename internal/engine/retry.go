@@ -1,0 +1,22 @@
+package engine
+
+import (
+	"errors"
+
+	"piql/internal/kvstore"
+)
+
+// Retryable reports whether err is a transient cluster condition — a
+// dead or partitioned replica, an exhausted fence-retry budget against
+// an expiring primary, a degraded read — that a caller should retry
+// (with backoff) rather than treat as a semantic failure.
+//
+// The store's failure errors all unwrap to kvstore.ErrTransient, and
+// every layer above wraps with %w, so one errors.Is covers the chain:
+// a *kvstore.ErrNodeDown inside an "exec: degraded read" inside a
+// session error is still retryable. Semantic failures — duplicate key,
+// unknown table, malformed query, admission refusal — never carry the
+// sentinel and classify as fatal.
+func Retryable(err error) bool {
+	return errors.Is(err, kvstore.ErrTransient)
+}

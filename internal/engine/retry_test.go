@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"piql/internal/kvstore"
+	"piql/internal/value"
+)
+
+// TestRetryableClassification pins the engine's transient-vs-fatal
+// split: every typed kvstore degradation — node down, fenced, retry
+// budget exhausted — is retryable through any depth of %w wrapping,
+// while semantic errors (and nil) are not. Callers build retry loops
+// on exactly this predicate, so a misclassification either wedges a
+// recoverable operation or spins forever on a permanent failure.
+func TestRetryableClassification(t *testing.T) {
+	transient := []error{
+		&kvstore.ErrNodeDown{Node: 2},
+		&kvstore.ErrNodeDown{Node: 1, Partitioned: true},
+		&kvstore.ErrFenceExhausted{Op: "testandset", Attempts: 8, Last: &kvstore.ErrNodeDown{Node: 0}},
+		&kvstore.ErrFenceExhausted{Op: "write"},
+		kvstore.ErrTransient,
+	}
+	for _, err := range transient {
+		if !Retryable(err) {
+			t.Errorf("Retryable(%v) = false, want true", err)
+		}
+		deep := fmt.Errorf("exec: degraded read: %w", fmt.Errorf("engine: update t: %w", err))
+		if !Retryable(deep) {
+			t.Errorf("Retryable lost the transient marker through wrapping: %v", deep)
+		}
+	}
+	fatal := []error{
+		nil,
+		errors.New("engine: unknown table nope"),
+		fmt.Errorf("parse: %w", errors.New("syntax error")),
+	}
+	for _, err := range fatal {
+		if Retryable(err) {
+			t.Errorf("Retryable(%v) = true, want false", err)
+		}
+	}
+}
+
+// TestDegradedReadSurfacesRetryable drives the classification end to
+// end: a query against a cluster whose only replicas are unreachable
+// fails with an error the engine classifies retryable, while a
+// semantic failure from the same session does not.
+func TestDegradedReadSurfacesRetryable(t *testing.T) {
+	cluster := kvstore.New(kvstore.Config{Nodes: 1, ReplicationFactor: 1, Seed: 9}, nil)
+	eng := New(cluster)
+	s := eng.Session(nil)
+	if err := s.Exec(`CREATE TABLE r (id VARCHAR(10), PRIMARY KEY (id))`); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Exec(`INSERT INTO r VALUES (?)`, value.Str("a")); err != nil {
+		t.Fatal(err)
+	}
+
+	cluster.Kill(0)
+	_, err := s.Query(`SELECT id FROM r WHERE id = ? LIMIT 1`, value.Str("a"))
+	if err == nil {
+		t.Fatal("query against a fully-dead replica set returned no error")
+	}
+	if !Retryable(err) {
+		t.Fatalf("degraded read %v does not classify retryable", err)
+	}
+	var nd *kvstore.ErrNodeDown
+	if !errors.As(err, &nd) || nd.Node != 0 {
+		t.Fatalf("degraded read does not expose its *ErrNodeDown cause: %v", err)
+	}
+
+	cluster.Restart(0)
+	if _, err := s.Query(`SELECT id FROM r WHERE id = ? LIMIT 1`, value.Str("a")); err != nil {
+		t.Fatalf("query still failing after restart: %v", err)
+	}
+	if _, err := s.Query(`SELECT id FROM missing WHERE id = ? LIMIT 1`, value.Str("a")); err == nil {
+		t.Fatal("query on a missing table returned no error")
+	} else if Retryable(err) {
+		t.Fatalf("semantic failure %v classifies retryable", err)
+	}
+}

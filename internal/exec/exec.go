@@ -104,9 +104,19 @@ func Run(plan *core.Plan, ctx *Ctx) (*Result, error) {
 	if plan.PageSize > 0 {
 		e.nextResume = ResumeState{}
 	}
+	// Store reads degrade silently when replicas are down: a Get against
+	// an unreachable partition reads as a miss and the client records the
+	// condition on the side (Client.TakeErr). Clear any stale record from
+	// an earlier operation, then surface what this execution deposits —
+	// otherwise a partitioned range would quietly subtract rows from the
+	// result instead of failing the query with a retryable error.
+	e.ctx.Client.TakeErr()
 	rows, err := e.run(plan.Root)
 	if err != nil {
 		return nil, err
+	}
+	if derr := e.ctx.Client.TakeErr(); derr != nil {
+		return nil, fmt.Errorf("exec: degraded read: %w", derr)
 	}
 	res := &Result{Rows: rows, Names: plan.OutputNames}
 	if plan.PageSize > 0 {

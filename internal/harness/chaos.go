@@ -5,6 +5,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"piql/internal/codec"
 	"piql/internal/engine"
@@ -47,6 +48,59 @@ type ChaosConfig struct {
 	MoveChunkKeys int
 	// Seed drives the cluster's randomness.
 	Seed int64
+	// Faults, when non-nil, injects real failures into the storm: node
+	// crashes, partitions, and the falsification knobs that prove the
+	// recovery machinery is load-bearing.
+	Faults *FaultSchedule
+}
+
+// FaultSchedule switches on fault injection during the chaos storm.
+// The victim node is fixed (see RunChaos — a node owning the
+// record-carrying head partitions), so the schedule is deterministic
+// given the config.
+type FaultSchedule struct {
+	// KillRestart crashes the victim concurrently with a mid-storm
+	// rebalance and restarts it two rebalances later — the catch-up
+	// replay and lease re-grant path. Writes acked during the outage
+	// must survive it.
+	KillRestart bool
+	// Partition cuts the victim away from the client side mid-storm and
+	// heals it two rebalances later, with the storm paced so the
+	// victim's leases expire and a rebalance reclaims its ranges while
+	// it is unreachable.
+	Partition bool
+	// LeaseMs overrides the cluster's lease duration in milliseconds
+	// (default 40). Short leases let reclaim happen inside the run;
+	// a long lease (e.g. 60000) pins ownership across the outage so
+	// recovery rides on catch-up replay alone.
+	LeaseMs int
+	// OpDeadlineMs bounds each writer operation's retry-on-transient
+	// loop (default 10000). An op still failing past the deadline fails
+	// the run: that is a wedge, not a transient.
+	OpDeadlineMs int
+	// DisableFailover is a falsification knob: reads no longer reroute
+	// around an unreachable replica. A faulted run with it set must
+	// fail — proving the survival tests actually depend on failover.
+	DisableFailover bool
+	// DisableCatchUpReplay is a falsification knob: writes queued for
+	// an unreachable node are never replayed at rejoin, so a recovered
+	// node serves stale state. A faulted run with it set must fail —
+	// proving the tests actually depend on replay.
+	DisableCatchUpReplay bool
+}
+
+func (f *FaultSchedule) lease() time.Duration {
+	if f.LeaseMs > 0 {
+		return time.Duration(f.LeaseMs) * time.Millisecond
+	}
+	return 40 * time.Millisecond
+}
+
+func (f *FaultSchedule) opDeadline() time.Duration {
+	if f.OpDeadlineMs > 0 {
+		return time.Duration(f.OpDeadlineMs) * time.Millisecond
+	}
+	return 10 * time.Second
 }
 
 // DefaultChaosConfig keeps the run under a second in immediate mode.
@@ -72,6 +126,14 @@ type ChaosResult struct {
 	CASAccepted  int64 // conditional swaps accepted (all model-checked)
 	FenceRejects int64 // conditional decisions retried after epoch fencing
 	TombsSwept   int64 // delete tombstones collected by the post-run GC
+
+	// Fault-injection evidence (zero without a FaultSchedule): the
+	// survival tests require these to prove the faults actually fired.
+	Kills            int64 // node crashes injected
+	Partitions       int64 // partitions injected
+	CatchUpsQueued   int64 // writes queued for unreachable nodes
+	CatchUpsReplayed int64 // queued writes replayed at rejoin
+	RetriedOps       int64 // writer ops that needed at least one transient retry
 }
 
 // RunChaos builds a table, starts the writer fleet, and — while the
@@ -94,12 +156,21 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	if cfg.CASWriters > 0 && cfg.CASKeys <= 0 {
 		cfg.CASKeys = 1 // the audit loop must cover every key the fleet touches
 	}
-	cluster := kvstore.New(kvstore.Config{
+	f := cfg.Faults
+	kcfg := kvstore.Config{
 		Nodes:             cfg.Nodes,
 		ReplicationFactor: 2,
 		Seed:              cfg.Seed,
 		MoveChunkKeys:     cfg.MoveChunkKeys,
-	}, nil)
+	}
+	if f != nil {
+		kcfg.LeaseDuration = f.lease()
+	}
+	cluster := kvstore.New(kcfg, nil)
+	if f != nil {
+		cluster.SetFailover(!f.DisableFailover)
+		cluster.SetCatchUpReplay(!f.DisableCatchUpReplay)
+	}
 	eng := engine.New(cluster)
 	loader := eng.Session(nil)
 	if err := loader.Exec(`CREATE TABLE chaos_rows (
@@ -116,13 +187,47 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	cluster.Rebalance() // spread the seed data before the storm
 
 	res := &ChaosResult{}
-	var inserted, deleted, reads atomic.Int64
+	var inserted, deleted, reads, retried atomic.Int64
+	// Under a fault schedule, transient errors — a dead primary inside
+	// its lease window, a fence retry budget exhausted against it — are
+	// legal write outcomes; the writers retry them against a generous
+	// deadline. An op still transient past the deadline fails the run:
+	// that is a wedge (or a lost acked write), not a blip. Reads are
+	// never retried — failover is supposed to make them succeed on the
+	// first try, and retrying would mask its absence.
+	opDeadline := 10 * time.Second
+	if f != nil {
+		opDeadline = f.opDeadline()
+	}
+	retry := func(op func() error) error {
+		var once bool
+		deadline := time.Now().Add(opDeadline)
+		for {
+			err := op()
+			if err == nil || !engine.Retryable(err) || time.Now().After(deadline) {
+				return err
+			}
+			if !once {
+				once = true
+				retried.Add(1)
+			}
+			time.Sleep(time.Millisecond) //lint:allow simsleep — wall-clock fault-window pacing; the cluster is immediate-mode
+		}
+	}
 	errs := make(chan error, cfg.Writers)
 	var wg sync.WaitGroup
+	var writersAlive atomic.Int64
+	// stormDone releases the writer fleet: each writer runs at least its
+	// OpsPerWriter and then keeps going until the storm (index build,
+	// rebalances, fault schedule) has finished, so faults always land on
+	// live traffic no matter how long the backfill took.
+	var stormDone atomic.Bool
+	writersAlive.Store(int64(cfg.Writers))
 	for g := 0; g < cfg.Writers; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
+			defer writersAlive.Add(-1)
 			s := eng.Session(nil)
 			fail := func(format string, args ...any) {
 				select {
@@ -131,12 +236,14 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 				}
 			}
 			alive := make(map[int]bool) // writer-local row ids believed live
-			for i := 0; i < cfg.OpsPerWriter; i++ {
+			for i := 0; i < cfg.OpsPerWriter || !stormDone.Load(); i++ {
 				id := fmt.Sprintf("w%02d-%05d", g, i%119)
 				switch i % 5 {
 				case 0, 1, 2: // insert a fresh row (or collide with a live one)
-					err := s.Exec(`INSERT INTO chaos_rows VALUES (?, ?, ?)`,
-						value.Str(id), value.Str(grpName(g)), value.Str(fmt.Sprintf("body-%d", i)))
+					err := retry(func() error {
+						return s.Exec(`INSERT INTO chaos_rows VALUES (?, ?, ?)`,
+							value.Str(id), value.Str(grpName(g)), value.Str(fmt.Sprintf("body-%d", i)))
+					})
 					if err == nil {
 						if alive[i%119] {
 							fail("insert of live row %s succeeded", id)
@@ -152,15 +259,19 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 					}
 				case 3: // update a live row
 					if alive[i%119] {
-						if err := s.Exec(`UPDATE chaos_rows SET body = ? WHERE id = ?`,
-							value.Str(fmt.Sprintf("upd-%d", i)), value.Str(id)); err != nil {
+						if err := retry(func() error {
+							return s.Exec(`UPDATE chaos_rows SET body = ? WHERE id = ?`,
+								value.Str(fmt.Sprintf("upd-%d", i)), value.Str(id))
+						}); err != nil {
 							fail("update %s: %v", id, err)
 							return
 						}
 					}
 				case 4: // delete a live row
 					if alive[i%119] {
-						if err := s.Exec(`DELETE FROM chaos_rows WHERE id = ?`, value.Str(id)); err != nil {
+						if err := retry(func() error {
+							return s.Exec(`DELETE FROM chaos_rows WHERE id = ?`, value.Str(id))
+						}); err != nil {
 							fail("delete %s: %v", id, err)
 							return
 						}
@@ -178,6 +289,23 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 				reads.Add(1)
 				if got, want := len(q.Rows), alive[i%119]; (got == 1) != want {
 					fail("point query %s returned %d rows, want live=%v (op %d)", id, got, want, i)
+					return
+				}
+				// Coverage read: one immutable seed row per iteration. The
+				// writers' own keys cluster at the tail of the keyspace, so
+				// read-your-writes alone can miss a dead node entirely; the
+				// seed rows span every partition, making a read land on any
+				// victim-owned range within a few iterations — the traffic
+				// that proves failover (and fails the run without it).
+				sid := fmt.Sprintf("seed-%04d", (g*53+i)%200)
+				q, err = s.Query(`SELECT id FROM chaos_rows WHERE id = ? LIMIT 1`, value.Str(sid))
+				if err != nil {
+					fail("seed read %s: %v", sid, err)
+					return
+				}
+				reads.Add(1)
+				if len(q.Rows) != 1 {
+					fail("seed row %s unreadable: got %d rows", sid, len(q.Rows))
 					return
 				}
 			}
@@ -201,7 +329,16 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 				k := casKey(g + i)
 				cur, _ := cl.Get(k) // nil = absent
 				up := []byte(fmt.Sprintf("cas-w%02d-%06d", g, i))
-				if cl.TestAndSet(k, cur, up) {
+				swapped, err := cl.TestAndSet(k, cur, up)
+				if err != nil {
+					// Transient (primary dead past the retry budget): no
+					// decision was made, so this attempt simply retries —
+					// after a pause, so the fleet does not burn its whole
+					// attempt budget inside one fault window.
+					time.Sleep(time.Millisecond) //lint:allow simsleep — wall-clock fault-window pacing; the cluster is immediate-mode
+					continue
+				}
+				if swapped {
 					casMu.Lock()
 					casAccepted = append(casAccepted, casSwap{string(k), string(cur), string(up)})
 					casMu.Unlock()
@@ -210,20 +347,120 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		}(g)
 	}
 
-	// The storm: build an index and rebalance, all while the fleet writes.
+	// The storm: build an index and rebalance, all while the fleet
+	// writes — and, under a fault schedule, crash/partition the victim
+	// node mid-storm. The kill is issued concurrently with a rebalance
+	// so it lands inside the move windows; the partition window is paced
+	// past the lease duration so a later rebalance reclaims the victim's
+	// ranges while it is unreachable.
 	stormErr := make(chan error, 1)
-	var rebalanced atomic.Int64
+	var rebalanced, kills, partitions atomic.Int64
+	// The victim choice is load-bearing. Record keys sort before
+	// index-entry keys, so the head partitions hold the table's records
+	// and the tail partitions hold index entries; under the arithmetic
+	// placement (partition p is owned by nodes p and p+1) each node is
+	// primary of partition <id> and secondary of partition <id>-1.
+	// Killing the tail node takes only index ranges offline — the
+	// fleet's record reads never route to it and failover goes
+	// unexercised. Killing a record partition's *primary* parks every
+	// writer whose TestAndSet needs it (the 60s-lease kill schedule
+	// pins ownership), choking the very traffic the outage should land
+	// on. Node 3 is the sweet spot: secondary of the record-carrying
+	// partition holding most writers' keys — so reads route to it half
+	// the time (failover is demonstrably load-bearing) and acked writes
+	// queue catch-ups on it (replay is demonstrably load-bearing) —
+	// while its own primary ranges hold only index entries, whose plain
+	// puts queue rather than park.
+	victim := 3
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		defer stormDone.Store(true)
 		s := eng.Session(nil)
 		if err := s.Exec(`CREATE INDEX chaos_grp ON chaos_rows (grp, id)`); err != nil {
 			stormErr <- err
 			return
 		}
-		for i := 0; i < cfg.Rebalances; i++ {
+		doRebalance := func() {
 			cluster.Rebalance()
 			rebalanced.Add(1)
+		}
+		used := 0
+		if f == nil {
+			for ; used < cfg.Rebalances; used++ {
+				doRebalance()
+			}
+			stormErr <- nil
+			return
+		}
+		// Fault schedule, gated on the writer fleet's read-back count so
+		// the outage window always has live traffic inside it: the fleet
+		// keeps writing until stormDone, so waiting for a delta of
+		// read-backs before the fault — and another before recovery —
+		// guarantees acked writes, failover reads, and conditional
+		// decisions inside the window. The timeout matters during an
+		// outage: once every writer is parked retrying an op whose
+		// primary is the dead victim, reads stop advancing — and the
+		// recovery this wait gates is the only thing that can unpark
+		// them.
+		waitReads := func(delta int64) {
+			target := reads.Load() + delta
+			deadline := time.Now().Add(2 * time.Second)
+			for reads.Load() < target && writersAlive.Load() > 0 && time.Now().Before(deadline) {
+				time.Sleep(100 * time.Microsecond) //lint:allow simsleep — wall-clock fleet pacing; the cluster is immediate-mode
+			}
+		}
+		doRebalance()
+		used++
+		waitReads(300)
+		if f.KillRestart {
+			// The crash is issued concurrently with a rebalance so it
+			// lands inside the move windows.
+			killDone := make(chan struct{})
+			go func() {
+				cluster.Kill(victim)
+				kills.Add(1)
+				close(killDone)
+			}()
+			doRebalance()
+			used++
+			<-killDone
+		}
+		if f.Partition {
+			keep := make([]int, 0, cfg.Nodes-1)
+			for id := 0; id < cfg.Nodes; id++ {
+				if id != victim {
+					keep = append(keep, id)
+				}
+			}
+			cluster.Partition(keep)
+			partitions.Add(1)
+			// Let the victim's leases lapse, then rebalance: the victim's
+			// ranges are reclaimed while it is still partitioned away.
+			time.Sleep(f.lease() + f.lease()/4) //lint:allow simsleep — wall-clock lease expiry; the cluster is immediate-mode
+			doRebalance()
+			used++
+		}
+		// Mid-outage rebalance: moves must survive a dead owner.
+		doRebalance()
+		used++
+		waitReads(800)
+		if f.KillRestart {
+			cluster.Restart(victim)
+		}
+		if f.Partition {
+			cluster.Heal()
+		}
+		for ; used < cfg.Rebalances; used++ {
+			doRebalance()
+		}
+		// Safety net: whatever the schedule left down comes back now, so
+		// the drain converges. The falsification knobs
+		// (DisableCatchUpReplay) still leave recovered nodes stale —
+		// that breakage is the point.
+		cluster.Heal()
+		if cluster.NodeDown(victim) {
+			cluster.Restart(victim)
 		}
 		stormErr <- nil
 	}()
@@ -357,6 +594,11 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	res.Reads = reads.Load()
 	res.Rebalances = int(rebalanced.Load())
 	res.Epoch = cluster.Epoch()
+	res.Kills = kills.Load()
+	res.Partitions = partitions.Load()
+	res.CatchUpsQueued = cluster.CatchUpsQueued()
+	res.CatchUpsReplayed = cluster.CatchUpsReplayed()
+	res.RetriedOps = retried.Load()
 	return res, nil
 }
 
@@ -369,6 +611,10 @@ func (r *ChaosResult) Print(out io.Writer) {
 	fmt.Fprintf(out, "  conditional writers: %d accepted swaps, all model-checked; %d fence retries\n",
 		r.CASAccepted, r.FenceRejects)
 	fmt.Fprintf(out, "  replicas converged (byte-identical per key); %d tombstones swept\n", r.TombsSwept)
+	if r.Kills > 0 || r.Partitions > 0 {
+		fmt.Fprintf(out, "  faults: %d kills, %d partitions; %d writes queued for dead nodes, %d replayed; %d ops retried\n",
+			r.Kills, r.Partitions, r.CatchUpsQueued, r.CatchUpsReplayed, r.RetriedOps)
+	}
 	fmt.Fprintf(out, "  final: %d records, %d index entries, routing epoch %d — clean\n\n",
 		r.Records, r.Entries, r.Epoch)
 }

@@ -45,3 +45,92 @@ func TestChaosOnlineOperations(t *testing.T) {
 	}
 	res.Print(io.Discard)
 }
+
+// faultChaosConfig sizes the run so fault injection is guaranteed to
+// land mid-traffic: the storm gates each fault on fleet progress, and
+// the fleet has several times that many operations to give.
+func faultChaosConfig() ChaosConfig {
+	cfg := DefaultChaosConfig()
+	cfg.Writers = 6
+	cfg.OpsPerWriter = 500
+	cfg.Rebalances = 8
+	cfg.CASWriters = 4
+	cfg.CASOpsPerWriter = 250
+	return cfg
+}
+
+// TestChaosSurvivesKillRestartMidRebalance crashes a node concurrently
+// with a mid-storm rebalance and restarts it two rebalances later,
+// while the writer fleet, the CAS fleet, and an index backfill hammer
+// the cluster. The lease is pinned long (60s), so ownership never moves
+// off the dead node: recovery rides entirely on read failover during
+// the outage and catch-up replay at restart. Zero acked writes may be
+// lost (read-your-writes on every op), the CAS serial model must
+// explain every accepted swap, and all replicas must converge
+// byte-for-byte after recovery. The falsification subtests prove both
+// mechanisms are load-bearing: disabling either one must break the
+// same run.
+func TestChaosSurvivesKillRestartMidRebalance(t *testing.T) {
+	cfg := faultChaosConfig()
+	cfg.Faults = &FaultSchedule{KillRestart: true, LeaseMs: 60_000}
+	res, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kills != 1 {
+		t.Fatalf("kills = %d, want 1", res.Kills)
+	}
+	if res.CatchUpsQueued == 0 {
+		t.Fatal("no writes were queued for the dead node — the outage saw no traffic")
+	}
+	if res.CatchUpsReplayed == 0 {
+		t.Fatal("no catch-ups replayed at restart — recovery was never exercised")
+	}
+	res.Print(io.Discard)
+
+	t.Run("FailsWithoutCatchUpReplay", func(t *testing.T) {
+		cfg := faultChaosConfig()
+		cfg.Faults = &FaultSchedule{KillRestart: true, LeaseMs: 60_000, DisableCatchUpReplay: true}
+		if _, err := RunChaos(cfg); err == nil {
+			t.Fatal("run passed with catch-up replay disabled: the survival test does not actually depend on replay")
+		}
+	})
+	t.Run("FailsWithoutFailover", func(t *testing.T) {
+		cfg := faultChaosConfig()
+		cfg.Faults = &FaultSchedule{KillRestart: true, LeaseMs: 60_000, DisableFailover: true}
+		if _, err := RunChaos(cfg); err == nil {
+			t.Fatal("run passed with read failover disabled: the survival test does not actually depend on failover")
+		}
+	})
+}
+
+// TestChaosSurvivesPartitionedReplica partitions a node away mid-storm
+// with a short (40ms) lease and paces the storm past the expiry, so a
+// rebalance reclaims the victim's ranges while it is unreachable; the
+// heal then rejoins a node whose queued catch-ups partly target ranges
+// it no longer owns. Same integrity bar as the kill test: no lost
+// acked writes, a serially-consistent CAS history, byte-identical
+// replicas after heal.
+func TestChaosSurvivesPartitionedReplica(t *testing.T) {
+	cfg := faultChaosConfig()
+	cfg.Faults = &FaultSchedule{Partition: true, LeaseMs: 40}
+	res, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partitions != 1 {
+		t.Fatalf("partitions = %d, want 1", res.Partitions)
+	}
+	if res.CatchUpsQueued == 0 {
+		t.Fatal("no writes were queued for the partitioned node — the window saw no traffic")
+	}
+	res.Print(io.Discard)
+
+	t.Run("FailsWithoutFailover", func(t *testing.T) {
+		cfg := faultChaosConfig()
+		cfg.Faults = &FaultSchedule{Partition: true, LeaseMs: 40, DisableFailover: true}
+		if _, err := RunChaos(cfg); err == nil {
+			t.Fatal("run passed with read failover disabled: the survival test does not actually depend on failover")
+		}
+	})
+}

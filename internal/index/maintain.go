@@ -184,12 +184,20 @@ func (m *Maintainer) Insert(cl *kvstore.Client, t *schema.Table, row value.Row) 
 	// (2) Insert the record if absent (uniqueness via test-and-set).
 	// TestAndSet is linearizable across rebalances: the store absorbs
 	// epoch-fencing retries internally (a fenced decision was never made,
-	// so re-running the test is safe), which means a false return here is
-	// always a genuine duplicate — decided by the one authoritative
-	// primary — never a routing artifact. Duplicate-key detection and the
-	// rollback below rely on that exactness.
+	// so re-running the test is safe), which means a false, error-free
+	// return here is always a genuine duplicate — decided by the one
+	// authoritative primary — never a routing artifact. Duplicate-key
+	// detection and the rollback below rely on that exactness. An error
+	// (retry budget exhausted against a dead primary) means no decision
+	// was made: surface it without the duplicate rollback — the entries
+	// written in (1) stay behind as benign dangling entries that index
+	// GC collects, the same class a crash between (1) and (2) leaves.
 	rkey := RecordKey(t, row)
-	if !cl.TestAndSet(rkey, nil, rec) {
+	swapped, tasErr := cl.TestAndSet(rkey, nil, rec)
+	if tasErr != nil {
+		return fmt.Errorf("index: insert %s: %w", t.Name, tasErr)
+	}
+	if !swapped {
 		// Roll back the entries we just wrote. While the colliding row
 		// still exists its entries may be shared with ours, so only
 		// delete ones the stored row does not also produce. If it was

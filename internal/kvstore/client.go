@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"runtime"
 	"slices"
@@ -40,6 +41,18 @@ type Client struct {
 	fenceRetries int64 // conditional ops retried after an epoch-fencing reject
 	parent       *Client
 
+	// readQuorum > 1 makes plain Get (and MultiGet) read through
+	// GetQuorum with that R — staleness-bounded reads, threaded from
+	// piql.Config.ReadQuorum.
+	readQuorum int
+
+	// lastErr is the first degraded-operation error recorded since the
+	// last TakeErr — the sticky-error channel that lets the unchanged
+	// Get/Put/... signatures surface *ErrNodeDown and friends to the
+	// engine at operation boundaries. Recorded on the chain's root
+	// client (see noteErr); single-goroutine like the rest of Client.
+	lastErr error
+
 	// Scratch reused across operations to keep the per-request hot path
 	// allocation-lean. Safe because a Client is single-goroutine and the
 	// scratch is only read (never written) while Parallel children run.
@@ -47,7 +60,6 @@ type Client struct {
 	ids    []int         // multiGet: deterministic node order
 	order  []int         // multiGet: key indexes sorted for deduplication
 	dups   []int         // multiGet: flattened (dup, first) index pairs
-	repl   []int         // replica routing (replicaNodesInto), reused every op
 	subs   []*Client     // fanOut goroutine children, reused across calls
 }
 
@@ -60,6 +72,39 @@ func (c *Cluster) NewClient(proc *sim.Proc) *Client {
 		rng:  rand.New(rand.NewSource(c.cfg.Seed ^ seq*0x5DEECE66D)),
 		id:   seq,
 	}
+}
+
+// SetReadQuorum makes this client's Get and MultiGet read R replicas
+// per key through GetQuorum (newest version wins, stale replicas are
+// read-repaired). r <= 1 restores plain single-replica reads.
+func (cl *Client) SetReadQuorum(r int) { cl.readQuorum = r }
+
+// noteErr records a degraded-operation error on this chain's root
+// client. The first error wins (it is usually the root cause); TakeErr
+// clears it. Recording on the root lets Parallel children surface
+// through their parent; fanOut goroutine children are detached and
+// merged after the join instead.
+func (cl *Client) noteErr(err error) {
+	r := cl
+	for r.parent != nil {
+		r = r.parent
+	}
+	if r.lastErr == nil {
+		r.lastErr = err
+	}
+}
+
+// TakeErr returns and clears the first degraded-operation error
+// recorded since the last call. Read and write methods keep their
+// plain signatures — a failed read returns absence, a write to a dead
+// replica queues a catch-up — and anything that actually degraded the
+// result (no reachable replica, quorum short, retry budget exhausted)
+// lands here as a typed, errors.Is/As-able error. Callers that care
+// (the engine's executor) drain it at operation boundaries.
+func (cl *Client) TakeErr() error {
+	e := cl.lastErr
+	cl.lastErr = nil
+	return e
 }
 
 // Ops returns the number of storage operations issued through this client
@@ -124,25 +169,165 @@ func (cl *Client) visit(id int, items, payloadBytes int) {
 	cl.proc.Sleep(rtt - rtt/2)
 }
 
-// readReplica picks a replica node for partition p. Reads are spread
-// uniformly across replicas. Computed arithmetically (replica r of
-// partition p is node (p+r) mod n) so the read path never allocates the
-// replica list.
-func (cl *Client) readReplica(p int) int {
-	return (p + cl.rng.Intn(cl.c.cfg.ReplicationFactor)) % len(cl.c.nodes)
+// readRetryAttempts bounds how many backoff rounds a read spends
+// waiting for any replica of its partition to become reachable before
+// giving up with a typed error.
+const readRetryAttempts = 3
+
+// pickReplica picks the serving replica for partition p: a uniform
+// choice over the partition's owners, failing over to the next live
+// owner when the chosen one is unreachable. When every owner is
+// unreachable it retries with backoff a bounded number of times (a
+// restart may be in flight) before giving up with -1. With failover
+// disabled (Cluster.SetFailover(false), the chaos falsification knob)
+// the uniform choice is final: an unreachable pick is an immediate -1.
+func (cl *Client) pickReplica(rt *routing, p int) int {
+	owners := rt.owners[p]
+	for attempt := 0; ; attempt++ {
+		r := cl.rng.Intn(len(owners))
+		if id := owners[r]; cl.c.reachable(id) {
+			return id
+		}
+		if !cl.c.failover() {
+			return -1
+		}
+		for i := 1; i < len(owners); i++ {
+			if id := owners[(r+i)%len(owners)]; cl.c.reachable(id) {
+				return id
+			}
+		}
+		if attempt >= readRetryAttempts {
+			return -1
+		}
+		cl.backoff(attempt)
+	}
+}
+
+// backoff yields between retries: a virtual-time sleep in simulated
+// mode (cooperative processes must never spin), a scheduler yield in
+// immediate mode (wall-clock sleeps are forbidden in sim-linked
+// packages, and a restart is typically a few scheduler quanta away —
+// callers that need to outwait a real outage retry at their own level).
+func (cl *Client) backoff(attempt int) {
+	if cl.proc != nil {
+		cl.proc.Sleep(time.Duration(attempt+1) * time.Millisecond)
+		return
+	}
+	runtime.Gosched()
 }
 
 // Get returns the value under key, or (nil, false). The read goes to
-// one replica chosen uniformly; a deleted key (versioned tombstone)
-// reads as absent.
+// one replica chosen uniformly, failing over to a live replica when the
+// chosen one is down; a deleted key (versioned tombstone) reads as
+// absent. When no replica is reachable the read degrades to absence and
+// records a *ErrNodeDown for TakeErr. With a read quorum configured
+// (SetReadQuorum) the read goes through GetQuorum instead.
 func (cl *Client) Get(key []byte) ([]byte, bool) {
+	if cl.readQuorum > 1 {
+		v, ok, err := cl.GetQuorum(key, cl.readQuorum)
+		if err != nil {
+			cl.noteErr(err)
+		}
+		return v, ok
+	}
 	rt := cl.c.beginOp()
+	defer cl.c.endOp(rt)
 	p := rt.partitionOf(key)
-	id := cl.readReplica(p)
+	id := cl.pickReplica(rt, p)
+	if id < 0 {
+		cl.noteErr(cl.c.downErr(rt.owners[p]))
+		return nil, false
+	}
 	v, ok := cl.c.nodes[id].get(key)
 	cl.visit(id, 1, len(v))
-	cl.c.endOp(rt)
 	return v, ok
+}
+
+// GetQuorum reads key from r distinct replicas, returns the value with
+// the newest version among them, and read-repairs any replica observed
+// stale (in the background in simulated mode). In this store an
+// acknowledged write reaches every reachable owner synchronously, so at
+// most the currently-unreachable (or recently recovered, not yet
+// caught-up) replicas can be stale: while at most r-1 replicas are in
+// that state, a quorum read never returns a value older than the last
+// acknowledged write — the R/N staleness bound (R=1 is a plain
+// uniform read and carries no bound). Returns *ErrNodeDown when fewer
+// than r owners are reachable; the read made no decision and may be
+// retried.
+func (cl *Client) GetQuorum(key []byte, r int) ([]byte, bool, error) {
+	rt := cl.c.beginOp()
+	defer cl.c.endOp(rt)
+	p := rt.partitionOf(key)
+	owners := rt.owners[p]
+	if r < 1 {
+		r = 1
+	}
+	if r > len(owners) {
+		r = len(owners)
+	}
+	// Gather r reachable owners starting from a uniform offset, so
+	// quorum reads spread load across replicas like plain reads do.
+	picked := make([]int, 0, r)
+	off := cl.rng.Intn(len(owners))
+	for i := 0; i < len(owners) && len(picked) < r; i++ {
+		if id := owners[(off+i)%len(owners)]; cl.c.reachable(id) {
+			picked = append(picked, id)
+		}
+	}
+	if len(picked) < r {
+		return nil, false, cl.c.downErr(owners)
+	}
+	var best []byte
+	stale := false
+	missing := 0
+	for _, id := range picked {
+		env, ok := cl.c.nodes[id].getRaw(key)
+		cl.visit(id, 1, len(env))
+		if !ok {
+			missing++
+			continue
+		}
+		if best == nil {
+			best = env
+			continue
+		}
+		if envVersion(env).After(envVersion(best)) {
+			best = env
+			stale = true
+		} else if envVersion(best).After(envVersion(env)) {
+			stale = true
+		}
+	}
+	if best != nil && (stale || missing > 0 || len(picked) < len(owners)) {
+		cl.repairReplicas(owners, key, best)
+	}
+	if best == nil || envIsTombstone(best) {
+		return nil, false, nil
+	}
+	return envValue(best), true, nil
+}
+
+// repairReplicas converges every reachable owner onto the winning
+// envelope — inline in immediate mode, as a background process in
+// simulated mode (the quorum read's latency should not include the
+// repair round).
+func (cl *Client) repairReplicas(owners []int, key, env []byte) {
+	if cl.proc != nil {
+		c := cl.c
+		cl.proc.Env().Spawn(func(*sim.Proc) {
+			for _, id := range owners {
+				if c.reachable(id) {
+					c.nodes[id].applyIfNewer(key, env)
+				}
+			}
+		})
+		return
+	}
+	for _, id := range owners {
+		if cl.c.reachable(id) {
+			cl.c.nodes[id].applyIfNewer(key, env)
+		}
+	}
 }
 
 // GetVersionedPrimary is Get plus the stored version, routed to the
@@ -156,37 +341,58 @@ func (cl *Client) Get(key []byte) ([]byte, bool) {
 // violation.
 func (cl *Client) GetVersionedPrimary(key []byte) ([]byte, Version, bool) {
 	rt := cl.c.beginOp()
+	defer cl.c.endOp(rt)
 	p := rt.partitionOf(key)
-	id := cl.c.primaryNode(p)
+	id := rt.owners[p][0]
+	if !cl.c.reachable(id) {
+		cl.noteErr(cl.c.downErr(rt.owners[p]))
+		return nil, Version{}, false
+	}
 	v, ver, ok := cl.c.nodes[id].getVersioned(key)
 	cl.visit(id, 1, len(v))
-	cl.c.endOp(rt)
 	return v, ver, ok
 }
 
-// ReadRepair reads every replica of key, converges any replica observed
-// stale onto the newest version (applying the winning envelope with
-// put-if-newer), and returns the winner's value. It is the on-demand
-// repair path for read-heavy keys under async replication: a caller
-// that just observed a stale or flip-flopping read can force the
-// replicas together without waiting for the replication lag to drain.
+// ReadRepair reads every reachable replica of key, converges any
+// replica observed stale onto the newest version (applying the winning
+// envelope with put-if-newer), and returns the winner's value. It is
+// the on-demand repair path for read-heavy keys under async
+// replication: a caller that just observed a stale or flip-flopping
+// read can force the replicas together without waiting for the
+// replication lag to drain. Unreachable replicas are skipped — the
+// read still succeeds from the live ones, and the skipped replicas are
+// brought back together by catch-up replay when they rejoin (or by a
+// later ReadRepair once they have). Only when no replica at all is
+// reachable does the read fail, recording a *ErrNodeDown for TakeErr.
 func (cl *Client) ReadRepair(key []byte) ([]byte, bool) {
 	rt := cl.c.beginOp()
 	defer cl.c.endOp(rt)
 	p := rt.partitionOf(key)
-	cl.repl = cl.c.replicaNodesInto(cl.repl[:0], p)
+	owners := rt.owners[p]
 	var best []byte
-	for _, id := range cl.repl {
+	read := 0
+	for _, id := range owners {
+		if !cl.c.reachable(id) {
+			continue
+		}
 		env, ok := cl.c.nodes[id].getRaw(key)
 		cl.visit(id, 1, len(env))
+		read++
 		if ok && (best == nil || envVersion(env).After(envVersion(best))) {
 			best = env
 		}
 	}
+	if read == 0 {
+		cl.noteErr(cl.c.downErr(owners))
+		return nil, false
+	}
 	if best == nil {
 		return nil, false
 	}
-	for _, id := range cl.repl {
+	for _, id := range owners {
+		if !cl.c.reachable(id) {
+			continue
+		}
 		if cl.c.nodes[id].applyIfNewer(key, best) {
 			cl.visit(id, 1, len(best))
 		}
@@ -217,11 +423,31 @@ func (cl *Client) multiGet(keys [][]byte, parallel bool) [][]byte {
 	if len(keys) == 0 {
 		return out
 	}
+	if cl.readQuorum > 1 {
+		// Quorum mode trades the per-node batching for the staleness
+		// bound: each key is a quorum read (R visits).
+		for i, k := range keys {
+			v, ok, err := cl.GetQuorum(k, cl.readQuorum)
+			if err != nil {
+				cl.noteErr(err)
+				continue
+			}
+			if ok {
+				out[i] = v
+			}
+		}
+		return out
+	}
 	rt := cl.c.beginOp()
 	defer cl.c.endOp(rt)
 	if len(keys) == 1 {
 		// Point-lookup fast path: no grouping or dedup scratch.
-		id := cl.readReplica(rt.partitionOf(keys[0]))
+		p := rt.partitionOf(keys[0])
+		id := cl.pickReplica(rt, p)
+		if id < 0 {
+			cl.noteErr(cl.c.downErr(rt.owners[p]))
+			return out
+		}
 		v, ok := cl.c.nodes[id].get(keys[0])
 		payload := 0
 		if ok {
@@ -252,7 +478,12 @@ func (cl *Client) multiGet(keys [][]byte, parallel bool) [][]byte {
 		for j++; j < len(cl.order) && bytes.Equal(keys[cl.order[j]], keys[rep]); j++ {
 			cl.dups = append(cl.dups, cl.order[j], rep)
 		}
-		id := cl.readReplica(rt.partitionOf(keys[rep]))
+		p := rt.partitionOf(keys[rep])
+		id := cl.pickReplica(rt, p)
+		if id < 0 {
+			cl.noteErr(cl.c.downErr(rt.owners[p]))
+			continue // out entry stays nil for this key (and its dups)
+		}
 		cl.byNode[id] = append(cl.byNode[id], rep)
 	}
 	fetch := func(sub *Client, id int, idxs []int) {
@@ -294,10 +525,13 @@ func (cl *Client) multiGet(keys [][]byte, parallel bool) [][]byte {
 
 // Put stores value under key on every replica (parallel in simulated
 // mode, or primary-then-async under AsyncReplication). The write is
-// stamped from the cluster HLC, so racing Puts/Deletes from any number
-// of clients converge every replica to the same winner.
+// stamped from the key's primary clock, so racing Puts/Deletes from
+// any number of clients converge every replica to the same winner.
+// Writes never fail: a replica that is down gets the envelope queued
+// as a versioned catch-up and replays it on rejoin, so an acknowledged
+// write survives the outage.
 func (cl *Client) Put(key, value []byte) {
-	cl.writeStamped(key, value, false, cl.StampVersion())
+	cl.writeStamped(key, value, false, nil)
 }
 
 // Delete removes key from every replica by writing a versioned
@@ -305,14 +539,18 @@ func (cl *Client) Put(key, value []byte) {
 // racing an older Put wins on every replica regardless of arrival
 // order.
 func (cl *Client) Delete(key []byte) {
-	cl.writeStamped(key, nil, true, cl.StampVersion())
+	cl.writeStamped(key, nil, true, nil)
 }
 
-// StampVersion draws a fresh write version: a cluster-HLC timestamp
-// with this client as the tiebreaker. Every stamp is newer than all
-// previously drawn stamps.
+// StampVersion draws a snapshot-barrier version: a timestamp strictly
+// newer than every stamp any node has issued, which every node then
+// observes — so every write that *starts* after this returns is
+// stamped strictly newer. The index backfill uses it as its snapshot
+// stamp (draw, drain in-flight writers, scan, replay at the stamp);
+// per-write stamping goes through the key's primary clock instead
+// (see writeStamped) and does not pay the all-nodes round.
 func (cl *Client) StampVersion() Version {
-	return Version{TS: cl.c.hlc.Next(), Client: cl.id}
+	return Version{TS: cl.c.barrierStamp(), Client: cl.id}
 }
 
 // PutStamped stores value under key at a caller-chosen version instead
@@ -322,34 +560,74 @@ func (cl *Client) StampVersion() Version {
 // version, and any live write that raced it — including a delete —
 // outranks the replay on every replica.
 func (cl *Client) PutStamped(key, value []byte, ver Version) {
-	cl.writeStamped(key, value, false, ver)
+	cl.writeStamped(key, value, false, &ver)
 }
 
-// writeStamped routes one versioned put/delete. The envelope is built
-// once and applied with put-if-newer on every target — current
-// replicas, lagged replicas, and the destinations of any in-flight move
-// covering the key — and the operation retries if the routing table
-// changed while it ran, so a concurrent rebalance can never strand it
-// on a node that is no longer the key's owner. Re-application is
-// naturally idempotent: the same envelope applied twice is a no-op.
-func (cl *Client) writeStamped(key, val []byte, del bool, ver Version) {
-	env := makeEnvelope(ver, del, val)
-	for {
+// writeRetryBudget bounds the routing-revalidation loop in
+// writeStamped: the write re-applies itself only while rebalances keep
+// flipping the table mid-operation, so the budget is only ever
+// approached under a pathological rebalance storm — at which point the
+// write (already applied under some table) stops retrying and records
+// a *ErrFenceExhausted for TakeErr instead of spinning forever.
+const writeRetryBudget = 64
+
+// writeStamped routes one versioned put/delete. Unpinned writes (pin ==
+// nil) are stamped from the key's primary clock — the node that orders
+// the key's writes; observe-on-apply keeps the order intact across
+// fail-overs — falling back to a cluster barrier stamp when the whole
+// replica set is unreachable. The envelope is built once and applied
+// with put-if-newer on every target — current replicas, lagged
+// replicas, and the destinations of any in-flight move covering the
+// key — and the operation retries (bounded by writeRetryBudget) if the
+// routing table changed while it ran, so a concurrent rebalance can
+// never strand it on a node that is no longer the key's owner.
+// Re-application is naturally idempotent: the same envelope applied
+// twice is a no-op.
+func (cl *Client) writeStamped(key, val []byte, del bool, pin *Version) {
+	var env []byte
+	for attempt := 0; ; attempt++ {
 		rt := cl.c.beginOp()
+		if env == nil {
+			ver := Version{Client: cl.id}
+			if pin != nil {
+				ver = *pin
+			} else {
+				ver.TS = cl.stampOn(rt, key)
+			}
+			env = makeEnvelope(ver, del, val)
+		}
 		cl.writeUnder(rt, key, env)
 		settled := cl.c.routing.Load() == rt
 		cl.c.endOp(rt)
 		if settled {
 			return
 		}
+		if attempt >= writeRetryBudget {
+			cl.noteErr(&ErrFenceExhausted{Op: "write", Attempts: attempt + 1, Last: ErrTransient})
+			return
+		}
 	}
 }
 
-// writeUnder applies one envelope under a specific routing table.
+// stampOn draws a write timestamp from the key's primary clock (first
+// reachable owner) under rt, or from a cluster-wide barrier when the
+// whole replica set is unreachable.
+func (cl *Client) stampOn(rt *routing, key []byte) int64 {
+	for _, id := range rt.owners[rt.partitionOf(key)] {
+		if cl.c.reachable(id) {
+			return cl.c.nodes[id].hlc.Next()
+		}
+	}
+	return cl.c.barrierStamp()
+}
+
+// writeUnder applies one envelope under a specific routing table. Down
+// targets get the envelope queued for catch-up replay instead of
+// applied (applyOrQueue); the visit is paid either way — the attempt
+// is part of the operation's cost.
 func (cl *Client) writeUnder(rt *routing, key, env []byte) {
 	p := rt.partitionOf(key)
-	cl.repl = cl.c.replicaNodesInto(cl.repl[:0], p)
-	ids := cl.repl
+	ids := rt.owners[p]
 	mv := coveringMove(rt, key)
 	if cl.c.cfg.AsyncReplication && cl.proc != nil && len(ids) > 1 {
 		// Synchronous primary write; replicas catch up after ReplicaLag.
@@ -357,24 +635,28 @@ func (cl *Client) writeUnder(rt *routing, key, env []byte) {
 		// catch-ups of racing writers interleave, every replica keeps the
 		// newest version — the divergence the unversioned store allowed.
 		primary := ids[0]
-		cl.c.nodes[primary].applyIfNewer(key, env)
+		cl.c.applyOrQueue(primary, key, env)
 		cl.visit(primary, 1, len(key))
 		lag := cl.c.cfg.ReplicaLag
 		rest := append([]int(nil), ids[1:]...) // outlives this op's scratch
 		cl.proc.Env().Spawn(func(p *sim.Proc) {
 			p.Sleep(lag)
-			// Revalidate ownership under a claimed routing table at fire
-			// time: the cluster may have rebalanced during the lag, and a
-			// catch-up landing on a node that lost the range would
-			// resurrect the key there after cleanup purged it (the copy
-			// already carried this write from the old primary to the new
-			// owners). The claim also serializes the catch-up against
-			// cleanup — Rebalance drains claim holders before purging.
+			// Revalidate ownership *and* liveness under a claimed routing
+			// table at fire time: the cluster may have rebalanced during
+			// the lag — a catch-up landing on a node that lost the range
+			// would resurrect the key there after cleanup purged it — and
+			// the target may have been killed meanwhile, in which case
+			// the envelope must queue for its rejoin replay rather than
+			// being applied to a crashed node (applyOrQueue decides). The
+			// claim also serializes the catch-up against cleanup —
+			// Rebalance drains claim holders before purging.
 			crt := cl.c.beginOp()
 			cp := crt.partitionOf(key)
 			for _, id := range rest {
-				if cl.c.isReplica(cp, id) {
-					cl.c.nodes[id].applyIfNewer(key, env)
+				if crt.isOwner(cp, id) {
+					cl.c.applyOrQueue(id, key, env)
+				} else {
+					cl.c.cuDropped.Add(1)
 				}
 			}
 			cl.c.endOp(crt)
@@ -386,7 +668,7 @@ func (cl *Client) writeUnder(rt *routing, key, env []byte) {
 	}
 	if cl.proc == nil || len(ids) == 1 {
 		for _, id := range ids {
-			cl.c.nodes[id].applyIfNewer(key, env)
+			cl.c.applyOrQueue(id, key, env)
 			cl.visit(id, 1, len(key))
 		}
 	} else {
@@ -394,7 +676,7 @@ func (cl *Client) writeUnder(rt *routing, key, env []byte) {
 		for _, id := range ids {
 			id := id
 			fns = append(fns, func(sub *Client) {
-				cl.c.nodes[id].applyIfNewer(key, env)
+				cl.c.applyOrQueue(id, key, env)
 				sub.visit(id, 1, len(key))
 			})
 		}
@@ -438,7 +720,7 @@ func (cl *Client) doubleApply(mv *move, key, env []byte, written []int) {
 		if slices.Contains(written, id) {
 			continue
 		}
-		cl.c.nodes[id].applyIfNewer(key, env)
+		cl.c.applyOrQueue(id, key, env)
 		cl.visit(id, 1, len(env))
 	}
 }
@@ -467,13 +749,34 @@ func (cl *Client) doubleApply(mv *move, key, env []byte, written []int) {
 // itself is not re-run — it already decided, and fencing guarantees no
 // other node decided meanwhile). A genuine rejection under an unchanged
 // table is final.
-func (cl *Client) TestAndSet(key, expect, update []byte) bool {
-	for {
+//
+// The retry loop is bounded by Config.FenceRetryBudget: when the
+// primary is unreachable (crashed mid-lease) or keeps fencing, the
+// operation backs off and retries until the budget runs out, then
+// returns *ErrFenceExhausted. No decision was made in that case — the
+// caller may retry the whole operation once the lease expires and
+// Rebalance reclaims the range (or the primary restarts). A (false,
+// nil) return is always a genuine test failure, never an availability
+// artifact — the exactness the index maintainer's duplicate detection
+// depends on.
+func (cl *Client) TestAndSet(key, expect, update []byte) (bool, error) {
+	budget := cl.c.cfg.FenceRetryBudget
+	var last error
+	for attempt := 0; attempt < budget; attempt++ {
 		rt := cl.c.beginOp()
 		p := rt.partitionOf(key)
-		cl.repl = cl.c.replicaNodesInto(cl.repl[:0], p)
-		ids := cl.repl
+		ids := rt.owners[p]
 		primary := ids[0]
+		if !cl.c.reachable(primary) {
+			// Dead primary whose lease has not yet expired (Rebalance
+			// would have reclaimed the range otherwise): no other node
+			// may decide, so back off and retry — a restart or the
+			// post-expiry reclaim unwedges the key.
+			last = cl.c.downErr(ids[:1])
+			cl.c.endOp(rt)
+			cl.backoff(attempt)
+			continue
+		}
 		mv := coveringMove(rt, key)
 		var env []byte // the accepted swap's stamped envelope
 		var ok bool
@@ -486,8 +789,9 @@ func (cl *Client) TestAndSet(key, expect, update []byte) bool {
 				// was drawn after the decision read the current value, so
 				// put-if-newer can never let an older plain Put — whenever
 				// it arrives — clobber the accepted swap on any replica.
+				// A down replica gets it queued for rejoin replay.
 				for _, id := range ids[1:] {
-					cl.c.nodes[id].applyIfNewer(key, env)
+					cl.c.applyOrQueue(id, key, env)
 					cl.visit(id, 1, len(update))
 				}
 			}
@@ -501,11 +805,11 @@ func (cl *Client) TestAndSet(key, expect, update []byte) bool {
 				// half-propagated decision. (The range copy itself needs
 				// no coordination — its older envelopes lose to this one.)
 				for _, id := range ids[1:] {
-					cl.c.nodes[id].applyIfNewer(key, env)
+					cl.c.applyOrQueue(id, key, env)
 				}
 				for _, id := range mv.dst {
 					if !slices.Contains(ids, id) {
-						cl.c.nodes[id].applyIfNewer(key, env)
+						cl.c.applyOrQueue(id, key, env)
 					}
 				}
 			}
@@ -519,14 +823,18 @@ func (cl *Client) TestAndSet(key, expect, update []byte) bool {
 			}
 		}
 		if err != nil {
-			// Fenced: the claimed table is stale for this range. Account
-			// the reject and retry under a fresh table — the publish that
-			// moved ownership lands at most a few instructions after the
-			// fence install.
-			cl.c.fenced.Add(1)
-			cl.fenceRetries++
+			// Fenced (stale claim) or the primary died mid-contact.
+			// Account the reject and retry under a fresh table — the
+			// publish that moved ownership lands at most a few
+			// instructions after the fence install.
+			var fencedErr *ErrFenced
+			if errors.As(err, &fencedErr) {
+				cl.c.fenced.Add(1)
+				cl.fenceRetries++
+			}
+			last = err
 			cl.c.endOp(rt)
-			runtime.Gosched()
+			cl.backoff(attempt)
 			continue
 		}
 		cl.c.endOp(rt)
@@ -539,8 +847,9 @@ func (cl *Client) TestAndSet(key, expect, update []byte) bool {
 		// would in fact break linearizability: a swap accepted by the new
 		// primary in the meantime would be clobbered by this operation's
 		// older value. The decision — either way — is final.
-		return ok
+		return ok, nil
 	}
+	return false, &ErrFenceExhausted{Op: "testandset", Attempts: budget, Last: last}
 }
 
 // FenceRetries returns how many times this client's conditional
@@ -557,10 +866,12 @@ type RangeRequest struct {
 }
 
 // GetRange reads a contiguous key range in order, walking partitions as
-// needed. Each partition visited costs one storage operation.
+// needed. Each partition visited costs one storage operation. A
+// partition whose replicas are all unreachable is skipped (degraded
+// result) and a *ErrNodeDown is recorded for TakeErr.
 func (cl *Client) GetRange(req RangeRequest) []KV {
 	rt := cl.c.beginOp()
-	out := cl.getRangeOn(rt, req, cl.readReplica)
+	out := cl.getRangeOn(rt, req, func(p int) int { return cl.pickReplica(rt, p) })
 	cl.c.endOp(rt)
 	return out
 }
@@ -574,17 +885,23 @@ func (cl *Client) GetRange(req RangeRequest) []KV {
 // that makes Rebalance collect from primaries).
 func (cl *Client) GetRangePrimary(req RangeRequest) []KV {
 	rt := cl.c.beginOp()
-	out := cl.getRangeOn(rt, req, cl.c.primaryNode)
+	out := cl.getRangeOn(rt, req, func(p int) int {
+		if id := rt.owners[p][0]; cl.c.reachable(id) {
+			return id
+		}
+		return -1
+	})
 	cl.c.endOp(rt)
 	return out
 }
 
 func (cl *Client) getRange(rt *routing, req RangeRequest) []KV {
-	return cl.getRangeOn(rt, req, cl.readReplica)
+	return cl.getRangeOn(rt, req, func(p int) int { return cl.pickReplica(rt, p) })
 }
 
 // getRangeOn walks the partitions intersecting req sequentially, with
-// pick choosing the serving node per partition.
+// pick choosing the serving node per partition (-1 = no node can serve
+// the partition; it is skipped and the degradation recorded).
 func (cl *Client) getRangeOn(rt *routing, req RangeRequest, pick func(p int) int) []KV {
 	nParts := rt.parts()
 	var out []KV
@@ -592,6 +909,10 @@ func (cl *Client) getRangeOn(rt *routing, req RangeRequest, pick func(p int) int
 
 	visitPartition := func(p int) bool { // returns false when done
 		id := pick(p)
+		if id < 0 {
+			cl.noteErr(cl.c.downErr(rt.owners[p]))
+			return true
+		}
 		lim := 0
 		if req.Limit > 0 {
 			lim = remaining
@@ -670,11 +991,18 @@ func (cl *Client) GetRangeScatter(req RangeRequest) []KV {
 	parts := make([][]KV, hi-lo+1)
 	ids := make([]int, hi-lo+1)
 	for p := lo; p <= hi; p++ {
-		ids[p-lo] = cl.readReplica(p) // parent RNG: deterministic draw order
+		ids[p-lo] = cl.pickReplica(rt, p) // parent RNG: deterministic draw order
+		if ids[p-lo] < 0 {
+			cl.noteErr(cl.c.downErr(rt.owners[p]))
+		}
 	}
 	fns := make([]func(*Client), hi-lo+1)
 	for p := lo; p <= hi; p++ {
 		p := p
+		if ids[p-lo] < 0 {
+			fns[p-lo] = func(*Client) {} // unreachable partition: degraded result
+			continue
+		}
 		fns[p-lo] = func(sub *Client) {
 			kvs := cl.c.nodes[ids[p-lo]].scan(boundedStart(rt, p, req.Start), boundedEnd(rt, p, req.End), req.Limit, req.Reverse)
 			payload := 0
@@ -720,7 +1048,12 @@ func (cl *Client) CountRange(start, end []byte) int {
 	total := 0
 	if cl.proc == nil || lo == hi {
 		for p := lo; p <= hi; p++ {
-			total += countPartition(cl, p, cl.readReplica(p))
+			id := cl.pickReplica(rt, p)
+			if id < 0 {
+				cl.noteErr(cl.c.downErr(rt.owners[p]))
+				continue
+			}
+			total += countPartition(cl, p, id)
 		}
 		return total
 	}
@@ -728,7 +1061,12 @@ func (cl *Client) CountRange(start, end []byte) int {
 	fns := make([]func(*Client), hi-lo+1)
 	for p := lo; p <= hi; p++ {
 		p := p
-		id := cl.readReplica(p)
+		id := cl.pickReplica(rt, p)
+		if id < 0 {
+			cl.noteErr(cl.c.downErr(rt.owners[p]))
+			fns[p-lo] = func(*Client) {}
+			continue
+		}
 		fns[p-lo] = func(sub *Client) { counts[p-lo] = countPartition(sub, p, id) }
 	}
 	cl.Parallel(fns...)
@@ -784,6 +1122,7 @@ func (cl *Client) fanOut(fns ...func(sub *Client)) {
 	for i, fn := range fns {
 		sub := cl.subs[i]
 		sub.ops = 0
+		sub.lastErr = nil
 		wg.Add(1)
 		go func(sub *Client, fn func(*Client)) {
 			defer wg.Done()
@@ -794,6 +1133,10 @@ func (cl *Client) fanOut(fns ...func(sub *Client)) {
 	for _, sub := range cl.subs[:len(fns)] {
 		for p := cl; p != nil; p = p.parent {
 			p.ops += sub.ops
+		}
+		if sub.lastErr != nil {
+			cl.noteErr(sub.lastErr)
+			sub.lastErr = nil
 		}
 	}
 }
@@ -820,11 +1163,12 @@ func (cl *Client) Parallel(fns ...func(sub *Client)) {
 // but op counts rolled up into the parent.
 func (cl *Client) child(proc *sim.Proc) *Client {
 	return &Client{
-		c:      cl.c,
-		proc:   proc,
-		rng:    rand.New(rand.NewSource(cl.rng.Int63())),
-		id:     cl.id,
-		parent: cl,
+		c:          cl.c,
+		proc:       proc,
+		rng:        rand.New(rand.NewSource(cl.rng.Int63())),
+		id:         cl.id,
+		parent:     cl,
+		readQuorum: cl.readQuorum,
 	}
 }
 

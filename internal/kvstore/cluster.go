@@ -16,6 +16,7 @@ import (
 	"bytes"
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -51,6 +52,19 @@ type Config struct {
 	// write older than the delete that is still undelivered could
 	// resurrect the key. 0 means DefaultTombstoneGCAge.
 	TombstoneGCAge time.Duration
+	// LeaseDuration is how long an unreachable node's ranges stay
+	// assigned to it (measured on the wall clock from the moment it
+	// went down) before Rebalance may reclaim them. It is the primary
+	// lease's expiry: while a primary is reachable its authority is
+	// implicitly renewed; once it crashes or partitions away, its
+	// conditional-op authority lapses after this long. 0 means
+	// DefaultLeaseDuration.
+	LeaseDuration time.Duration
+	// FenceRetryBudget bounds how many times a conditional operation is
+	// retried after an epoch-fencing reject or an unreachable primary
+	// before TestAndSet gives up with *ErrFenceExhausted. 0 means
+	// DefaultFenceRetryBudget.
+	FenceRetryBudget int
 }
 
 // DefaultMoveChunkKeys is the per-chunk key budget of a rebalance copy
@@ -60,6 +74,14 @@ const DefaultMoveChunkKeys = 256
 // DefaultTombstoneGCAge is the tombstone grace period when
 // Config.TombstoneGCAge is zero.
 const DefaultTombstoneGCAge = 5 * time.Second
+
+// DefaultLeaseDuration is the unreachable-primary lease expiry when
+// Config.LeaseDuration is zero.
+const DefaultLeaseDuration = time.Second
+
+// DefaultFenceRetryBudget is the conditional-op retry bound when
+// Config.FenceRetryBudget is zero.
+const DefaultFenceRetryBudget = 64
 
 // Cluster is a simulated SCADS-style key/value store. It is safe for
 // concurrent use by any number of Clients: node record stores are
@@ -73,11 +95,6 @@ type Cluster struct {
 	cfg   Config
 	env   *sim.Env // nil in immediate mode
 	nodes []*node
-
-	// hlc is the cluster-wide hybrid logical clock every write is
-	// stamped from (see hlc.go). One shared clock stands in for the
-	// per-node clocks plus timestamp exchange a real deployment runs.
-	hlc HLC
 
 	// routing is the current epoch-stamped partition map. Operations
 	// claim a snapshot for their duration (beginOp/endOp) so Rebalance
@@ -93,6 +110,20 @@ type Cluster struct {
 	fenced    atomic.Int64 // conditional decisions rejected by epoch fencing
 	clientSeq atomic.Int64
 
+	// faultMu guards the failure-injection state: each node's downSince
+	// timestamp and the queued catch-up writes for unreachable nodes
+	// (see failure.go). The hot-path reachability check is the node's
+	// atomic down word and never takes it. Lock order: rebalanceMu
+	// before faultMu.
+	faultMu sync.Mutex
+	pending [][]catchUp // per-node writes queued while unreachable
+
+	noFailover   atomic.Bool // test knob: disable read failover
+	noAutoReplay atomic.Bool // test knob: skip catch-up replay on rejoin
+	cuQueued     atomic.Int64
+	cuReplayed   atomic.Int64
+	cuDropped    atomic.Int64
+
 	// chunkHook, when set (tests only), runs after each non-final chunk
 	// of a move lands, with the cursor the next chunk will start from.
 	chunkHook func(mv *move, nextCursor []byte)
@@ -104,6 +135,7 @@ type Cluster struct {
 type routing struct {
 	epoch  int64
 	splits [][]byte // len parts-1
+	owners [][]int  // per-partition replica sets, primary first (len parts)
 	moves  []*move  // disjoint ranges being copied to new owners
 
 	// active counts operations currently executing against this table.
@@ -150,6 +182,11 @@ func (rt *routing) partitionOf(key []byte) int {
 
 // parts returns the number of partitions.
 func (rt *routing) parts() int { return len(rt.splits) + 1 }
+
+// isOwner reports whether node id holds partition p under this table.
+func (rt *routing) isOwner(p, id int) bool {
+	return slices.Contains(rt.owners[p], id)
+}
 
 // bounds returns partition p's key range (nil = unbounded side).
 func (rt *routing) bounds(p int) (lo, hi []byte) {
@@ -206,11 +243,19 @@ func New(cfg Config, env *sim.Env) *Cluster {
 	if cfg.TombstoneGCAge <= 0 {
 		cfg.TombstoneGCAge = DefaultTombstoneGCAge
 	}
+	if cfg.LeaseDuration <= 0 {
+		cfg.LeaseDuration = DefaultLeaseDuration
+	}
+	if cfg.FenceRetryBudget <= 0 {
+		cfg.FenceRetryBudget = DefaultFenceRetryBudget
+	}
 	c := &Cluster{cfg: cfg, env: env}
 	for i := 0; i < cfg.Nodes; i++ {
-		c.nodes = append(c.nodes, newNode(i, cfg.Seed, env, cfg.NodeServers, &c.hlc, cfg.TombstoneGCAge))
+		c.nodes = append(c.nodes, newNode(i, cfg.Seed, env, cfg.NodeServers, cfg.TombstoneGCAge))
 	}
-	rt := &routing{} // epoch 0: one partition, all keys on node 0's replicas
+	c.pending = make([][]catchUp, cfg.Nodes)
+	// epoch 0: one partition, all keys on node 0's replicas.
+	rt := &routing{owners: [][]int{c.placeOwners(0)}}
 	c.installLeases(rt)
 	c.routing.Store(rt)
 	return c
@@ -279,16 +324,16 @@ func (c *Cluster) SetNodeSlowdown(nodeID int, factor float64) {
 	n.mu.Unlock()
 }
 
-// replicaNodes returns the node IDs holding partition p, primary first.
-// The mapping depends only on the partition index and node count, so it
-// is valid under every routing epoch.
+// replicaNodes returns the node IDs the placement rule prefers for
+// partition p, primary first (replica r of partition p is node (p+r)
+// mod n). It is the liveness-blind preference order; actual ownership
+// is the routing table's owners, computed by placeOwners at each
+// rebalance.
 func (c *Cluster) replicaNodes(p int) []int {
 	return c.replicaNodesInto(make([]int, 0, c.cfg.ReplicationFactor), p)
 }
 
-// replicaNodesInto is replicaNodes appending into a caller-owned buffer
-// — the allocation-free variant the per-operation read/write hot path
-// uses (Client keeps the buffer as scratch and reuses it every op).
+// replicaNodesInto is replicaNodes appending into a caller-owned buffer.
 func (c *Cluster) replicaNodesInto(buf []int, p int) []int {
 	for r := 0; r < c.cfg.ReplicationFactor; r++ {
 		buf = append(buf, (p+r)%len(c.nodes))
@@ -296,16 +341,64 @@ func (c *Cluster) replicaNodesInto(buf []int, p int) []int {
 	return buf
 }
 
-// primaryNode returns the node serving as partition p's authoritative
-// primary (replica 0) — the single place the placement rule lives for
-// primary-routed reads.
-func (c *Cluster) primaryNode(p int) int { return p % len(c.nodes) }
-
-// isReplica reports whether node id holds partition p under the
-// placement rule (replica r of partition p is node (p+r) mod n).
-func (c *Cluster) isReplica(p, id int) bool {
+// placeOwners computes partition p's replica set, primary first: the
+// arithmetic placement preference, skipping nodes whose lease has
+// expired while unreachable (reclaim — see reclaimableLocked). A node
+// that is down but unexpired keeps its ranges: operations on them
+// stall or queue rather than failing over prematurely, which is the
+// lease-safety window that keeps conditional ops on exactly one
+// primary. If every node is reclaimable the arithmetic set stands (a
+// fully-dead cluster has no better answer).
+func (c *Cluster) placeOwners(p int) []int {
+	c.faultMu.Lock()
+	defer c.faultMu.Unlock()
 	n := len(c.nodes)
-	return ((id-p)%n+n)%n < c.cfg.ReplicationFactor
+	owners := make([]int, 0, c.cfg.ReplicationFactor)
+	for r := 0; r < n && len(owners) < c.cfg.ReplicationFactor; r++ {
+		id := (p + r) % n
+		if c.reclaimableLocked(id) {
+			continue
+		}
+		owners = append(owners, id)
+	}
+	if len(owners) == 0 {
+		return c.replicaNodes(p)
+	}
+	return owners
+}
+
+// maxClock returns the newest timestamp any node's clock has issued or
+// observed.
+func (c *Cluster) maxClock() int64 {
+	var m int64
+	for _, nd := range c.nodes {
+		if v := nd.hlc.last.Load(); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// barrierStamp issues a timestamp strictly newer than every stamp any
+// node has issued so far and makes every node observe it, so every
+// stamp drawn after it returns is strictly newer still. It is the
+// control-plane stamp for snapshot barriers (Client.StampVersion, used
+// by the index backfill): a real deployment would run a timestamp-
+// exchange round; the simulation reads every clock directly. A write
+// in flight while the barrier runs may still carry an older stamp —
+// barrier callers drain in-flight writers before acting on the stamp,
+// which is exactly what the backfill protocol does.
+func (c *Cluster) barrierStamp() int64 {
+	var m int64
+	for _, nd := range c.nodes {
+		if t := nd.hlc.Next(); t > m {
+			m = t
+		}
+	}
+	for _, nd := range c.nodes {
+		nd.hlc.Observe(m)
+	}
+	return m
 }
 
 // Rebalance recomputes partition split points so that data is spread
@@ -346,16 +439,20 @@ func (c *Cluster) Rebalance() {
 	defer c.rebalanceMu.Unlock()
 	old := c.routing.Load()
 
-	// Sample the key distribution from each partition's primary replica.
-	// Scans are clipped to the partition's own range so replica-held data
-	// of neighboring partitions is not double-counted, and under async
+	// Sample the key distribution from each partition's primary replica
+	// (or the first live owner when the primary is down). Scans are
+	// clipped to the partition's own range so replica-held data of
+	// neighboring partitions is not double-counted, and under async
 	// replication only the primary — the authoritative copy — is read
 	// (a lagging replica must never resurrect a stale value).
 	var keys [][]byte
 	for p := 0; p < old.parts(); p++ {
 		lo, hi := old.bounds(p)
-		primary := c.replicaNodes(p)[0]
-		for _, kv := range c.nodes[primary].scan(lo, hi, 0, false) {
+		src := c.liveOwner(old, p)
+		if src < 0 {
+			continue // whole replica set unreachable; sample what we can
+		}
+		for _, kv := range c.nodes[src].scan(lo, hi, 0, false) {
 			keys = append(keys, kv.Key)
 		}
 	}
@@ -374,23 +471,29 @@ func (c *Cluster) Rebalance() {
 		}
 	}
 	next := &routing{epoch: old.epoch + 2, splits: splits}
+	next.owners = make([][]int, next.parts())
+	for p := 0; p < next.parts(); p++ {
+		next.owners[p] = c.placeOwners(p)
+	}
 
 	// Plan one move per new partition whose ownership actually changes,
 	// and publish the intermediate table: same splits and owners as
 	// before, but writers now double-write into the new layout. A new
-	// partition contained in a single old partition with the same
-	// replica set needs no move — its owners already hold the complete
-	// range — so stable ranges pay neither copy nor double-writes.
+	// partition contained in a single old partition with the identical
+	// owner set needs no move — its owners already hold the complete
+	// range — so stable ranges pay neither copy nor double-writes. (A
+	// reclaim after a node death changes the owner set, so the range
+	// moves even when the split points did not.)
 	moves := make([]*move, 0, next.parts())
 	for p := 0; p < next.parts(); p++ {
 		lo, hi := next.bounds(p)
 		oplo, ophi := old.rangeParts(lo, hi)
-		if oplo == ophi && (p-oplo)%n == 0 { // replicaNodes depends on p mod nodes
+		if oplo == ophi && slices.Equal(next.owners[p], old.owners[oplo]) {
 			continue
 		}
-		moves = append(moves, &move{lo: lo, hi: hi, dst: c.replicaNodes(p)})
+		moves = append(moves, &move{lo: lo, hi: hi, dst: next.owners[p]})
 	}
-	mid := &routing{epoch: old.epoch + 1, splits: old.splits, moves: moves}
+	mid := &routing{epoch: old.epoch + 1, splits: old.splits, owners: old.owners, moves: moves}
 	c.routing.Store(mid)
 
 	// Drain the pre-move table before any copy scan starts. An operation
@@ -441,14 +544,20 @@ func (c *Cluster) copyMove(old *routing, mv *move) {
 	chunk := c.cfg.MoveChunkKeys
 	plo, phi := old.rangeParts(mv.lo, mv.hi)
 	for p := plo; p <= phi; p++ {
-		src := c.replicaNodes(p)[0]
+		// Copy from the primary, or the first live owner when it is
+		// down (put-if-newer tolerates a lagged source: anything it is
+		// missing arrives later by catch-up replay or double-write).
+		src := c.liveOwner(old, p)
+		if src < 0 {
+			continue // whole replica set unreachable; nothing to copy from
+		}
 		cursor := boundedStart(old, p, mv.lo)
 		end := boundedEnd(old, p, mv.hi)
 		for {
 			kvs := c.nodes[src].scanRaw(cursor, end, chunk)
 			for _, kv := range kvs {
 				for _, id := range mv.dst {
-					c.nodes[id].applyIfNewer(kv.Key, kv.Value)
+					c.applyOrQueue(id, kv.Key, kv.Value)
 				}
 			}
 			if len(kvs) < chunk {
@@ -462,6 +571,18 @@ func (c *Cluster) copyMove(old *routing, mv *move) {
 	}
 }
 
+// liveOwner returns partition p's first reachable owner under rt
+// (preferring the primary), or -1 when the whole replica set is
+// unreachable.
+func (c *Cluster) liveOwner(rt *routing, p int) int {
+	for _, id := range rt.owners[p] {
+		if c.reachable(id) {
+			return id
+		}
+	}
+	return -1
+}
+
 // cleanup purges every key a node holds but does not own under rt.
 // Concurrent writes are safe: a write routed by rt only lands on owners,
 // which cleanup never touches for that key's range. Purging (rather
@@ -470,15 +591,13 @@ func (c *Cluster) copyMove(old *routing, mv *move) {
 // owners, never from it.
 func (c *Cluster) cleanup(rt *routing) {
 	for id, nd := range c.nodes {
+		if !c.reachable(id) {
+			// An unreachable node can't be purged remotely; rejoin runs
+			// the same sweep for it before it serves again.
+			continue
+		}
 		for _, kv := range nd.scanRaw(nil, nil, 0) {
-			owner := false
-			for _, rid := range c.replicaNodes(rt.partitionOf(kv.Key)) {
-				if rid == id {
-					owner = true
-					break
-				}
-			}
-			if !owner {
+			if !rt.isOwner(rt.partitionOf(kv.Key), id) {
 				nd.purge(kv.Key)
 			}
 		}
@@ -496,7 +615,7 @@ func (c *Cluster) cleanup(rt *routing) {
 func (c *Cluster) GCTombstones(age time.Duration) int {
 	cutoff := wallHLC(time.Now().Add(-age))
 	if age <= 0 {
-		cutoff = c.hlc.last.Load() + 1
+		cutoff = c.maxClock() + 1
 	}
 	total := 0
 	for _, nd := range c.nodes {
@@ -519,7 +638,7 @@ func (c *Cluster) AuditConvergence() error {
 	rt := c.routing.Load()
 	for p := 0; p < rt.parts(); p++ {
 		lo, hi := rt.bounds(p)
-		ids := c.replicaNodes(p)
+		ids := rt.owners[p]
 		ref := make(map[string][]byte)
 		for _, kv := range c.nodes[ids[0]].scanRaw(lo, hi, 0) {
 			if !envIsTombstone(kv.Value) {

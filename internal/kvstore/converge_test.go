@@ -78,7 +78,6 @@ func TestEnvelopeRoundtrip(t *testing.T) {
 // TestApplyIfNewerConverges: applying the same envelopes in any order
 // leaves a node in the same state — the per-key convergence kernel.
 func TestApplyIfNewerConverges(t *testing.T) {
-	c, _ := newImmediate(1, 1)
 	k := []byte("k")
 	envs := [][]byte{
 		makeEnvelope(Version{TS: 10, Client: 1}, false, []byte("a")),
@@ -87,7 +86,7 @@ func TestApplyIfNewerConverges(t *testing.T) {
 	}
 	orders := [][]int{{0, 1, 2}, {2, 1, 0}, {1, 0, 2}, {2, 0, 1}}
 	for _, order := range orders {
-		nd := newNode(9, 1, nil, 1, &c.hlc, time.Hour)
+		nd := newNode(9, 1, nil, 1, time.Hour)
 		for _, i := range order {
 			nd.applyIfNewer(k, envs[i])
 		}
@@ -185,13 +184,13 @@ func TestAsyncCatchUpRespectsOwnership(t *testing.T) {
 			if envIsTombstone(kv.Value) {
 				continue
 			}
-			if !c.isReplica(rt.partitionOf(kv.Key), id) {
+			if !rt.isOwner(rt.partitionOf(kv.Key), id) {
 				t.Fatalf("node %d holds %q but no longer owns its range — a lagged catch-up resurrected it", id, kv.Key)
 			}
 		}
 	}
 	for i := 0; i < n; i++ {
-		if p := rt.partitionOf(key(i)); !c.isReplica(p, 1) {
+		if p := rt.partitionOf(key(i)); !rt.isOwner(p, 1) {
 			moved = true
 		}
 		if v, ok := c.NewClient(nil).Get(key(i)); !ok || !bytes.Equal(v, val(i)) {
@@ -200,6 +199,64 @@ func TestAsyncCatchUpRespectsOwnership(t *testing.T) {
 	}
 	if !moved {
 		t.Fatal("rebalance moved nothing off node 1 — the test exercised no catch-up/ownership race")
+	}
+	if err := c.AuditConvergence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAsyncCatchUpKillRestartInterleaving extends the ownership race
+// with a crash: node 1's catch-ups are pending when a rebalance moves
+// part of its keyspace away AND the node is killed before they fire.
+// At fire time each catch-up must revalidate ownership (lost ranges
+// drop) and liveness (kept ranges queue for the dead node rather than
+// applying to it); at restart the queued ones replay under the same
+// ownership check. No key may be lost, nothing may be resurrected on a
+// non-owner, and the replicas must converge.
+func TestAsyncCatchUpKillRestartInterleaving(t *testing.T) {
+	env := sim.NewEnv()
+	lag := 500 * time.Millisecond
+	c := New(Config{
+		Nodes: 3, ReplicationFactor: 2, Seed: 17,
+		AsyncReplication: true, ReplicaLag: lag,
+	}, env)
+	const n = 200
+	env.Spawn(func(p *sim.Proc) {
+		cl := c.NewClient(p)
+		for i := 0; i < n; i++ {
+			cl.Put(key(i), val(i)) // catch-ups to node 1 pending at +lag
+		}
+		c.Rebalance()    // node 1 loses part of the keyspace...
+		c.Kill(1)        // ...and crashes before the catch-ups fire
+		p.Sleep(2 * lag) // fire mid-outage: drop (lost ranges) or queue (kept)
+		c.Restart(1)     // replay revalidates ownership again
+		p.Sleep(2 * lag)
+	})
+	env.Run(0)
+	env.Stop()
+
+	if c.CatchUpsQueued() == 0 {
+		t.Fatal("no catch-up queued while node 1 was down — the kill missed the lag window")
+	}
+	if c.CatchUpsReplayed() == 0 {
+		t.Fatal("no queued catch-up replayed at restart")
+	}
+	rt := c.routing.Load()
+	for id, nd := range c.nodes {
+		for _, kv := range nd.scanRaw(nil, nil, 0) {
+			if envIsTombstone(kv.Value) {
+				continue
+			}
+			if !rt.isOwner(rt.partitionOf(kv.Key), id) {
+				t.Fatalf("node %d holds %q but no longer owns its range — a catch-up resurrected it across the crash", id, kv.Key)
+			}
+		}
+	}
+	cl := c.NewClient(nil)
+	for i := 0; i < n; i++ {
+		if v, ok := cl.Get(key(i)); !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("key %d lost across the crash: %q (present=%v)", i, v, ok)
+		}
 	}
 	if err := c.AuditConvergence(); err != nil {
 		t.Fatal(err)

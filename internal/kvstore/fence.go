@@ -24,6 +24,16 @@ import (
 //
 // Exactly one node can therefore ever accept a swap for a key, even
 // while the key's ownership is mid-flight.
+//
+// Leases expire in real time when their holder fails: a primary's
+// authority is implicitly renewed while it is reachable and lapses
+// Config.LeaseDuration after it crashes or partitions away. Rebalance
+// reassigns (reclaims) an unreachable node's ranges only after that
+// expiry (placeOwners), and a rejoining node's leases are re-derived
+// from the current routing table (regrantLeases), so conditional-op
+// authority is never held by two nodes at once — during the pre-expiry
+// window the range's conditional ops stall (bounded by the client's
+// fence retry budget) rather than failing over unsafely.
 
 // ErrFenced reports a conditional operation rejected by per-node epoch
 // fencing: under the routing epoch the operation claimed, the target
@@ -44,6 +54,10 @@ func (e *ErrFenced) Error() string {
 	}
 	return fmt.Sprintf("kvstore: node %d fenced conditional op: claimed epoch %d < lease epoch %d", e.Node, e.Claimed, e.Need)
 }
+
+// Unwrap chains to ErrTransient: a fence reject is a retry signal, not
+// a semantic failure.
+func (e *ErrFenced) Unwrap() error { return ErrTransient }
 
 // lease is one key range a node serves as authoritative primary for
 // conditional operations. A conditional op must claim a routing epoch
@@ -111,7 +125,7 @@ func (c *Cluster) installLeases(rt *routing) {
 	perNode := make([][]lease, len(c.nodes))
 	for p := 0; p < rt.parts(); p++ {
 		lo, hi := rt.bounds(p)
-		primary := c.replicaNodes(p)[0]
+		primary := rt.owners[p][0]
 		epoch := rt.epoch
 		if prev := c.nodes[primary].leases.Load().find(lo); prev != nil && prev.containsRange(lo, hi) {
 			epoch = prev.epoch

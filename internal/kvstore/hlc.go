@@ -50,6 +50,21 @@ func (h *HLC) Next() int64 {
 	}
 }
 
+// Observe advances the clock to at least ts — the receive rule of a
+// hybrid logical clock. Every node observes the timestamp of every
+// envelope it applies (applyIfNewer), so after a node has seen a write
+// it can never issue a stamp that loses to it: a replica promoted to
+// primary after a crash stamps new writes strictly newer than
+// everything it stores.
+func (h *HLC) Observe(ts int64) {
+	for {
+		last := h.last.Load()
+		if ts <= last || h.last.CompareAndSwap(last, ts) {
+			return
+		}
+	}
+}
+
 // wallHLC converts a wall-clock instant to the hybrid-timestamp scale.
 func wallHLC(t time.Time) int64 { return t.UnixMilli() << hlcLogicalBits }
 

@@ -160,18 +160,26 @@ func TestMultiGet(t *testing.T) {
 func TestTestAndSet(t *testing.T) {
 	_, cl := newImmediate(3, 2)
 	k := []byte("tas")
+	tas := func(expect, update []byte) bool {
+		t.Helper()
+		ok, err := cl.TestAndSet(k, expect, update)
+		if err != nil {
+			t.Fatalf("TestAndSet(%q, %q): %v", expect, update, err)
+		}
+		return ok
+	}
 	// Insert-if-absent.
-	if !cl.TestAndSet(k, nil, []byte("v1")) {
+	if !tas(nil, []byte("v1")) {
 		t.Fatal("insert-if-absent failed on empty key")
 	}
-	if cl.TestAndSet(k, nil, []byte("v2")) {
+	if tas(nil, []byte("v2")) {
 		t.Fatal("insert-if-absent succeeded on existing key")
 	}
 	// Conditional update.
-	if cl.TestAndSet(k, []byte("wrong"), []byte("v2")) {
+	if tas([]byte("wrong"), []byte("v2")) {
 		t.Fatal("swap with wrong expectation succeeded")
 	}
-	if !cl.TestAndSet(k, []byte("v1"), []byte("v2")) {
+	if !tas([]byte("v1"), []byte("v2")) {
 		t.Fatal("swap with right expectation failed")
 	}
 	v, _ := cl.Get(k)
@@ -179,7 +187,7 @@ func TestTestAndSet(t *testing.T) {
 		t.Fatalf("value = %q", v)
 	}
 	// Conditional delete.
-	if !cl.TestAndSet(k, []byte("v2"), nil) {
+	if !tas([]byte("v2"), nil) {
 		t.Fatal("conditional delete failed")
 	}
 	if _, ok := cl.Get(k); ok {

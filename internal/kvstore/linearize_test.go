@@ -98,7 +98,12 @@ func TestTestAndSetLinearizableAcrossRebalance(t *testing.T) {
 				k := casKey(rnd.Intn(casKeys))
 				cur, _ := cl.Get(k) // nil = absent, the initial state
 				up := []byte(fmt.Sprintf("w%02d-%07d", g, i))
-				if cl.TestAndSet(k, cur, up) {
+				swapped, err := cl.TestAndSet(k, cur, up)
+				if err != nil {
+					t.Errorf("writer %d: TestAndSet: %v", g, err)
+					return
+				}
+				if swapped {
 					mu.Lock()
 					accepted = append(accepted, casTransition{string(k), string(cur), string(up)})
 					mu.Unlock()
@@ -217,8 +222,8 @@ func TestTestAndSetEpochFencing(t *testing.T) {
 	if got, _ := cl.Get(k); !bytes.Equal(got, val(ki)) {
 		t.Fatalf("fenced attempts mutated the store: %q", got)
 	}
-	if !cl.TestAndSet(k, val(ki), []byte("swapped")) {
-		t.Fatal("current-epoch TestAndSet rejected")
+	if swapped, err := cl.TestAndSet(k, val(ki), []byte("swapped")); err != nil || !swapped {
+		t.Fatalf("current-epoch TestAndSet = (%v, %v), want accepted", swapped, err)
 	}
 	if got, _ := cl.Get(k); !bytes.Equal(got, []byte("swapped")) {
 		t.Fatalf("accepted swap not visible: %q", got)

@@ -29,8 +29,24 @@ type node struct {
 	tombs     int        // live tombstone count; guarded by mu
 	lastSweep time.Time  // last inline tombstone sweep; guarded by mu
 
-	hlc   *HLC          // cluster clock, for stamping accepted swaps
+	// hlc is this node's own hybrid logical clock. It observes the
+	// timestamp of every envelope the node applies (observe-on-apply),
+	// so a node that has seen a write can never issue a stamp that
+	// loses to it — the property that keeps per-key ordering intact
+	// when a replica is promoted to primary after a crash. Per-node
+	// clocks replaced the original shared cluster clock when nodes
+	// learned to fail: a crashed node's clock must not be consultable
+	// by live traffic.
+	hlc   *HLC
 	gcAge time.Duration // tombstones older than this are sweepable
+
+	// down marks the node unreachable (killed/partitioned bits, see
+	// failure.go). Clients check it before every contact; writes
+	// targeting a down node queue as catch-ups instead. downSince is
+	// the wall-clock start of the outage — the lease-expiry countdown —
+	// and is guarded by the cluster's faultMu.
+	down      atomic.Int32
+	downSince time.Time
 
 	// autoGC enables the inline threshold sweep. Only immediate-mode
 	// clusters set it: the sweep's age cutoff is wall-clock while a
@@ -56,12 +72,12 @@ type node struct {
 // tombstone memory without a background task.
 const tombstoneSweepThreshold = 4096
 
-func newNode(id int, seed int64, env *sim.Env, servers int, hlc *HLC, gcAge time.Duration) *node {
+func newNode(id int, seed int64, env *sim.Env, servers int, gcAge time.Duration) *node {
 	n := &node{
 		id:       id,
 		tree:     btree.New(),
 		rng:      rand.New(rand.NewSource(seed ^ int64(id)*0x7F4A7C159E3779B9)),
-		hlc:      hlc,
+		hlc:      &HLC{},
 		gcAge:    gcAge,
 		autoGC:   env == nil,
 		slowdown: 1,
@@ -128,6 +144,9 @@ func (n *node) applyIfNewer(key, env []byte) bool {
 	if _, _, _, err := parseEnvelope(env); err != nil {
 		return false
 	}
+	// Observe-on-apply: after this envelope lands, every stamp this
+	// node issues is strictly newer than it.
+	n.hlc.Observe(envVersion(env).TS)
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	cur, ok := n.tree.Get(key)
@@ -208,8 +227,9 @@ func (n *node) gcTombstones(cutoff int64) int {
 // testAndSet atomically replaces the value under key with update when the
 // current live value matches expect (nil expect means "key must be
 // absent"). A nil update deletes the key on success. On acceptance it
-// returns the envelope it stored — stamped from the cluster HLC *after*
-// reading the current value, so the accepted swap's version is newer
+// returns the envelope it stored — stamped from the node's own clock
+// *after* reading the current value, so the accepted swap's version is
+// newer
 // than every write it observed and its propagation (applyIfNewer on
 // replicas and move destinations) can never be clobbered by an older
 // plain Put that happens to arrive later.
@@ -222,6 +242,11 @@ func (n *node) gcTombstones(cutoff int64) int {
 // key from both being accepted across a rebalance flip: the old primary
 // is fenced before the new one's lease becomes reachable.
 func (n *node) testAndSet(key []byte, claimedEpoch int64, expect, update []byte, client int64) ([]byte, bool, error) {
+	if st := n.down.Load(); st != 0 {
+		// A dead node decides nothing. Clients check reachability before
+		// contact; this guard makes the refusal typed and node-side too.
+		return nil, false, &ErrNodeDown{Node: n.id, Partitioned: st&nodePartitioned != 0}
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	l := n.leases.Load().find(key)

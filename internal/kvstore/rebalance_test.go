@@ -57,7 +57,12 @@ func TestRebalanceUnderTraffic(t *testing.T) {
 				case 3: // insert-if-absent
 					v := []byte(fmt.Sprintf("w%02d-tas-%06d", g, i))
 					_, exists := model[string(k)]
-					if ok := cl.TestAndSet(k, nil, v); ok != !exists {
+					ok, err := cl.TestAndSet(k, nil, v)
+					if err != nil {
+						fail("TestAndSet(%q): %v", k, err)
+						return
+					}
+					if ok != !exists {
 						fail("TestAndSet(%q) = %v, model says exists=%v", k, ok, exists)
 						return
 					}

@@ -80,6 +80,7 @@ var Analyzers = []*Analyzer{
 	RoutingClaim,
 	EnvelopeIntegrity,
 	SimSleep,
+	SimTimer,
 	LeaseSwap,
 }
 

@@ -24,6 +24,14 @@ func TestSimSleepIgnoresNonSimPackages(t *testing.T) {
 	linttest.Run(t, filepath.Join("testdata", "simsleepnosim"), lint.SimSleep)
 }
 
+func TestSimTimer(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "simtimer"), lint.SimTimer)
+}
+
+func TestSimTimerIgnoresNonSimPackages(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "simsleepnosim"), lint.SimTimer)
+}
+
 func TestLeaseSwap(t *testing.T) {
 	linttest.Run(t, filepath.Join("testdata", "leaseswap"), lint.LeaseSwap)
 }

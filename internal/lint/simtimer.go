@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// SimTimer extends the virtual-clock discipline of SimSleep to the
+// timer constructors: code in a package that imports the discrete-event
+// simulator must not create wall-clock timers. time.After, time.Tick,
+// time.NewTimer, and time.NewTicker all schedule a real-clock firing —
+// a channel that becomes ready while virtual time stands still — so a
+// simulated process selecting on one observes an event the simulation
+// never scheduled (and the inverse: in a fast-forwarded run the timer
+// never fires when virtual time says it should). Fault-injection code
+// is the usual temptation: lease expiries and fault windows must be
+// expressed in the clock the code under test actually runs on.
+var SimTimer = &Analyzer{
+	Name: "simtimer",
+	Doc:  "packages using the simulator must not create wall-clock timers",
+	Run:  runSimTimer,
+}
+
+// simTimerForbidden is the set of time-package constructors that arm a
+// real-clock timer. time.Sleep is SimSleep's; time.Now is permitted —
+// reading the clock does not schedule anything (lease expiry bookkeeping
+// reads it deliberately).
+var simTimerForbidden = map[string]bool{
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+func runSimTimer(pass *Pass) {
+	usesSim := false
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil &&
+				(path == simImportPath || strings.HasSuffix(path, "/internal/sim")) {
+				usesSim = true
+			}
+		}
+	}
+	if !usesSim {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !simTimerForbidden[sel.Sel.Name] {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "time" && id.Obj == nil {
+				pass.Reportf(call.Pos(),
+					"time.%s in simulation code: wall-clock timers fire outside virtual time", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

@@ -110,6 +110,12 @@ type Config struct {
 	ReplicationFactor int
 	// Seed drives all simulation randomness (default 1).
 	Seed int64
+	// ReadQuorum is how many replicas each point read consults (default
+	// 1). With ReplicationFactor 2, a quorum of 2 bounds read staleness
+	// to zero while any single replica is partitioned: the newest of the
+	// returned versions wins and stale copies are read-repaired in the
+	// background.
+	ReadQuorum int
 
 	// SLO is the response-time objective queries are admitted against:
 	// with Enforce set and a model installed (UseSLOModel), Prepare
@@ -154,6 +160,7 @@ func Open(cfg Config) *DB {
 		Seed:              cfg.Seed,
 	}, nil)
 	eng := engine.New(cluster)
+	eng.SetReadQuorum(cfg.ReadQuorum)
 	eng.SetAdmission(&analyze.Policy{
 		Enforce: cfg.Enforce,
 		SLO:     cfg.SLO,
