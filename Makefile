@@ -12,10 +12,20 @@ vet:
 	$(GO) vet ./...
 
 # lint is the static gate: formatting, the standard vet analyzers, and
-# the project's own concurrency-invariant analyzers (internal/lint) run
-# as a vettool — routing-snapshot claims, envelope integrity, virtual
-# clock discipline, lease-table swaps. Suppressions are //lint:allow
-# directives at the annotated site; see internal/lint.
+# the project's own eight analyzers (internal/lint) run as a vettool —
+# routing-snapshot claims, envelope integrity, virtual clock
+# discipline, lease-table swaps, lock-order cycles, blocking-under-
+# mutex, and transient-error taxonomy conformance. The vettool path
+# propagates per-function facts (locks held, may-block, error types)
+# across packages through go vet's .vetx files, so diagnostics here are
+# interprocedural. Suppressions are //lint:allow directives at the
+# annotated site; stale directives are themselves findings. See the
+# "Static analysis" section of README.md.
+#
+# Without the go command in the loop:
+#   go run ./cmd/piql-vet -standalone ./...            # from-source, whole module
+#   go run ./cmd/piql-vet -standalone -json ./...      # findings as JSON on stdout
+#   go run ./cmd/piql-vet -standalone -lockgraph ./... # print the lock hierarchy
 VETTOOL = bin/piql-vet
 
 lint:

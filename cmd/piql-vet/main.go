@@ -4,15 +4,25 @@
 //	go build -o bin/piql-vet ./cmd/piql-vet
 //	go vet -vettool=bin/piql-vet ./...
 //
+// or directly, with no go vet handshake:
+//
+//	piql-vet -standalone ./...          # parse+typecheck from source
+//	piql-vet -standalone -json ./...    # machine-readable diagnostics
+//	piql-vet -standalone -lockgraph     # print the inferred lock hierarchy
+//
 // It speaks the go command's vettool protocol (the same one
 // golang.org/x/tools/go/analysis/unitchecker implements, re-created
 // here on the standard library because this build cannot fetch
 // modules): `-V=full` prints a version line ending in a buildID derived
 // from the executable's contents so `go vet` can cache results, and
 // each analysis unit arrives as a JSON *.cfg file naming the package's
-// Go files. The analyzers are purely syntactic, so units that exist
-// only to export type facts (VetxOnly) are acknowledged with an empty
-// facts file and skipped.
+// Go files, its dependencies' compiler export data (for typechecking),
+// and their vetx facts files. Module-local units are typechecked and
+// analyzed interprocedurally; their function summaries (may-block,
+// lock-acquisition sets, transient-error returns — see internal/lint)
+// are written to the unit's VetxOutput so dependent packages' analyses
+// can see across the package boundary. Units outside the module are
+// acknowledged with an empty facts file and skipped.
 //
 // Violations print as file:line:col diagnostics and exit with status 2,
 // which `go vet` reports as a failure; a site that is allowed to break
@@ -24,8 +34,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"go/ast"
+	"go/importer"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"io"
 	"os"
 	"path/filepath"
@@ -34,120 +46,316 @@ import (
 	"piql/internal/lint"
 )
 
-// config is the subset of the go command's vet configuration the
-// syntactic analyzers need.
+// config mirrors the go command's vet configuration (the fields of
+// unitchecker.Config this tool consumes).
 type config struct {
-	ID         string
-	ImportPath string
-	GoFiles    []string
-	VetxOnly   bool
-	VetxOutput string
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
 }
 
 func main() {
-	var cfgPath string
-	jsonOut := false
-	for _, arg := range os.Args[1:] {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole tool; main only binds it to the process. Exit
+// codes: 0 clean, 1 operational error, 2 findings.
+func run(args []string, stdout, stderr io.Writer) int {
+	var (
+		cfgPath    string
+		jsonOut    bool
+		standalone bool
+		lockgraph  bool
+		chdir      string
+		patterns   []string
+	)
+	for i := 0; i < len(args); i++ {
+		arg := args[i]
 		switch {
 		case arg == "-V=full" || arg == "--V=full":
-			printVersion()
-			return
+			return printVersion(stdout, stderr)
 		case arg == "-flags" || arg == "--flags":
 			// go vet asks for the tool's flag list (JSON) so it can
 			// validate pass-through flags before invoking it per unit.
-			fmt.Println(`[{"Name":"json","Bool":true,"Usage":"emit JSON output"}]`)
-			return
+			fmt.Fprintln(stdout, `[{"Name":"json","Bool":true,"Usage":"emit JSON output"}]`)
+			return 0
 		case arg == "-json" || arg == "--json":
 			jsonOut = true
+		case arg == "-standalone" || arg == "--standalone":
+			standalone = true
+		case arg == "-lockgraph" || arg == "--lockgraph":
+			standalone = true
+			lockgraph = true
+		case arg == "-C" || arg == "--C":
+			if i+1 >= len(args) {
+				fmt.Fprintln(stderr, "piql-vet: -C needs a directory")
+				return 1
+			}
+			i++
+			chdir = args[i]
+		case strings.HasPrefix(arg, "-C="):
+			chdir = strings.TrimPrefix(arg, "-C=")
 		case strings.HasSuffix(arg, ".cfg"):
 			cfgPath = arg
 		case strings.HasPrefix(arg, "-"):
 			// Other vet flags (e.g. analyzer toggles for the standard
 			// tool) do not apply to this checker; ignore them.
 		default:
-			fatalf("unexpected argument %q (want a .cfg file; run via go vet -vettool)", arg)
+			patterns = append(patterns, arg)
 		}
 	}
-	if cfgPath == "" {
-		fatalf("no .cfg argument; this tool is meant to be run via go vet -vettool")
+	if standalone {
+		return runStandalone(chdir, patterns, jsonOut, lockgraph, stdout, stderr)
 	}
+	if cfgPath == "" {
+		fmt.Fprintln(stderr, "piql-vet: no .cfg argument; run via go vet -vettool, or use -standalone ./...")
+		return 1
+	}
+	return runUnit(cfgPath, jsonOut, stdout, stderr)
+}
 
+// moduleUnit reports whether a vet unit belongs to this module. Test
+// variants arrive as `piql/x [piql/x.test]` and external test packages
+// as `piql/x_test`; both count (their non-test files are analyzed, the
+// rest are skipped by the framework).
+func moduleUnit(importPath string) bool {
+	base, _, _ := strings.Cut(importPath, " ")
+	return base == "piql" || strings.HasPrefix(base, "piql/")
+}
+
+// runUnit handles one go vet analysis unit.
+func runUnit(cfgPath string, jsonOut bool, stdout, stderr io.Writer) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
-		fatalf("%v", err)
+		fmt.Fprintf(stderr, "piql-vet: %v\n", err)
+		return 1
 	}
 	var cfg config
 	if err := json.Unmarshal(data, &cfg); err != nil {
-		fatalf("parsing %s: %v", cfgPath, err)
+		fmt.Fprintf(stderr, "piql-vet: parsing %s: %v\n", cfgPath, err)
+		return 1
 	}
-	// The analyzers keep no cross-package facts, but go vet expects the
-	// facts file to exist before it will cache the unit.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			fatalf("writing facts: %v", err)
+	// Units outside the module carry no piql invariants and no facts
+	// worth computing; acknowledge and move on. go vet still requires
+	// the facts file to exist before it will cache the unit.
+	if !moduleUnit(cfg.ImportPath) {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				fmt.Fprintf(stderr, "piql-vet: writing facts: %v\n", err)
+				return 1
+			}
 		}
-	}
-	if cfg.VetxOnly {
-		return
+		return 0
 	}
 
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
-			fatalf("%v", err)
+			fmt.Fprintf(stderr, "piql-vet: %v\n", err)
+			return 1
 		}
 		files = append(files, f)
 	}
-	diags := lint.Run(fset, files, cfg.ImportPath, lint.Analyzers)
-	if len(diags) == 0 {
-		return
+
+	unit := &lint.Unit{
+		Fset:       fset,
+		Files:      files,
+		ImportPath: cfg.ImportPath,
+		Facts:      readDepFacts(cfg.PackageVetx),
+	}
+	if len(files) > 0 {
+		pkg, info, err := typecheckUnit(fset, files, &cfg)
+		if err != nil {
+			// go vet hands us units that already compiled, so this is
+			// a tool limitation, not a user error: degrade to the
+			// syntactic analyzers rather than failing the build.
+			fmt.Fprintf(stderr, "piql-vet: %s: typecheck failed (%v); running syntactic analyzers only\n",
+				cfg.ImportPath, err)
+		} else {
+			unit.Pkg, unit.Info = pkg, info
+		}
+	}
+	diags, facts := lint.RunUnit(unit, lint.Analyzers)
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, lint.EncodeFacts(facts), 0o666); err != nil {
+			fmt.Fprintf(stderr, "piql-vet: writing facts: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		// Facts-only unit (a dependency of the requested pattern):
+		// dependents report their own diagnostics; this unit's were
+		// either already reported or not asked for.
+		return 0
+	}
+	return emit(map[string][]lint.Diagnostic{cfg.ImportPath: diags}, jsonOut, stdout, stderr)
+}
+
+// typecheckUnit typechecks one vet unit against its dependencies'
+// compiler export data, exactly as the compiler resolved them.
+func typecheckUnit(fset *token.FileSet, files []*ast.File, cfg *config) (*types.Package, *types.Info, error) {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, compiler, lookup)}
+	importPath, _, _ := strings.Cut(cfg.ImportPath, " ")
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// readDepFacts loads every dependency's vetx facts file. Missing or
+// foreign files (std acknowledgements) contribute nothing.
+func readDepFacts(vetx map[string]string) *lint.FactStore {
+	store := lint.NewFactStore()
+	for path, file := range vetx {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			continue
+		}
+		store.Add(path, lint.DecodeFacts(data))
+	}
+	return store
+}
+
+// runStandalone loads the whole module from source — no export data,
+// no go vet — and runs every analyzer over every package in dependency
+// order, threading facts in memory.
+func runStandalone(chdir string, patterns []string, jsonOut, lockgraph bool, stdout, stderr io.Writer) int {
+	for _, p := range patterns {
+		if p != "./..." && p != "all" {
+			fmt.Fprintf(stderr, "piql-vet: -standalone analyzes the whole module; unsupported pattern %q (use ./...)\n", p)
+			return 1
+		}
+	}
+	start := chdir
+	if start == "" {
+		start = "."
+	}
+	loader, err := lint.NewLoader(start)
+	if err != nil {
+		fmt.Fprintf(stderr, "piql-vet: %v\n", err)
+		return 1
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintf(stderr, "piql-vet: %v\n", err)
+		return 1
+	}
+	store := lint.NewFactStore()
+	all := map[string][]lint.Diagnostic{}
+	var edges []lint.LockEdge
+	for _, lp := range pkgs {
+		lp.Unit.Facts = store
+		diags, facts := lint.RunUnit(lp.Unit, lint.Analyzers)
+		if len(diags) > 0 {
+			all[lp.Unit.ImportPath] = diags
+		}
+		if facts != nil {
+			store.Add(lp.Unit.ImportPath, facts)
+			edges = append(edges, facts.LockEdges...)
+		}
+	}
+	if lockgraph {
+		fmt.Fprintln(stdout, "lock hierarchy (acquired-while-held, roots first):")
+		for _, line := range lint.LockHierarchy(lint.NewFactStore().AllLockEdges(edges)) {
+			fmt.Fprintln(stdout, "  "+line)
+		}
+	}
+	return emit(all, jsonOut, stdout, stderr)
+}
+
+// emit prints diagnostics in the chosen format; exit status 2 when any
+// exist.
+func emit(byPkg map[string][]lint.Diagnostic, jsonOut bool, stdout, stderr io.Writer) int {
+	n := 0
+	for _, ds := range byPkg {
+		n += len(ds)
+	}
+	if n == 0 {
+		return 0
 	}
 	if jsonOut {
 		type jsonDiag struct {
 			Posn    string `json:"posn"`
 			Message string `json:"message"`
 		}
-		byAnalyzer := map[string][]jsonDiag{}
-		for _, d := range diags {
-			byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{
-				Posn:    d.Pos.String(),
-				Message: d.Message,
-			})
+		payload := map[string]map[string][]jsonDiag{}
+		for pkg, ds := range byPkg {
+			byAnalyzer := map[string][]jsonDiag{}
+			for _, d := range ds {
+				byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{
+					Posn:    d.Pos.String(),
+					Message: d.Message,
+				})
+			}
+			payload[pkg] = byAnalyzer
 		}
-		out, _ := json.MarshalIndent(map[string]any{cfg.ImportPath: byAnalyzer}, "", "\t")
-		os.Stdout.Write(append(out, '\n'))
-		return
+		out, _ := json.MarshalIndent(payload, "", "\t")
+		stdout.Write(append(out, '\n'))
+		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+	for _, ds := range byPkg {
+		for _, d := range ds {
+			fmt.Fprintf(stderr, "%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
+		}
 	}
-	os.Exit(2)
+	return 2
 }
 
 // printVersion emits the version line `go vet` hashes for its build
 // cache; the buildID must change whenever the tool's behavior could,
 // so it is the hash of the executable itself.
-func printVersion() {
+func printVersion(stdout, stderr io.Writer) int {
 	exe, err := os.Executable()
 	if err != nil {
-		fatalf("%v", err)
+		fmt.Fprintf(stderr, "piql-vet: %v\n", err)
+		return 1
 	}
 	f, err := os.Open(exe)
 	if err != nil {
-		fatalf("%v", err)
+		fmt.Fprintf(stderr, "piql-vet: %v\n", err)
+		return 1
 	}
 	defer f.Close()
 	h := sha256.New()
 	if _, err := io.Copy(h, f); err != nil {
-		fatalf("%v", err)
+		fmt.Fprintf(stderr, "piql-vet: %v\n", err)
+		return 1
 	}
-	fmt.Printf("%s version devel comments-go-here buildID=%02x\n",
+	fmt.Fprintf(stdout, "%s version devel comments-go-here buildID=%02x\n",
 		filepath.Base(os.Args[0]), h.Sum(nil))
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "piql-vet: "+format+"\n", args...)
-	os.Exit(1)
+	return 0
 }

@@ -410,8 +410,14 @@ func (e *Engine) verifyBackfillRace(s *Session, ix *schema.Index, snap kvstore.V
 		e.drainWriters(s)
 		return e.maint.VerifyBuildSuspects(e.cluster.NewClient(nil), ix, snap, suspects)
 	}
+	// Blocking writers on the held gate while the suspect versions are
+	// read is this branch's entire point (the drain semantic); real
+	// goroutines keep the holder running, and the virtual-time case
+	// above avoids the gate precisely because parked writers there
+	// could never run again.
 	e.writeGate.Lock()
 	defer e.writeGate.Unlock()
+	//lint:allow holdblock — intentional writer drain; real-clock branch only
 	return e.maint.VerifyBuildSuspects(s.client, ix, snap, suspects)
 }
 

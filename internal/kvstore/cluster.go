@@ -514,7 +514,12 @@ func (c *Cluster) Rebalance() {
 	// be mid-propagation, so installing the new primary leases first and
 	// then publishing the table hands authority over atomically — the
 	// old primary fences any straggler claiming a retired epoch.
+	// move.mu instances nest only here, in the moves-slice order, and
+	// Rebalance (the one function that ever holds two) is serialized by
+	// rebalanceMu: a single global instance order, so no opposing
+	// acquisition can exist.
 	for _, mv := range moves {
+		//lint:allow lockorder — instance nesting under rebalanceMu, moves-slice order
 		mv.mu.Lock()
 	}
 	c.installLeases(next)

@@ -1,0 +1,1123 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Interprocedural analysis.
+//
+// This file builds, for one typechecked package, the summaries the
+// lockorder/holdblock/errtaxonomy analyzers consume:
+//
+//   - a branch-sensitive walk of every function body tracking the
+//     multiset of sync.Mutex/RWMutex locks held at each statement,
+//     recording lock acquisitions (and the acquired-while-held edges
+//     they imply), direct blocking operations (channel ops, Cond.Wait,
+//     WaitGroup.Wait, time.Sleep), and every call to a module-local
+//     function together with the locks held at the call site;
+//   - a fixpoint over the package's call graph propagating "may
+//     block", "may acquire lock L", and "may return a transient
+//     error" through local calls, seeded across package boundaries by
+//     the dependency facts in the Unit's FactStore.
+//
+// Locks are named canonically so the same lock is one graph node no
+// matter which instance or alias acquired it: a struct field becomes
+// "<pkg>.<StructType>.<field>" (kvstore.Cluster.faultMu — one node for
+// every Cluster instance), a package-level var "<pkg>.<var>", and a
+// local variable "<pkg>.<func>.<var>". Instance-insensitivity is what
+// makes the analysis a *lock class* order: two instances of move.mu
+// are the same node, so acquiring one while holding another shows up
+// as a self-edge for lockorder to interrogate.
+//
+// Known approximations, chosen to keep the walk simple and the
+// findings reviewable:
+//
+//   - TryLock/TryRLock are ignored: modeling both outcomes of the
+//     branch they feed is not worth it for the cooperative spin loops
+//     they guard here (drainWriters), and assuming success would
+//     fabricate held locks on the failure path.
+//   - defer'd Unlock/RUnlock keeps the lock held to the end of the
+//     body (that is its meaning); any other deferred call is analyzed
+//     as if it ran with no locks held.
+//   - go statements and non-invoked func literals are analyzed as
+//     separate pseudo-functions starting with an empty held set; their
+//     blocking does not propagate to the spawning function (spawning
+//     does not block).
+//   - a helper that returns while still holding a lock it acquired is
+//     not modeled (no such helper exists in this codebase; locking is
+//     balanced per function, with storeLocked-style helpers documented
+//     as caller-holds).
+type Interproc struct {
+	unit *Unit
+	pkg  *types.Package
+	info *types.Info
+
+	// funcs holds every analyzed function: named declarations first,
+	// then func-literal pseudo-functions in encounter order.
+	funcs []*funcInfo
+	// byObj maps a named function's object to its info.
+	byObj map[*types.Func]*funcInfo
+
+	// transientTypes names the package-local error types whose Unwrap
+	// chains to ErrTransient, e.g. "*kvstore.ErrNodeDown".
+	transientTypes map[string]bool
+	// hasTransientSentinel reports a package-level `var ErrTransient`.
+	hasTransientSentinel bool
+}
+
+// heldLock is one held lock: its canonical ID and whether the hold is
+// exclusive (Lock) or shared (RLock).
+type heldLock struct {
+	id        string
+	exclusive bool
+}
+
+// held is the multiset of locks held at a program point, in
+// acquisition order.
+type held struct {
+	locks []heldLock
+}
+
+func (h *held) clone() *held {
+	return &held{locks: append([]heldLock(nil), h.locks...)}
+}
+
+func (h *held) acquire(l heldLock) { h.locks = append(h.locks, l) }
+
+// release removes the most recent matching hold; releasing a lock that
+// is not held is a no-op (e.g. the Unlock after a TryLock loop the
+// walker deliberately did not model).
+func (h *held) release(id string, exclusive bool) {
+	for i := len(h.locks) - 1; i >= 0; i-- {
+		if h.locks[i].id == id && h.locks[i].exclusive == exclusive {
+			h.locks = append(h.locks[:i], h.locks[i+1:]...)
+			return
+		}
+	}
+}
+
+// ids returns the distinct held lock IDs in acquisition order.
+func (h *held) ids() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, l := range h.locks {
+		if !seen[l.id] {
+			seen[l.id] = true
+			out = append(out, l.id)
+		}
+	}
+	return out
+}
+
+// exclusiveIDs returns the distinct exclusively-held lock IDs.
+func (h *held) exclusiveIDs() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, l := range h.locks {
+		if l.exclusive && !seen[l.id] {
+			seen[l.id] = true
+			out = append(out, l.id)
+		}
+	}
+	return out
+}
+
+// unionHeld merges the exits of two branches: a lock is (may-)held
+// after the merge if either branch held it.
+func unionHeld(a, b *held) *held {
+	out := a.clone()
+	have := map[heldLock]int{}
+	for _, l := range out.locks {
+		have[l]++
+	}
+	counts := map[heldLock]int{}
+	for _, l := range b.locks {
+		counts[l]++
+		if counts[l] > have[l] {
+			out.locks = append(out.locks, l)
+			have[l]++
+		}
+	}
+	return out
+}
+
+// blockObs is one direct blocking operation and the locks held there.
+type blockObs struct {
+	desc string
+	pos  token.Pos
+	held []heldLock
+}
+
+// callObs is one call to a module-local function and the locks held at
+// the call site.
+type callObs struct {
+	fn   *types.Func
+	pos  token.Pos
+	held []heldLock
+}
+
+// localEdge is one acquired-while-held observation with a real
+// position (facts carry the rendered form).
+type localEdge struct {
+	from, to string
+	pos      token.Pos
+}
+
+// funcInfo is one function's summary: direct observations from the
+// walk, then fixpoint results.
+type funcInfo struct {
+	key     string // facts key: "Func" or "(*Type).Method"
+	display string // for messages: "kvstore.(*Client).Get" or "func literal in ..."
+	decl    *ast.FuncDecl
+	pseudo  bool // func literal / go body: not exported in facts
+
+	blocksDirect []blockObs
+	calls        []callObs
+	edges        []localEdge
+	acquires     map[string]bool
+
+	// error-return structure (for the transient fixpoint)
+	retTypes    map[string]bool // typed errors returned directly, "*pkg.T"
+	retSentinel bool            // returns ErrTransient itself
+	retWrap     bool            // returns fmt.Errorf("...%w...", transient-candidate)
+	retCallees  []*types.Func   // error results forwarded from these callees
+
+	// fixpoint results
+	mayBlock     bool
+	blockPath    string
+	allAcquires  map[string]bool
+	transient    bool
+	allErrTypes  map[string]bool
+	transientVia string // witness: callee chain or "returns *pkg.T"
+}
+
+// buildInterproc runs the walk and fixpoint over the unit's non-test
+// files. The unit must be typechecked (Pkg and Info non-nil).
+func buildInterproc(u *Unit, files []*ast.File) *Interproc {
+	ip := &Interproc{
+		unit:  u,
+		pkg:   u.Pkg,
+		info:  u.Info,
+		byObj: map[*types.Func]*funcInfo{},
+	}
+	ip.findTransientTypes(files)
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := ip.info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			fi := &funcInfo{
+				key:      funcKey(obj),
+				display:  ip.pkg.Name() + "." + funcKey(obj),
+				decl:     fd,
+				acquires: map[string]bool{},
+				retTypes: map[string]bool{},
+			}
+			ip.funcs = append(ip.funcs, fi)
+			ip.byObj[obj] = fi
+		}
+	}
+	// Walk after registration so local calls resolve during the walk.
+	for _, fi := range append([]*funcInfo(nil), ip.funcs...) {
+		h := &held{}
+		ip.walkStmt(fi, fi.decl.Body, h)
+	}
+	ip.fixpoint()
+	return ip
+}
+
+// funcKey renders a function the way a call site reads: "Func",
+// "(Type).Method", "(*Type).Method". It is the facts-file key, so it
+// must be stable across the exporting and importing packages.
+func funcKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	t := sig.Recv().Type()
+	ptr := false
+	if p, okp := t.(*types.Pointer); okp {
+		t = p.Elem()
+		ptr = true
+	}
+	named, okn := t.(*types.Named)
+	if !okn {
+		return fn.Name()
+	}
+	if ptr {
+		return "(*" + named.Obj().Name() + ")." + fn.Name()
+	}
+	return "(" + named.Obj().Name() + ")." + fn.Name()
+}
+
+// findTransientTypes records package-local error types whose Unwrap
+// method mentions ErrTransient (directly or via a wrapped field) and
+// whether the package declares the sentinel itself.
+func (ip *Interproc) findTransientTypes(files []*ast.File) {
+	ip.transientTypes = map[string]bool{}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						if name.Name == "ErrTransient" {
+							ip.hasTransientSentinel = true
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if d.Name.Name != "Unwrap" || d.Recv == nil || d.Body == nil {
+					continue
+				}
+				mentions := false
+				ast.Inspect(d.Body, func(n ast.Node) bool {
+					if id, ok := n.(*ast.Ident); ok && id.Name == "ErrTransient" {
+						mentions = true
+					}
+					// Unwrap returning a wrapped field (chain continues
+					// through an inner error) also counts: the chain
+					// reaches whatever was wrapped, which the producer
+					// rule forces to be transient in turn.
+					if ret, ok := n.(*ast.ReturnStmt); ok && len(ret.Results) == 1 {
+						if sel, ok2 := ret.Results[0].(*ast.SelectorExpr); ok2 {
+							if t := ip.typeOf(sel); t != nil && isErrorType(t) {
+								mentions = true
+							}
+						}
+					}
+					return !mentions
+				})
+				if mentions {
+					if obj, _ := ip.info.Defs[d.Name].(*types.Func); obj != nil {
+						if key := recvTypeName(obj); key != "" {
+							ip.transientTypes["*"+ip.pkg.Name()+"."+key] = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// recvTypeName returns the bare receiver type name of a method object.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, okp := t.(*types.Pointer); okp {
+		t = p.Elem()
+	}
+	if n, okn := t.(*types.Named); okn {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+func (ip *Interproc) typeOf(e ast.Expr) types.Type {
+	if tv, ok := ip.info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorIface) || types.Identical(t, errorIface)
+}
+
+// calleeOf resolves a call to its named function object, or nil for
+// builtins, conversions, and calls through function values.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// The walk.
+
+// walkStmt analyzes one statement, mutating h, and reports whether
+// control cannot fall through (return / branch).
+func (ip *Interproc) walkStmt(fi *funcInfo, st ast.Stmt, h *held) bool {
+	switch s := st.(type) {
+	case nil:
+		return false
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			if ip.walkStmt(fi, inner, h) {
+				return true
+			}
+		}
+		return false
+	case *ast.ExprStmt:
+		ip.walkExpr(fi, s.X, h)
+	case *ast.SendStmt:
+		ip.walkExpr(fi, s.Chan, h)
+		ip.walkExpr(fi, s.Value, h)
+		ip.block(fi, "channel send", s.Arrow, h)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			ip.walkExpr(fi, e, h)
+		}
+		for _, e := range s.Lhs {
+			ip.walkExpr(fi, e, h)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok2 := spec.(*ast.ValueSpec); ok2 {
+					for _, e := range vs.Values {
+						ip.walkExpr(fi, e, h)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		ip.walkExpr(fi, s.X, h)
+	case *ast.IfStmt:
+		ip.walkStmt(fi, s.Init, h)
+		ip.walkExpr(fi, s.Cond, h)
+		thenH := h.clone()
+		thenTerm := ip.walkStmt(fi, s.Body, thenH)
+		elseH := h.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = ip.walkStmt(fi, s.Else, elseH)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			*h = *elseH
+		case elseTerm:
+			*h = *thenH
+		default:
+			*h = *unionHeld(thenH, elseH)
+		}
+	case *ast.ForStmt:
+		ip.walkStmt(fi, s.Init, h)
+		ip.walkExpr(fi, s.Cond, h)
+		// Two passes over the body: the second starts from the union of
+		// entry and first-iteration exit, so a lock still held across
+		// the back edge is seen by iteration-two acquisitions.
+		body := h.clone()
+		ip.walkStmt(fi, s.Body, body)
+		ip.walkStmt(fi, s.Post, body)
+		again := unionHeld(h, body)
+		ip.walkStmt(fi, s.Body, again)
+		ip.walkStmt(fi, s.Post, again)
+		*h = *unionHeld(h, again)
+	case *ast.RangeStmt:
+		ip.walkExpr(fi, s.X, h)
+		if t := ip.typeOf(s.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				ip.block(fi, "range over channel", s.For, h)
+			}
+		}
+		body := h.clone()
+		ip.walkStmt(fi, s.Body, body)
+		again := unionHeld(h, body)
+		ip.walkStmt(fi, s.Body, again)
+		*h = *unionHeld(h, again)
+	case *ast.SwitchStmt:
+		ip.walkStmt(fi, s.Init, h)
+		ip.walkExpr(fi, s.Tag, h)
+		ip.walkCases(fi, s.Body, h)
+	case *ast.TypeSwitchStmt:
+		ip.walkStmt(fi, s.Init, h)
+		ip.walkStmt(fi, s.Assign, h)
+		ip.walkCases(fi, s.Body, h)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			ip.block(fi, "select with no default", s.Select, h)
+		}
+		ip.walkCases(fi, s.Body, h)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			ip.walkExpr(fi, e, h)
+		}
+		ip.recordReturn(fi, s)
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto: stops fall-through here; the loop's
+		// union pass accounts for the continuation.
+		return true
+	case *ast.DeferStmt:
+		ip.walkDefer(fi, s, h)
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			ip.walkExpr(fi, a, h)
+		}
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			ip.pseudoFunc(fi, lit, "goroutine")
+		}
+		// A named callee spawned on its own goroutine contributes its
+		// own summary; spawning it blocks nothing here.
+	case *ast.LabeledStmt:
+		return ip.walkStmt(fi, s.Stmt, h)
+	}
+	return false
+}
+
+// walkCases merges switch/select clause bodies: each clause starts
+// from the pre-state; the post-state is the union of every clause exit
+// that falls through, plus the pre-state unless a default clause makes
+// the dispatch total.
+func (ip *Interproc) walkCases(fi *funcInfo, body *ast.BlockStmt, h *held) {
+	out := (*held)(nil)
+	hasDefault := false
+	merge := func(x *held) {
+		if out == nil {
+			out = x
+		} else {
+			out = unionHeld(out, x)
+		}
+	}
+	for _, c := range body.List {
+		clauseH := h.clone()
+		term := false
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cc.List {
+				ip.walkExpr(fi, e, clauseH)
+			}
+			for _, st := range cc.Body {
+				if term = ip.walkStmt(fi, st, clauseH); term {
+					break
+				}
+			}
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			ip.walkStmt(fi, cc.Comm, clauseH)
+			for _, st := range cc.Body {
+				if term = ip.walkStmt(fi, st, clauseH); term {
+					break
+				}
+			}
+		}
+		if !term {
+			merge(clauseH)
+		}
+	}
+	if !hasDefault {
+		merge(h.clone())
+	}
+	if out != nil {
+		*h = *out
+	}
+}
+
+// walkDefer handles defer: a deferred Unlock/RUnlock means the lock
+// stays held to the end of the body (so: do nothing); any other
+// deferred work runs at return with an unknown held set, analyzed as a
+// pseudo-function with none.
+func (ip *Interproc) walkDefer(fi *funcInfo, s *ast.DeferStmt, h *held) {
+	for _, a := range s.Call.Args {
+		ip.walkExpr(fi, a, h)
+	}
+	if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+		ip.pseudoFunc(fi, lit, "deferred func")
+		return
+	}
+	if fn := calleeOf(ip.info, s.Call); fn != nil && isSyncMethod(fn) {
+		switch fn.Name() {
+		case "Unlock", "RUnlock":
+			return // lock held through the body: already modeled by not releasing
+		}
+	}
+}
+
+// block records a direct blocking operation at pos under h.
+func (ip *Interproc) block(fi *funcInfo, desc string, pos token.Pos, h *held) {
+	fi.blocksDirect = append(fi.blocksDirect, blockObs{
+		desc: desc,
+		pos:  pos,
+		held: append([]heldLock(nil), h.locks...),
+	})
+}
+
+// pseudoFunc analyzes a func literal as its own function with an empty
+// held set (it runs on its own goroutine or at defer time).
+func (ip *Interproc) pseudoFunc(parent *funcInfo, lit *ast.FuncLit, kind string) {
+	fi := &funcInfo{
+		key:      "",
+		display:  fmt.Sprintf("%s in %s", kind, parent.display),
+		pseudo:   true,
+		acquires: map[string]bool{},
+		retTypes: map[string]bool{},
+	}
+	ip.funcs = append(ip.funcs, fi)
+	ip.walkStmt(fi, lit.Body, &held{})
+}
+
+// isSyncMethod reports whether fn is a method of sync.Mutex/RWMutex.
+func isSyncMethod(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	name := recvTypeName(fn)
+	return name == "Mutex" || name == "RWMutex"
+}
+
+// walkExpr analyzes one expression under h, handling calls, channel
+// receives, and func literals specially and recursing structurally
+// otherwise.
+func (ip *Interproc) walkExpr(fi *funcInfo, e ast.Expr, h *held) {
+	switch x := e.(type) {
+	case nil:
+		return
+	case *ast.CallExpr:
+		ip.walkCall(fi, x, h)
+	case *ast.UnaryExpr:
+		ip.walkExpr(fi, x.X, h)
+		if x.Op == token.ARROW {
+			ip.block(fi, "channel receive", x.OpPos, h)
+		}
+	case *ast.FuncLit:
+		ip.pseudoFunc(fi, x, "func literal")
+	default:
+		// Structural recursion: route each immediate child expression
+		// back through walkExpr so the cases above fire at any depth.
+		ast.Inspect(e, func(n ast.Node) bool {
+			if n == ast.Node(e) {
+				return true
+			}
+			if child, ok := n.(ast.Expr); ok {
+				ip.walkExpr(fi, child, h)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// walkCall classifies one call: mutex acquire/release, known standard-
+// library blocking primitive, immediately-invoked literal, or a call
+// to a (possibly module-local) named function.
+func (ip *Interproc) walkCall(fi *funcInfo, call *ast.CallExpr, h *held) {
+	// Evaluate the callee expression and arguments first — they may
+	// themselves contain calls or receives.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		ip.walkExpr(fi, sel.X, h)
+	}
+	for _, a := range call.Args {
+		ip.walkExpr(fi, a, h)
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		// Immediately-invoked literal: runs inline, same held set.
+		ip.walkStmt(fi, lit.Body, h)
+		return
+	}
+	fn := calleeOf(ip.info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if isSyncMethod(fn) {
+		ip.walkSyncOp(fi, call, fn, h)
+		return
+	}
+	path := fn.Pkg().Path()
+	switch {
+	case path == "sync" && fn.Name() == "Wait" && recvTypeName(fn) == "Cond":
+		ip.block(fi, "sync.Cond.Wait", call.Pos(), h)
+	case path == "sync" && fn.Name() == "Wait" && recvTypeName(fn) == "WaitGroup":
+		ip.block(fi, "sync.WaitGroup.Wait", call.Pos(), h)
+	case path == "time" && fn.Name() == "Sleep":
+		ip.block(fi, "time.Sleep", call.Pos(), h)
+	case ip.moduleLocal(path):
+		fi.calls = append(fi.calls, callObs{
+			fn:   fn,
+			pos:  call.Pos(),
+			held: append([]heldLock(nil), h.locks...),
+		})
+	}
+}
+
+// moduleLocal reports whether path is in this module (facts exist or
+// could exist for it). The module root is the first path element of
+// this package's own path — "piql" — which also covers the package
+// itself.
+func (ip *Interproc) moduleLocal(path string) bool {
+	if ip.pkg == nil {
+		return false
+	}
+	self := ip.pkg.Path()
+	root := self
+	if i := strings.IndexByte(self, '/'); i >= 0 {
+		root = self[:i]
+	}
+	// Fixture packages run under fake import paths; treat same-package
+	// calls as module-local regardless.
+	if path == self {
+		return true
+	}
+	return path == root || strings.HasPrefix(path, root+"/")
+}
+
+// walkSyncOp handles Lock/RLock/Unlock/RUnlock/TryLock on a
+// sync.Mutex or RWMutex (including one embedded in a local struct).
+func (ip *Interproc) walkSyncOp(fi *funcInfo, call *ast.CallExpr, fn *types.Func, h *held) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	id := ip.lockID(fi, sel.X)
+	switch fn.Name() {
+	case "Lock", "RLock":
+		excl := fn.Name() == "Lock"
+		for _, from := range h.ids() {
+			fi.edges = append(fi.edges, localEdge{from: from, to: id, pos: call.Pos()})
+		}
+		fi.acquires[id] = true
+		h.acquire(heldLock{id: id, exclusive: excl})
+	case "Unlock":
+		h.release(id, true)
+	case "RUnlock":
+		h.release(id, false)
+		// TryLock/TryRLock: ignored (see the package comment).
+	}
+}
+
+// lockID renders the canonical name of the lock denoted by x (the
+// receiver of a Lock/Unlock call).
+func (ip *Interproc) lockID(fi *funcInfo, x ast.Expr) string {
+	x = ast.Unparen(x)
+	switch v := x.(type) {
+	case *ast.SelectorExpr:
+		if selInfo, ok := ip.info.Selections[v]; ok && selInfo.Kind() == types.FieldVal {
+			// Owner is the named struct type holding the field (walk
+			// past pointers); instance-insensitive by construction.
+			t := ip.typeOf(v.X)
+			for {
+				if p, okp := t.(*types.Pointer); okp {
+					t = p.Elem()
+					continue
+				}
+				break
+			}
+			owner := ""
+			pkgName := ip.pkg.Name()
+			if named, okn := t.(*types.Named); okn {
+				owner = named.Obj().Name()
+				if named.Obj().Pkg() != nil {
+					pkgName = named.Obj().Pkg().Name()
+				}
+			}
+			field := selInfo.Obj().Name()
+			if owner != "" {
+				return pkgName + "." + owner + "." + field
+			}
+			return pkgName + "." + field
+		}
+		// Package-qualified or otherwise: fall back to the object.
+		if obj, ok := ip.info.Uses[v.Sel]; ok && obj.Pkg() != nil {
+			return obj.Pkg().Name() + "." + obj.Name()
+		}
+		return ip.pkg.Name() + "." + v.Sel.Name
+	case *ast.Ident:
+		obj := ip.info.ObjectOf(v)
+		if obj != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Name() + "." + obj.Name()
+		}
+		// Local variable (possibly a struct embedding a mutex): scope
+		// the name to the enclosing function.
+		fnName := fi.key
+		if fnName == "" {
+			fnName = "func"
+		}
+		return ip.pkg.Name() + "." + fnName + "." + v.Name
+	default:
+		return ip.pkg.Name() + "." + types.ExprString(x)
+	}
+}
+
+// recordReturn classifies the error-position results of one return
+// statement for the transient fixpoint.
+func (ip *Interproc) recordReturn(fi *funcInfo, ret *ast.ReturnStmt) {
+	if fi.decl == nil {
+		return
+	}
+	obj, _ := ip.info.Defs[fi.decl.Name].(*types.Func)
+	if obj == nil {
+		return
+	}
+	sig := obj.Type().(*types.Signature)
+	results := sig.Results()
+	if results == nil {
+		return
+	}
+	errIdx := map[int]bool{}
+	for i := 0; i < results.Len(); i++ {
+		if isErrorType(results.At(i).Type()) {
+			errIdx[i] = true
+		}
+	}
+	if len(errIdx) == 0 {
+		return
+	}
+	if len(ret.Results) == 1 && results.Len() > 1 {
+		// return f() forwarding a multi-result call
+		if call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr); ok {
+			ip.classifyErrExpr(fi, call, 0)
+		}
+		return
+	}
+	for i, e := range ret.Results {
+		if errIdx[i] {
+			ip.classifyErrExpr(fi, e, 0)
+		}
+	}
+}
+
+// classifyErrExpr records what an error-position expression can be:
+// a typed error literal, the sentinel, a wrap, a forwarded call, or a
+// local variable (traced through its assignments).
+func (ip *Interproc) classifyErrExpr(fi *funcInfo, e ast.Expr, depth int) {
+	if depth > 4 {
+		return
+	}
+	e = ast.Unparen(e)
+	switch v := e.(type) {
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			if cl, ok := v.X.(*ast.CompositeLit); ok {
+				if name := ip.compositeTypeName(cl); name != "" {
+					fi.retTypes["*"+name] = true
+				}
+			}
+		}
+	case *ast.CompositeLit:
+		if name := ip.compositeTypeName(v); name != "" {
+			fi.retTypes[name] = true
+		}
+	case *ast.Ident:
+		if v.Name == "nil" {
+			return
+		}
+		obj := ip.info.ObjectOf(v)
+		if obj != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			if obj.Name() == "ErrTransient" {
+				fi.retSentinel = true
+			}
+			return
+		}
+		// Local variable: every call assigned to it is a candidate
+		// source (may-analysis; order does not matter).
+		ip.traceLocalErrVar(fi, v.Name, depth)
+	case *ast.SelectorExpr:
+		if obj, ok := ip.info.Uses[v.Sel]; ok && obj.Name() == "ErrTransient" {
+			fi.retSentinel = true
+		}
+	case *ast.CallExpr:
+		fn := calleeOf(ip.info, v)
+		if fn == nil || fn.Pkg() == nil {
+			return
+		}
+		if fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf" {
+			if fmtWrapsError(v) {
+				fi.retWrap = true
+				for _, a := range v.Args[1:] {
+					ip.classifyErrExpr(fi, a, depth+1)
+				}
+			}
+			return
+		}
+		if ip.moduleLocal(fn.Pkg().Path()) {
+			fi.retCallees = append(fi.retCallees, fn)
+		}
+	}
+}
+
+// compositeTypeName renders the qualified type name of a composite
+// literal ("kvstore.ErrNodeDown"), or "" for anonymous types.
+func (ip *Interproc) compositeTypeName(cl *ast.CompositeLit) string {
+	t := ip.typeOf(cl)
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	pkgName := ip.pkg.Name()
+	if named.Obj().Pkg() != nil {
+		pkgName = named.Obj().Pkg().Name()
+	}
+	return pkgName + "." + named.Obj().Name()
+}
+
+// fmtWrapsError reports whether a fmt.Errorf call's format string
+// contains %w.
+func fmtWrapsError(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	return ok && strings.Contains(lit.Value, "%w")
+}
+
+// traceLocalErrVar unions in every call or literal assigned to a local
+// variable anywhere in the function body.
+func (ip *Interproc) traceLocalErrVar(fi *funcInfo, name string, depth int) {
+	if fi.decl == nil || fi.decl.Body == nil {
+		return
+	}
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok2 := lhs.(*ast.Ident)
+			if !ok2 || id.Name != name {
+				continue
+			}
+			var rhs ast.Expr
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			} else if len(as.Rhs) == 1 {
+				rhs = as.Rhs[0]
+			}
+			if rhs != nil {
+				ip.classifyErrExpr(fi, rhs, depth+1)
+			}
+		}
+		return true
+	})
+}
+
+// ---------------------------------------------------------------------
+// Fixpoint.
+
+// calleeFact resolves a callee's fixpoint summary: local functions from
+// this package's in-progress state, module-local imports from the
+// dependency facts. The bool reports whether anything is known.
+func (ip *Interproc) calleeFact(fn *types.Func) (FuncFact, bool) {
+	if fi, ok := ip.byObj[fn]; ok {
+		return FuncFact{
+			Blocks:    fi.mayBlock,
+			BlockPath: fi.blockPath,
+			Acquires:  sortedKeys(fi.allAcquires),
+			Transient: fi.transient,
+			ErrTypes:  sortedKeys(fi.allErrTypes),
+		}, true
+	}
+	if fn.Pkg() == nil {
+		return FuncFact{}, false
+	}
+	return ip.unit.Facts.Func(fn.Pkg().Path(), funcKey(fn))
+}
+
+// calleeDisplay renders a callee for diagnostics: "kvstore.(*Client).Get".
+func calleeDisplay(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	return fn.Pkg().Name() + "." + funcKey(fn)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// fixpoint propagates blocks/acquires/transient through local calls
+// until stable. Imported facts are fixed inputs, so termination is
+// bounded by the finite lock-ID and error-type sets.
+func (ip *Interproc) fixpoint() {
+	for _, fi := range ip.funcs {
+		fi.allAcquires = map[string]bool{}
+		for id := range fi.acquires {
+			fi.allAcquires[id] = true
+		}
+		fi.allErrTypes = map[string]bool{}
+		for t := range fi.retTypes {
+			fi.allErrTypes[t] = true
+		}
+		if len(fi.blocksDirect) > 0 {
+			fi.mayBlock = true
+			fi.blockPath = fi.blocksDirect[0].desc
+		}
+		if fi.retSentinel {
+			fi.transient = true
+			fi.transientVia = "returns ErrTransient"
+		}
+		for t := range fi.retTypes {
+			if ip.transientTypes[t] {
+				fi.transient = true
+				fi.transientVia = "returns " + t
+			}
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, fi := range ip.funcs {
+			for _, c := range fi.calls {
+				fact, ok := ip.calleeFact(c.fn)
+				if !ok {
+					continue
+				}
+				if fact.Blocks && !fi.mayBlock {
+					fi.mayBlock = true
+					fi.blockPath = calleeDisplay(c.fn)
+					if fact.BlockPath != "" && len(fact.BlockPath) < 120 {
+						fi.blockPath += " → " + fact.BlockPath
+					}
+					changed = true
+				}
+				for _, id := range fact.Acquires {
+					if !fi.allAcquires[id] {
+						fi.allAcquires[id] = true
+						changed = true
+					}
+				}
+			}
+			for _, fn := range fi.retCallees {
+				fact, ok := ip.calleeFact(fn)
+				if !ok {
+					continue
+				}
+				if fact.Transient && !fi.transient {
+					fi.transient = true
+					fi.transientVia = "forwards " + calleeDisplay(fn)
+					changed = true
+				}
+				for _, t := range fact.ErrTypes {
+					if !fi.allErrTypes[t] {
+						fi.allErrTypes[t] = true
+						changed = true
+					}
+				}
+				// An error wrapped with %w stays transient if its
+				// source was; unwrapped forwarding keeps types too —
+				// both are unioned above.
+			}
+			// Typed errors whose types are transient make the function
+			// transient (a callee may have introduced new types).
+			if !fi.transient {
+				for t := range fi.allErrTypes {
+					if ip.transientTypes[t] {
+						fi.transient = true
+						fi.transientVia = "returns " + t
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Results.
+
+// Facts exports this package's summaries for dependents: named
+// functions with a non-empty summary, plus the package's lock edges
+// (direct and call-derived).
+func (ip *Interproc) Facts() *PackageFacts {
+	pf := &PackageFacts{Funcs: map[string]FuncFact{}}
+	for _, fi := range ip.funcs {
+		if fi.pseudo {
+			continue
+		}
+		f := FuncFact{
+			Blocks:    fi.mayBlock,
+			BlockPath: fi.blockPath,
+			Acquires:  sortedKeys(fi.allAcquires),
+			Transient: fi.transient,
+			ErrTypes:  sortedKeys(fi.allErrTypes),
+		}
+		if !f.Blocks && !f.Transient && len(f.Acquires) == 0 && len(f.ErrTypes) == 0 {
+			continue
+		}
+		pf.Funcs[fi.key] = f
+	}
+	seen := map[[2]string]bool{}
+	for _, e := range ip.allEdges() {
+		k := [2]string{e.from, e.to}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		pf.LockEdges = append(pf.LockEdges, LockEdge{
+			From: e.from,
+			To:   e.to,
+			Pos:  ip.unit.Fset.Position(e.pos).String(),
+		})
+	}
+	sort.Slice(pf.LockEdges, func(i, j int) bool {
+		if pf.LockEdges[i].From != pf.LockEdges[j].From {
+			return pf.LockEdges[i].From < pf.LockEdges[j].From
+		}
+		return pf.LockEdges[i].To < pf.LockEdges[j].To
+	})
+	return pf
+}
+
+// allEdges returns every local acquired-while-held edge: direct
+// acquisitions plus call-derived ones (locks held at a call site ×
+// locks the callee may acquire, per its summary or imported fact).
+func (ip *Interproc) allEdges() []localEdge {
+	var out []localEdge
+	for _, fi := range ip.funcs {
+		out = append(out, fi.edges...)
+		for _, c := range fi.calls {
+			heldIDs := (&held{locks: c.held}).ids()
+			if len(heldIDs) == 0 {
+				continue
+			}
+			fact, ok := ip.calleeFact(c.fn)
+			if !ok {
+				continue
+			}
+			for _, from := range heldIDs {
+				for _, to := range fact.Acquires {
+					out = append(out, localEdge{from: from, to: to, pos: c.pos})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,16 +1,20 @@
 // Package lint is a small static-analysis framework plus the project's
 // concurrency-invariant analyzers. It plays the role of
 // golang.org/x/tools/go/analysis for this repository — built on the
-// standard library's go/ast and go/token only, because the build must
-// not fetch modules — and is driven two ways: by cmd/piql-vet through
-// `go vet -vettool` (see that command for the protocol) and by the
-// analyzers' own tests through linttest.
+// standard library's go/ast, go/token, and go/types only, because the
+// build must not fetch modules — and is driven three ways: by
+// cmd/piql-vet through `go vet -vettool` (see that command for the
+// protocol), by `piql-vet -standalone`, and by the analyzers' own
+// tests through linttest.
 //
 // The analyzers enforce structural invariants of the concurrent
 // engine/kvstore code that the type system cannot express: how routing
 // snapshots are claimed, that version envelopes reach replicas intact,
-// that simulated processes never block the real clock, and that lease
-// tables are swapped whole. Each one documents its invariant on its
+// that simulated processes never block the real clock, that lease
+// tables are swapped whole — and, interprocedurally (see interproc.go),
+// that the lock-acquisition graph stays acyclic, that nothing blocks
+// while holding a mutex, and that client/op-path errors conform to the
+// ErrTransient taxonomy. Each analyzer documents its invariant on its
 // Analyzer value.
 //
 // A site that violates the letter of a rule for a documented reason is
@@ -21,15 +25,20 @@
 // The directive is honored when it appears on the diagnostic's line,
 // on the line above it, or in the doc comment of the enclosing
 // function. Suppression is part of the framework, not the individual
-// analyzers, so every rule gets it uniformly.
+// analyzers, so every rule gets it uniformly — and so is staleness: a
+// directive that suppresses nothing (for an analyzer that actually
+// ran) is itself reported, so justified allows cannot rot after the
+// code they excused is refactored away.
 package lint
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -41,9 +50,11 @@ type Analyzer struct {
 }
 
 // Pass is one analyzer's view of one package: parsed files (comments
-// included) sharing a FileSet. The framework is AST-only — these
-// invariants are structural, so no type information is needed, which
-// keeps the vettool independent of export data.
+// included) sharing a FileSet, plus — when the driver typechecked the
+// unit — type information and interprocedural summaries. The original
+// five analyzers are purely syntactic and ignore the typed side; the
+// interprocedural ones (lockorder, holdblock, errtaxonomy) no-op when
+// it is absent.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
@@ -52,7 +63,24 @@ type Pass struct {
 	// ad-hoc file sets in tests).
 	ImportPath string
 
+	unit *Unit
+	ip   *Interproc
+
 	diags []Diagnostic
+}
+
+// Unit is one analysis unit: a package's parsed files, optionally
+// typechecked, plus the facts of its dependencies. Pkg == nil means
+// syntactic-only (the typed analyzers skip themselves).
+type Unit struct {
+	Fset       *token.FileSet
+	Files      []*ast.File
+	ImportPath string
+	Pkg        *types.Package
+	Info       *types.Info
+	// Facts holds dependency summaries keyed by import path (nil is
+	// treated as empty).
+	Facts *FactStore
 }
 
 // Diagnostic is one reported violation.
@@ -75,37 +103,104 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Analyzers is the registry cmd/piql-vet and the tests run.
+// Analyzers is the registry cmd/piql-vet and the tests run: the five
+// syntactic invariants plus the three interprocedural ones.
 var Analyzers = []*Analyzer{
 	RoutingClaim,
 	EnvelopeIntegrity,
 	SimSleep,
 	SimTimer,
 	LeaseSwap,
+	LockOrder,
+	HoldBlock,
+	ErrTaxonomy,
 }
 
-// Run applies every analyzer to the files and returns the surviving
-// diagnostics sorted by position. Files named *_test.go are skipped —
+// ByName returns the registered analyzer with the given name, or nil.
+// Tests fetch analyzers through it so that deleting a registration
+// fails the analyzer's fixture suite.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// StaleAllowName is the analyzer name stale //lint:allow diagnostics
+// are reported under. Staleness is a framework property (it needs the
+// post-suppression view across every analyzer in the run), so there is
+// no Analyzer value to register; the name exists for output grouping
+// and cannot itself be suppressed — a directive cannot justify its own
+// existence.
+const StaleAllowName = "staleallow"
+
+// Run applies every analyzer to the files syntactically and returns
+// the surviving diagnostics sorted by position. It is RunUnit without
+// type information, kept for the syntactic-only callers.
+func Run(fset *token.FileSet, files []*ast.File, importPath string, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunUnit(&Unit{Fset: fset, Files: files, ImportPath: importPath}, analyzers)
+	return diags
+}
+
+// RunUnit applies every analyzer to the unit and returns the surviving
+// diagnostics sorted by position, plus the package's exported facts
+// (nil when the unit is untyped). Files named *_test.go are skipped —
 // the invariants govern production code; tests deliberately poke at
 // internals (raw routing loads to assert convergence, wall-clock
 // sleeps around immediate-mode clusters).
-func Run(fset *token.FileSet, files []*ast.File, importPath string, analyzers []*Analyzer) []Diagnostic {
+func RunUnit(u *Unit, analyzers []*Analyzer) ([]Diagnostic, *PackageFacts) {
+	if u.Facts == nil {
+		u.Facts = NewFactStore()
+	}
 	var kept []*ast.File
-	for _, f := range files {
-		if strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+	for _, f := range u.Files {
+		if strings.HasSuffix(u.Fset.Position(f.Pos()).Filename, "_test.go") {
 			continue
 		}
 		kept = append(kept, f)
 	}
-	allow := collectAllows(fset, kept)
+	var ip *Interproc
+	var facts *PackageFacts
+	if u.Pkg != nil && u.Info != nil {
+		ip = buildInterproc(u, kept)
+		facts = ip.Facts()
+	}
+	directives := collectDirectives(u.Fset, kept)
 	var out []Diagnostic
+	ran := map[string]bool{}
 	for _, a := range analyzers {
-		pass := &Pass{Analyzer: a, Fset: fset, Files: kept, ImportPath: importPath}
+		ran[a.Name] = true
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       u.Fset,
+			Files:      kept,
+			ImportPath: u.ImportPath,
+			unit:       u,
+			ip:         ip,
+		}
 		a.Run(pass)
 		for _, d := range pass.diags {
-			if !allow.allows(a.Name, d.Pos) {
+			if !directives.allow(a.Name, d.Pos) {
 				out = append(out, d)
 			}
+		}
+	}
+	// Staleness: a directive for an analyzer that ran but suppressed
+	// nothing is dead weight — or worse, a stale justification for a
+	// violation that no longer exists. Directives naming analyzers
+	// outside this run set are left alone (single-analyzer test runs
+	// must not flag their neighbors' allows).
+	for _, dir := range directives.list {
+		if ran[dir.name] && !dir.used {
+			out = append(out, Diagnostic{
+				Analyzer: StaleAllowName,
+				Pos:      dir.pos,
+				Message: fmt.Sprintf(
+					"//lint:allow %s suppresses no diagnostic; remove the directive or restore its justification",
+					dir.name),
+			})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -118,83 +213,112 @@ func Run(fset *token.FileSet, files []*ast.File, importPath string, analyzers []
 		}
 		return out[i].Analyzer < out[j].Analyzer
 	})
-	return out
+	return out, facts
 }
 
 // allowRe matches a suppression directive; everything after the
 // analyzer name (an em-dash justification, usually) is ignored.
 var allowRe = regexp.MustCompile(`^//lint:allow\s+([a-z]+)`)
 
-// allowSet records where each analyzer is suppressed: the directive
-// lines themselves, plus the line ranges of functions whose doc
-// comment carries a directive.
-type allowSet struct {
-	// lines maps analyzer name -> file -> set of directive lines.
-	lines map[string]map[string]map[int]bool
-	// spans maps analyzer name -> file -> [start, end] line ranges.
-	spans map[string]map[string][][2]int
+// directive is one //lint:allow comment: where it is, which analyzer
+// it names, the function span it covers when it sits in a doc comment,
+// and whether it suppressed anything this run.
+type directive struct {
+	name string
+	pos  token.Position
+	// span is the [start, end] line range the directive covers when it
+	// appears in a function's doc comment; zero otherwise.
+	span [2]int
+	used bool
 }
 
-func (s *allowSet) add(name, file string, line int) {
-	if s.lines[name] == nil {
-		s.lines[name] = map[string]map[int]bool{}
-	}
-	if s.lines[name][file] == nil {
-		s.lines[name][file] = map[int]bool{}
-	}
-	s.lines[name][file][line] = true
+// directiveSet is every directive in the unit, in source order.
+type directiveSet struct {
+	list []*directive
+	// byFile indexes directives by filename for the per-diagnostic
+	// lookup.
+	byFile map[string][]*directive
 }
 
-func (s *allowSet) addSpan(name, file string, start, end int) {
-	if s.spans[name] == nil {
-		s.spans[name] = map[string][][2]int{}
-	}
-	s.spans[name][file] = append(s.spans[name][file], [2]int{start, end})
-}
-
-// allows reports whether a diagnostic at pos is suppressed: a
-// directive on the same line or the line above, or an enclosing
-// function whose doc comment carries one.
-func (s *allowSet) allows(name string, pos token.Position) bool {
-	if ls := s.lines[name][pos.Filename]; ls[pos.Line] || ls[pos.Line-1] {
-		return true
-	}
-	for _, span := range s.spans[name][pos.Filename] {
-		if pos.Line >= span[0] && pos.Line <= span[1] {
-			return true
+// allow reports whether a diagnostic by the named analyzer at pos is
+// suppressed, marking the winning directive used.
+func (s *directiveSet) allow(name string, pos token.Position) bool {
+	ok := false
+	for _, d := range s.byFile[pos.Filename] {
+		if d.name != name {
+			continue
+		}
+		if d.pos.Line == pos.Line || d.pos.Line == pos.Line-1 ||
+			(d.span[1] > 0 && pos.Line >= d.span[0] && pos.Line <= d.span[1]) {
+			d.used = true
+			ok = true
+			// Keep scanning: a line directive and a doc-comment
+			// directive can both cover pos; both are then live.
 		}
 	}
-	return false
+	return ok
 }
 
-func collectAllows(fset *token.FileSet, files []*ast.File) *allowSet {
-	s := &allowSet{
-		lines: map[string]map[string]map[int]bool{},
-		spans: map[string]map[string][][2]int{},
+func collectDirectives(fset *token.FileSet, files []*ast.File) *directiveSet {
+	s := &directiveSet{byFile: map[string][]*directive{}}
+	// index finds the directive already recorded at a position (doc
+	// comments appear both in File.Comments and in FuncDecl.Doc).
+	index := map[string]*directive{}
+	add := func(name string, pos token.Position) *directive {
+		key := fmt.Sprintf("%s:%d:%d", pos.Filename, pos.Line, pos.Column)
+		if d, ok := index[key]; ok {
+			return d
+		}
+		d := &directive{name: name, pos: pos}
+		index[key] = d
+		s.list = append(s.list, d)
+		s.byFile[pos.Filename] = append(s.byFile[pos.Filename], d)
+		return d
 	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				if m := allowRe.FindStringSubmatch(c.Text); m != nil {
-					p := fset.Position(c.Pos())
-					s.add(m[1], p.Filename, p.Line)
+					add(m[1], fset.Position(c.Pos()))
 				}
 			}
 		}
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if ok && fd.Doc != nil {
-				for _, c := range fd.Doc.List {
-					if m := allowRe.FindStringSubmatch(c.Text); m != nil {
-						start := fset.Position(fd.Pos()).Line
-						end := fset.Position(fd.End()).Line
-						s.addSpan(m[1], fset.Position(fd.Pos()).Filename, start, end)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if m := allowRe.FindStringSubmatch(c.Text); m != nil {
+					d := add(m[1], fset.Position(c.Pos()))
+					d.span = [2]int{
+						fset.Position(fd.Pos()).Line,
+						fset.Position(fd.End()).Line,
 					}
 				}
 			}
 		}
 	}
 	return s
+}
+
+// simImportPath is the discrete-event simulator package; the sim
+// analyzers gate on a package importing it.
+const simImportPath = "piql/internal/sim"
+
+// importsSim reports whether any of the files imports the simulator
+// package (by canonical path, or any path ending in /internal/sim so
+// fixture modules qualify).
+func importsSim(files []*ast.File) bool {
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil &&
+				(path == simImportPath || strings.HasSuffix(path, "/internal/sim")) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // inspectStack walks the file calling fn with each node and the stack

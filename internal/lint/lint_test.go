@@ -8,30 +8,93 @@ import (
 	"piql/internal/lint/linttest"
 )
 
+// byName fetches an analyzer through the registry, so deleting a
+// registration from lint.Analyzers fails that analyzer's fixture suite
+// here rather than silently shrinking the vettool.
+func byName(t *testing.T, name string) *lint.Analyzer {
+	t.Helper()
+	a := lint.ByName(name)
+	if a == nil {
+		t.Fatalf("analyzer %q is not registered in lint.Analyzers", name)
+	}
+	return a
+}
+
 func TestRoutingClaim(t *testing.T) {
-	linttest.Run(t, filepath.Join("testdata", "routingclaim"), lint.RoutingClaim)
+	linttest.Run(t, filepath.Join("testdata", "routingclaim"), byName(t, "routingclaim"))
 }
 
 func TestEnvelopeIntegrity(t *testing.T) {
-	linttest.Run(t, filepath.Join("testdata", "envelopeintegrity"), lint.EnvelopeIntegrity)
+	linttest.Run(t, filepath.Join("testdata", "envelopeintegrity"), byName(t, "envelopeintegrity"))
 }
 
 func TestSimSleep(t *testing.T) {
-	linttest.Run(t, filepath.Join("testdata", "simsleep"), lint.SimSleep)
+	linttest.Run(t, filepath.Join("testdata", "simsleep"), byName(t, "simsleep"))
 }
 
 func TestSimSleepIgnoresNonSimPackages(t *testing.T) {
-	linttest.Run(t, filepath.Join("testdata", "simsleepnosim"), lint.SimSleep)
+	linttest.Run(t, filepath.Join("testdata", "simsleepnosim"), byName(t, "simsleep"))
 }
 
 func TestSimTimer(t *testing.T) {
-	linttest.Run(t, filepath.Join("testdata", "simtimer"), lint.SimTimer)
+	linttest.Run(t, filepath.Join("testdata", "simtimer"), byName(t, "simtimer"))
 }
 
 func TestSimTimerIgnoresNonSimPackages(t *testing.T) {
-	linttest.Run(t, filepath.Join("testdata", "simsleepnosim"), lint.SimTimer)
+	linttest.Run(t, filepath.Join("testdata", "simsleepnosim"), byName(t, "simtimer"))
 }
 
 func TestLeaseSwap(t *testing.T) {
-	linttest.Run(t, filepath.Join("testdata", "leaseswap"), lint.LeaseSwap)
+	linttest.Run(t, filepath.Join("testdata", "leaseswap"), byName(t, "leaseswap"))
+}
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "lockorder"), byName(t, "lockorder"))
+}
+
+func TestHoldBlock(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "holdblock"), byName(t, "holdblock"))
+}
+
+func TestErrTaxonomy(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "errtaxonomy"), byName(t, "errtaxonomy"))
+}
+
+// TestStaleAllow drives the framework-level stale-directive report: a
+// //lint:allow for an analyzer that ran but suppressed nothing is
+// itself diagnosed, at the directive's position.
+func TestStaleAllow(t *testing.T) {
+	linttest.RunAnalyzers(t, filepath.Join("testdata", "staleallow"),
+		[]*lint.Analyzer{byName(t, "routingclaim")})
+}
+
+func TestFactsRoundTrip(t *testing.T) {
+	in := &lint.PackageFacts{
+		Funcs: map[string]lint.FuncFact{
+			"(*Client).TestAndSet": {
+				Blocks:    true,
+				BlockPath: "visit → sim",
+				Acquires:  []string{"kvstore.node.mu"},
+				Transient: true,
+				ErrTypes:  []string{"*kvstore.ErrNodeDown"},
+			},
+		},
+		LockEdges: []lint.LockEdge{{From: "a", To: "b", Pos: "x.go:1:1"}},
+	}
+	out := lint.DecodeFacts(lint.EncodeFacts(in))
+	if out == nil {
+		t.Fatal("round-trip decoded to nil")
+	}
+	got, ok := out.Funcs["(*Client).TestAndSet"]
+	if !ok || !got.Transient || !got.Blocks || len(got.Acquires) != 1 || len(got.ErrTypes) != 1 {
+		t.Fatalf("round-trip mangled the fact: %+v", got)
+	}
+	if len(out.LockEdges) != 1 || out.LockEdges[0] != (lint.LockEdge{From: "a", To: "b", Pos: "x.go:1:1"}) {
+		t.Fatalf("round-trip mangled edges: %+v", out.LockEdges)
+	}
+	// Foreign and empty payloads decode to nil (the std-unit
+	// acknowledgement files must not be mistaken for facts).
+	if lint.DecodeFacts(nil) != nil || lint.DecodeFacts([]byte("not json")) != nil {
+		t.Fatal("foreign payloads must decode to nil")
+	}
 }

@@ -7,24 +7,26 @@
 // A `// want` comment expects exactly one diagnostic on its line whose
 // message matches the backquoted or quoted regexp; any diagnostic on a
 // line without one, or an expectation that nothing matches, fails the
-// test.
+// test. The marker may trail other comment text, so a //lint:allow
+// directive can carry a want for the stale-directive diagnostic
+// reported at its own position.
+//
+// Fixture packages are fully typechecked (via the lint package's
+// source loader, so they may import piql/... packages), which is what
+// lets the interprocedural analyzers — lockorder, holdblock,
+// errtaxonomy — run against them exactly as they run in the vettool.
 package linttest
 
 import (
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"os"
-	"path/filepath"
 	"regexp"
 	"strconv"
-	"strings"
+	"sync"
 	"testing"
 
 	"piql/internal/lint"
 )
 
-var wantRe = regexp.MustCompile("^// want (`[^`]*`|\"[^\"]*\")$")
+var wantRe = regexp.MustCompile("// want (`[^`]*`|\"[^\"]*\")\\s*$")
 
 // expectation is one `// want` comment.
 type expectation struct {
@@ -34,27 +36,44 @@ type expectation struct {
 	matched bool
 }
 
-// Run parses every .go file under dir as one package and applies the
-// analyzer, comparing diagnostics to `// want` comments.
+// loader is shared across tests in the process so the standard library
+// is typechecked from source once, not once per fixture.
+var (
+	loaderOnce sync.Once
+	loader     *lint.Loader
+	loaderErr  error
+)
+
+// Run applies one analyzer to the fixture package in dir.
 func Run(t *testing.T, dir string, a *lint.Analyzer) {
 	t.Helper()
-	entries, err := os.ReadDir(dir)
+	RunAnalyzers(t, dir, []*lint.Analyzer{a})
+}
+
+// RunAnalyzers typechecks the fixture package in dir, runs the
+// analyzers over it, and compares diagnostics (including stale
+// //lint:allow reports) to `// want` comments.
+func RunAnalyzers(t *testing.T, dir string, analyzers []*lint.Analyzer) {
+	t.Helper()
+	for _, a := range analyzers {
+		if a == nil {
+			t.Fatal("linttest: nil analyzer (was its registration deleted?)")
+		}
+	}
+	loaderOnce.Do(func() {
+		loader, loaderErr = lint.NewLoader(dir)
+	})
+	if loaderErr != nil {
+		t.Fatalf("linttest: %v", loaderErr)
+	}
+	lp, err := loader.LoadDir(dir, "piql/internal/lint/"+dir)
 	if err != nil {
 		t.Fatalf("linttest: %v", err)
 	}
-	fset := token.NewFileSet()
-	var files []*ast.File
+
 	var expects []*expectation
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
-		}
-		path := filepath.Join(dir, e.Name())
-		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
-		if err != nil {
-			t.Fatalf("linttest: parse %s: %v", path, err)
-		}
-		files = append(files, f)
+	fset := loader.Fset()
+	for _, f := range lp.Unit.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				m := wantRe.FindStringSubmatch(c.Text)
@@ -80,11 +99,13 @@ func Run(t *testing.T, dir string, a *lint.Analyzer) {
 		}
 	}
 
-	diags := lint.Run(fset, files, "testdata/"+a.Name, []*lint.Analyzer{a})
+	unit := *lp.Unit
+	unit.Facts = lint.NewFactStore()
+	diags, _ := lint.RunUnit(&unit, analyzers)
 	for _, d := range diags {
 		found := false
 		for _, ex := range expects {
-			if ex.file == d.Pos.Filename && ex.line == d.Pos.Line && ex.pattern.MatchString(d.Message) {
+			if !ex.matched && ex.file == d.Pos.Filename && ex.line == d.Pos.Line && ex.pattern.MatchString(d.Message) {
 				ex.matched = true
 				found = true
 				break

@@ -2,8 +2,6 @@ package lint
 
 import (
 	"go/ast"
-	"strconv"
-	"strings"
 )
 
 // SimSleep enforces the simulation's virtual-clock discipline: code in
@@ -18,19 +16,8 @@ var SimSleep = &Analyzer{
 	Run:  runSimSleep,
 }
 
-const simImportPath = "piql/internal/sim"
-
 func runSimSleep(pass *Pass) {
-	usesSim := false
-	for _, f := range pass.Files {
-		for _, imp := range f.Imports {
-			if path, err := strconv.Unquote(imp.Path.Value); err == nil &&
-				(path == simImportPath || strings.HasSuffix(path, "/internal/sim")) {
-				usesSim = true
-			}
-		}
-	}
-	if !usesSim {
+	if !importsSim(pass.Files) {
 		return
 	}
 	for _, f := range pass.Files {

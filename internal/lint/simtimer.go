@@ -2,8 +2,6 @@ package lint
 
 import (
 	"go/ast"
-	"strconv"
-	"strings"
 )
 
 // SimTimer extends the virtual-clock discipline of SimSleep to the
@@ -35,16 +33,7 @@ var simTimerForbidden = map[string]bool{
 }
 
 func runSimTimer(pass *Pass) {
-	usesSim := false
-	for _, f := range pass.Files {
-		for _, imp := range f.Imports {
-			if path, err := strconv.Unquote(imp.Path.Value); err == nil &&
-				(path == simImportPath || strings.HasSuffix(path, "/internal/sim")) {
-				usesSim = true
-			}
-		}
-	}
-	if !usesSim {
+	if !importsSim(pass.Files) {
 		return
 	}
 	for _, f := range pass.Files {

@@ -1,0 +1,87 @@
+// Test fixture for the lockorder analyzer: a seeded two-lock cycle
+// (direct and through calls), instance nesting of one lock class, and
+// consistently ordered nesting that must stay silent.
+package lockorderfix
+
+import "sync"
+
+type server struct {
+	a sync.Mutex
+	b sync.Mutex
+	c sync.Mutex
+}
+
+// abPath and baPath take a and b in opposite orders: the classic
+// deadlock. Both edges of the cycle are reported.
+func abPath(s *server) {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.b.Lock() // want `lock-order cycle`
+	defer s.b.Unlock()
+}
+
+func baPath(s *server) {
+	s.b.Lock()
+	defer s.b.Unlock()
+	s.a.Lock() // want `lock-order cycle`
+	defer s.a.Unlock()
+}
+
+// safeOrder nests c strictly under a everywhere: a hierarchy, not a
+// cycle — no diagnostic.
+func safeOrder(s *server) {
+	s.a.Lock()
+	s.c.Lock()
+	s.c.Unlock()
+	s.a.Unlock()
+}
+
+func safeOrderAgain(s *server) {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.c.Lock()
+	defer s.c.Unlock()
+}
+
+type pair struct {
+	x sync.Mutex
+	y sync.Mutex
+}
+
+// The same cycle through calls: the edge comes from the callee's
+// transitive acquire set, reported at the call site.
+func viaCallForward(p *pair) {
+	p.x.Lock()
+	defer p.x.Unlock()
+	lockY(p) // want `lock-order cycle`
+}
+
+func viaCallBackward(p *pair) {
+	p.y.Lock()
+	defer p.y.Unlock()
+	lockX(p) // want `lock-order cycle`
+}
+
+func lockY(p *pair) {
+	p.y.Lock()
+	p.y.Unlock()
+}
+
+func lockX(p *pair) {
+	p.x.Lock()
+	p.x.Unlock()
+}
+
+type window struct {
+	mu sync.Mutex
+}
+
+// Two instances of one lock class nested: safe only under a global
+// instance order the analyzer cannot see, so it must be flagged (and
+// justified with a directive where intended).
+func nestInstances(w1, w2 *window) {
+	w1.mu.Lock()
+	w2.mu.Lock() // want `another instance`
+	w2.mu.Unlock()
+	w1.mu.Unlock()
+}

@@ -1,0 +1,31 @@
+// Test fixture for stale-suppression detection: a //lint:allow whose
+// analyzer ran but suppressed nothing is itself reported, at the
+// directive's own position; a directive that suppresses a real
+// diagnostic stays silent.
+package staleallow
+
+import "sync/atomic"
+
+type routing struct{ epoch int64 }
+
+type cluster struct {
+	routing atomic.Pointer[routing]
+}
+
+func (c *cluster) beginOp() *routing {
+	return c.routing.Load()
+}
+
+// live: the directive suppresses a real routingclaim diagnostic, so it
+// is not stale.
+func (c *cluster) live() *routing {
+	//lint:allow routingclaim — audit path, cluster quiesced by caller
+	return c.routing.Load()
+}
+
+// stale: nothing on the next line violates routingclaim anymore; the
+// leftover directive is reported.
+func (c *cluster) stale() int64 {
+	//lint:allow routingclaim — justified long ago, code since refactored // want `suppresses no diagnostic`
+	return 42
+}
