@@ -6,34 +6,66 @@ GO ?= go
 
 all: ci
 
+# ci publishes bin/lint-findings.json (the piql-vet -json payload from
+# the lint step) as its static-analysis artifact; on a clean run the
+# payload is an empty findings object, so the file always exists for
+# collection.
 ci: lint build race chaos-faults bench-smoke
+	@echo "lint findings artifact: bin/lint-findings.json"
 
 vet:
 	$(GO) vet ./...
 
 # lint is the static gate: formatting, the standard vet analyzers, and
-# the project's own eight analyzers (internal/lint) run as a vettool —
-# routing-snapshot claims, envelope integrity, virtual clock
-# discipline, lease-table swaps, lock-order cycles, blocking-under-
-# mutex, and transient-error taxonomy conformance. The vettool path
-# propagates per-function facts (locks held, may-block, error types)
-# across packages through go vet's .vetx files, so diagnostics here are
-# interprocedural. Suppressions are //lint:allow directives at the
-# annotated site; stale directives are themselves findings. See the
-# "Static analysis" section of README.md.
+# the project's own eleven analyzers (internal/lint) — routing-snapshot
+# claims, envelope integrity, virtual clock discipline, lease-table
+# swaps, lock-order cycles, blocking-under-mutex, transient-error
+# taxonomy conformance, goroutine-lifecycle termination (goroleak),
+# release-on-all-exits for mutexes and beginOp/endOp claims
+# (releasepath), and the hot-path heap-escape budget (escapebudget).
+# Per-function facts (locks held, may-block, error types, net
+# acquire/release, park risk) propagate across packages, so
+# diagnostics here are interprocedural. Suppressions are //lint:allow
+# directives at the annotated site; stale directives are themselves
+# findings. See the "Static analysis" section of README.md.
 #
-# Without the go command in the loop:
-#   go run ./cmd/piql-vet -standalone ./...            # from-source, whole module
-#   go run ./cmd/piql-vet -standalone -json ./...      # findings as JSON on stdout
-#   go run ./cmd/piql-vet -standalone -lockgraph ./... # print the lock hierarchy
+# The tree-wide run uses -cache: per-package facts and diagnostics are
+# keyed by a content hash (files + dependency facts + tool binary)
+# under bin/lintcache, so a warm `make lint` replays in seconds and
+# any source or tool change invalidates exactly the affected packages.
+# Findings are also written as bin/lint-findings.json (the -json
+# payload), which `make ci` publishes as its lint artifact.
+#
+# The escape gate compares `go build -gcflags=-m` attribution against
+# the checked-in escape.budget. After deliberately changing a hot
+# path's allocation profile, re-measure with:
+#   make lint ESCAPE_BUDGET=update
+# which rewrites escape.budget in place (review the diff like any
+# other file). Any other value leaves the budget enforced as-is.
+#
+# Without make in the loop:
+#   go run ./cmd/piql-vet -standalone ./...             # from-source, whole module
+#   go run ./cmd/piql-vet -standalone -json ./...       # findings as JSON on stdout
+#   go run ./cmd/piql-vet -standalone -lockgraph ./...  # print the lock hierarchy
+#   go run ./cmd/piql-vet -escapebudget ./...           # escape gate only
+#   go vet -vettool=bin/piql-vet ./...                  # via the go vet driver
 VETTOOL = bin/piql-vet
+ESCAPE_BUDGET ?=
 
 lint:
 	@out=$$(gofmt -l cmd internal *.go); if [ -n "$$out" ]; then \
 		echo "gofmt -l flagged:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) build -o $(VETTOOL) ./cmd/piql-vet
-	$(GO) vet -vettool=$(VETTOOL) ./...
+	$(VETTOOL) -standalone -cache bin/lintcache -json ./... > bin/lint-findings.json || \
+		{ cat bin/lint-findings.json; exit 1; }
+	@if [ "$(ESCAPE_BUDGET)" = "update" ]; then \
+		echo "$(VETTOOL) -escapebudget -update ./..."; \
+		$(VETTOOL) -escapebudget -update ./... && echo "escape.budget rewritten"; \
+	else \
+		echo "$(VETTOOL) -escapebudget ./..."; \
+		$(VETTOOL) -escapebudget ./...; \
+	fi
 
 build:
 	$(GO) build ./...

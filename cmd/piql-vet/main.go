@@ -6,9 +6,13 @@
 //
 // or directly, with no go vet handshake:
 //
-//	piql-vet -standalone ./...          # parse+typecheck from source
-//	piql-vet -standalone -json ./...    # machine-readable diagnostics
-//	piql-vet -standalone -lockgraph     # print the inferred lock hierarchy
+//	piql-vet -standalone ./...             # parse+typecheck from source
+//	piql-vet -standalone -json ./...       # machine-readable diagnostics
+//	piql-vet -standalone -lockgraph        # print the inferred lock hierarchy
+//	piql-vet -standalone -cache DIR ./...  # incremental: replay per-package
+//	                                       # results keyed by content+facts
+//	piql-vet -escapebudget [-update]       # hot-path heap-escape gate
+//	                                       # (runs go build -gcflags=-m)
 //
 // It speaks the go command's vettool protocol (the same one
 // golang.org/x/tools/go/analysis/unitchecker implements, re-created
@@ -40,7 +44,9 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"piql/internal/lint"
@@ -73,6 +79,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut    bool
 		standalone bool
 		lockgraph  bool
+		escBudget  bool
+		escUpdate  bool
+		cacheDir   string
 		chdir      string
 		patterns   []string
 	)
@@ -93,6 +102,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		case arg == "-lockgraph" || arg == "--lockgraph":
 			standalone = true
 			lockgraph = true
+		case arg == "-escapebudget" || arg == "--escapebudget":
+			escBudget = true
+		case arg == "-update" || arg == "--update":
+			escUpdate = true
+		case arg == "-cache" || arg == "--cache":
+			if i+1 >= len(args) {
+				fmt.Fprintln(stderr, "piql-vet: -cache needs a directory")
+				return 1
+			}
+			i++
+			cacheDir = args[i]
+		case strings.HasPrefix(arg, "-cache="):
+			cacheDir = strings.TrimPrefix(arg, "-cache=")
 		case arg == "-C" || arg == "--C":
 			if i+1 >= len(args) {
 				fmt.Fprintln(stderr, "piql-vet: -C needs a directory")
@@ -111,8 +133,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			patterns = append(patterns, arg)
 		}
 	}
+	if escBudget {
+		return runEscapeBudget(chdir, escUpdate, jsonOut, stdout, stderr)
+	}
 	if standalone {
-		return runStandalone(chdir, patterns, jsonOut, lockgraph, stdout, stderr)
+		return runStandalone(chdir, patterns, jsonOut, lockgraph, cacheDir, stdout, stderr)
 	}
 	if cfgPath == "" {
 		fmt.Fprintln(stderr, "piql-vet: no .cfg argument; run via go vet -vettool, or use -standalone ./...")
@@ -173,7 +198,7 @@ func runUnit(cfgPath string, jsonOut bool, stdout, stderr io.Writer) int {
 		Fset:       fset,
 		Files:      files,
 		ImportPath: cfg.ImportPath,
-		Facts:      readDepFacts(cfg.PackageVetx),
+		Facts:      readDepFacts(cfg.PackageVetx, stderr),
 	}
 	if len(files) > 0 {
 		pkg, info, err := typecheckUnit(fset, files, &cfg)
@@ -237,23 +262,178 @@ func typecheckUnit(fset *token.FileSet, files []*ast.File, cfg *config) (*types.
 }
 
 // readDepFacts loads every dependency's vetx facts file. Missing or
-// foreign files (std acknowledgements) contribute nothing.
-func readDepFacts(vetx map[string]string) *lint.FactStore {
+// foreign files (std acknowledgements) contribute nothing; corrupt
+// files are reported as a diagnostic on stderr and skipped — the unit
+// is analyzed without those facts rather than crashing the vet run.
+func readDepFacts(vetx map[string]string, stderr io.Writer) *lint.FactStore {
 	store := lint.NewFactStore()
 	for path, file := range vetx {
 		data, err := os.ReadFile(file)
 		if err != nil {
 			continue
 		}
-		store.Add(path, lint.DecodeFacts(data))
+		facts, err := lint.DecodeFacts(data)
+		if err != nil {
+			fmt.Fprintf(stderr, "piql-vet: ignoring facts for %s (%s): %v\n", path, file, err)
+			continue
+		}
+		store.Add(path, facts)
 	}
 	return store
 }
 
+// runEscapeBudget is the escapebudget analyzer's driver: it needs the
+// compiler's escape decisions, which no vet unit carries, so it builds
+// the whole module with -gcflags=-m, attributes the heap escapes to
+// the budgeted functions, and runs just that analyzer over the
+// packages the budget file names. With update=true it rewrites the
+// budget file to the measured counts instead of reporting.
+func runEscapeBudget(chdir string, update, jsonOut bool, stdout, stderr io.Writer) int {
+	start := chdir
+	if start == "" {
+		start = "."
+	}
+	loader, err := lint.NewLoader(start)
+	if err != nil {
+		fmt.Fprintf(stderr, "piql-vet: %v\n", err)
+		return 1
+	}
+	root := loader.ModuleRoot
+	budgetPath := filepath.Join(root, "escape.budget")
+	data, err := os.ReadFile(budgetPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "piql-vet: escape budget: %v\n", err)
+		return 1
+	}
+	counts, order, err := lint.ParseEscapeBudget(data)
+	if err != nil {
+		fmt.Fprintf(stderr, "piql-vet: %s: %v\n", budgetPath, err)
+		return 1
+	}
+	if len(counts) == 0 {
+		fmt.Fprintf(stderr, "piql-vet: %s lists no functions; nothing gated\n", budgetPath)
+		return 0
+	}
+
+	// The compiler replays -m diagnostics from the build cache, so a
+	// warm re-run is cheap.
+	cmd := exec.Command("go", "build", "-gcflags=-m", "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(stderr, "piql-vet: go build -gcflags=-m: %v\n%s", err, out)
+		return 1
+	}
+	raws := lint.ParseEscapeDiagnostics(out)
+	for i := range raws {
+		if !filepath.IsAbs(raws[i].File) {
+			raws[i].File = filepath.Join(root, raws[i].File)
+		}
+	}
+
+	byPkg := map[string]map[string]int{}
+	for fn, n := range counts {
+		ip, _, ok := lint.EscapeBudgetImportPath(fn)
+		if !ok {
+			fmt.Fprintf(stderr, "piql-vet: %s: entry %q has no import path\n", budgetPath, fn)
+			return 1
+		}
+		if byPkg[ip] == nil {
+			byPkg[ip] = map[string]int{}
+		}
+		byPkg[ip][fn] = n
+	}
+
+	all := map[string][]lint.Diagnostic{}
+	measured := map[string]int{}
+	for _, ip := range sortedKeys(byPkg) {
+		dir := root
+		if ip != loader.ModulePath {
+			if !strings.HasPrefix(ip, loader.ModulePath+"/") {
+				fmt.Fprintf(stderr, "piql-vet: %s: %s is outside module %s\n", budgetPath, ip, loader.ModulePath)
+				return 1
+			}
+			dir = filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(ip, loader.ModulePath+"/")))
+		}
+		fset := token.NewFileSet()
+		var files []*ast.File
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			fmt.Fprintf(stderr, "piql-vet: budgeted package %s: %v\n", ip, err)
+			return 1
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				fmt.Fprintf(stderr, "piql-vet: %v\n", err)
+				return 1
+			}
+			files = append(files, f)
+		}
+		declared := lint.DeclaredFuncKeys(files)
+		sites := lint.AttributeEscapes(fset, files, ip, raws)
+		for fn := range byPkg[ip] {
+			_, key, _ := lint.EscapeBudgetImportPath(fn)
+			if !declared[key] {
+				fmt.Fprintf(stderr, "piql-vet: %s: %s is not declared in %s; remove or fix the stale entry\n",
+					budgetPath, fn, ip)
+				return 1
+			}
+			measured[fn] = len(sites[fn])
+		}
+		unit := &lint.Unit{
+			Fset:       fset,
+			Files:      files,
+			ImportPath: ip,
+			Escapes:    &lint.EscapeInfo{Budget: byPkg[ip], Sites: sites},
+		}
+		diags, _ := lint.RunUnit(unit, []*lint.Analyzer{lint.EscapeBudget})
+		if len(diags) > 0 {
+			all[ip] = diags
+		}
+	}
+
+	if update {
+		for fn := range counts {
+			counts[fn] = measured[fn]
+		}
+		if err := os.WriteFile(budgetPath, lint.FormatEscapeBudget(counts, order), 0o666); err != nil {
+			fmt.Fprintf(stderr, "piql-vet: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "piql-vet: escape budget rewritten (%d entries)\n", len(order))
+		return 0
+	}
+	// Under budget is not a failure, but say so: a budget that drifted
+	// high lets regressions hide under it.
+	for _, fn := range order {
+		if measured[fn] < counts[fn] {
+			fmt.Fprintf(stderr, "piql-vet: note: %s has %d heap escapes, under its budget of %d; tighten with make lint ESCAPE_BUDGET=update\n",
+				fn, measured[fn], counts[fn])
+		}
+	}
+	return emit(all, jsonOut, stdout, stderr)
+}
+
+func sortedKeys(m map[string]map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // runStandalone loads the whole module from source — no export data,
 // no go vet — and runs every analyzer over every package in dependency
-// order, threading facts in memory.
-func runStandalone(chdir string, patterns []string, jsonOut, lockgraph bool, stdout, stderr io.Writer) int {
+// order, threading facts in memory. With a cache directory it becomes
+// incremental: per-package results are replayed when neither the
+// package's files, its dependencies' facts, nor the tool changed.
+func runStandalone(chdir string, patterns []string, jsonOut, lockgraph bool, cacheDir string, stdout, stderr io.Writer) int {
 	for _, p := range patterns {
 		if p != "./..." && p != "all" {
 			fmt.Fprintf(stderr, "piql-vet: -standalone analyzes the whole module; unsupported pattern %q (use ./...)\n", p)
@@ -263,6 +443,9 @@ func runStandalone(chdir string, patterns []string, jsonOut, lockgraph bool, std
 	start := chdir
 	if start == "" {
 		start = "."
+	}
+	if cacheDir != "" {
+		return runCached(start, cacheDir, jsonOut, lockgraph, stdout, stderr)
 	}
 	loader, err := lint.NewLoader(start)
 	if err != nil {
@@ -297,15 +480,138 @@ func runStandalone(chdir string, patterns []string, jsonOut, lockgraph bool, std
 	return emit(all, jsonOut, stdout, stderr)
 }
 
+// cacheEntry is one package's cached lint result. Its key (the file
+// name) is a hash of the tool, the package's file contents, and its
+// module-local dependencies' encoded facts — so an edit anywhere
+// invalidates exactly the edited package and its transitive
+// dependents, and a tool rebuild invalidates everything.
+type cacheEntry struct {
+	Diags []lint.Diagnostic `json:"diags,omitempty"`
+	Facts json.RawMessage   `json:"facts,omitempty"`
+}
+
+// runCached is the incremental standalone mode behind `make lint`: a
+// parse-only scan orders the packages, each package's cache key is
+// computed from content + dependency facts, and only missed packages
+// are typechecked and analyzed. A warm clean tree replays entirely
+// from cache.
+func runCached(start, cacheDir string, jsonOut, lockgraph bool, stdout, stderr io.Writer) int {
+	scan, err := lint.ScanModule(start)
+	if err != nil {
+		fmt.Fprintf(stderr, "piql-vet: %v\n", err)
+		return 1
+	}
+	if err := os.MkdirAll(cacheDir, 0o777); err != nil {
+		fmt.Fprintf(stderr, "piql-vet: %v\n", err)
+		return 1
+	}
+	salt := toolSalt()
+	store := lint.NewFactStore()
+	factBytes := map[string][]byte{}
+	all := map[string][]lint.Diagnostic{}
+	var edges []lint.LockEdge
+	var loader *lint.Loader
+	for _, sp := range scan {
+		h := sha256.New()
+		io.WriteString(h, "piql-vet lint cache v1\n")
+		io.WriteString(h, salt+"\n")
+		io.WriteString(h, sp.ImportPath+"\n")
+		for _, file := range sp.Files {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				fmt.Fprintf(stderr, "piql-vet: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(h, "file %s %d\n", filepath.Base(file), len(data))
+			h.Write(data)
+		}
+		for _, dep := range sp.LocalImports {
+			fmt.Fprintf(h, "dep %s %d\n", dep, len(factBytes[dep]))
+			h.Write(factBytes[dep])
+		}
+		entryPath := filepath.Join(cacheDir, fmt.Sprintf("%02x", h.Sum(nil))+".json")
+
+		if data, err := os.ReadFile(entryPath); err == nil {
+			var ce cacheEntry
+			if json.Unmarshal(data, &ce) == nil {
+				if facts, ferr := lint.DecodeFacts(ce.Facts); ferr == nil {
+					if facts != nil {
+						store.Add(sp.ImportPath, facts)
+						edges = append(edges, facts.LockEdges...)
+					}
+					factBytes[sp.ImportPath] = ce.Facts
+					if len(ce.Diags) > 0 {
+						all[sp.ImportPath] = ce.Diags
+					}
+					continue
+				}
+			}
+			// A corrupt entry under a valid key is recomputed, never
+			// trusted.
+			fmt.Fprintf(stderr, "piql-vet: discarding corrupt cache entry for %s\n", sp.ImportPath)
+		}
+
+		if loader == nil {
+			loader, err = lint.NewLoader(start)
+			if err != nil {
+				fmt.Fprintf(stderr, "piql-vet: %v\n", err)
+				return 1
+			}
+		}
+		lp, err := loader.LoadDir(sp.Dir, sp.ImportPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "piql-vet: %v\n", err)
+			return 1
+		}
+		lp.Unit.Facts = store
+		diags, facts := lint.RunUnit(lp.Unit, lint.Analyzers)
+		if len(diags) > 0 {
+			all[sp.ImportPath] = diags
+		}
+		enc := lint.EncodeFacts(facts)
+		if facts != nil {
+			store.Add(sp.ImportPath, facts)
+			edges = append(edges, facts.LockEdges...)
+		}
+		factBytes[sp.ImportPath] = enc
+		if out, err := json.Marshal(cacheEntry{Diags: diags, Facts: enc}); err == nil {
+			if werr := os.WriteFile(entryPath, out, 0o666); werr != nil {
+				fmt.Fprintf(stderr, "piql-vet: writing cache entry: %v\n", werr)
+			}
+		}
+	}
+	if lockgraph {
+		fmt.Fprintln(stdout, "lock hierarchy (acquired-while-held, roots first):")
+		for _, line := range lint.LockHierarchy(lint.NewFactStore().AllLockEdges(edges)) {
+			fmt.Fprintln(stdout, "  "+line)
+		}
+	}
+	return emit(all, jsonOut, stdout, stderr)
+}
+
+// toolSalt keys the lint cache to this build of the tool, the same way
+// the -V=full buildID keys go vet's cache.
+func toolSalt() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown-tool"
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		return "unknown-tool"
+	}
+	sum := sha256.Sum256(data)
+	return fmt.Sprintf("%02x", sum)
+}
+
 // emit prints diagnostics in the chosen format; exit status 2 when any
-// exist.
+// exist. JSON mode always writes the payload — an empty object on a
+// clean run — so redirecting it produces a findings artifact either
+// way.
 func emit(byPkg map[string][]lint.Diagnostic, jsonOut bool, stdout, stderr io.Writer) int {
 	n := 0
 	for _, ds := range byPkg {
 		n += len(ds)
-	}
-	if n == 0 {
-		return 0
 	}
 	if jsonOut {
 		type jsonDiag struct {
@@ -325,7 +631,13 @@ func emit(byPkg map[string][]lint.Diagnostic, jsonOut bool, stdout, stderr io.Wr
 		}
 		out, _ := json.MarshalIndent(payload, "", "\t")
 		stdout.Write(append(out, '\n'))
+		if n == 0 {
+			return 0
+		}
 		return 2
+	}
+	if n == 0 {
+		return 0
 	}
 	for _, ds := range byPkg {
 		for _, d := range ds {

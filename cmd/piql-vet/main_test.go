@@ -150,9 +150,9 @@ func TestVettoolProtocolFactsRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("facts file not written: %v", err)
 	}
-	facts := lint.DecodeFacts(data)
-	if facts == nil {
-		t.Fatalf("kvstore vetx did not decode: %q", data[:min(len(data), 80)])
+	facts, err := lint.DecodeFacts(data)
+	if err != nil || facts == nil {
+		t.Fatalf("kvstore vetx did not decode (err=%v): %q", err, data[:min(len(data), 80)])
 	}
 	tas, ok := facts.Funcs["(*Client).TestAndSet"]
 	if !ok {
@@ -253,6 +253,336 @@ func seededBadClassify(cl *kvstore.Client, key []byte) bool {
 	run([]string{enCfgNoFacts}, &stdout, &stderr)
 	if out := stderr.String(); strings.Contains(out, "zz_seeded.go") || strings.Contains(out, "per fact from") {
 		t.Fatalf("seeded site diagnosed even without the kvstore facts file:\n%s", out)
+	}
+}
+
+// writeTree writes a file tree under root from path→contents.
+func writeTree(t *testing.T, root string, files map[string]string) {
+	t.Helper()
+	for path, content := range files {
+		full := filepath.Join(root, filepath.FromSlash(path))
+		if err := os.MkdirAll(filepath.Dir(full), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestReleasePathCrossPackageFacts is the releasepath acceptance test
+// for the facts protocol: an acquire-helper in one package (justified
+// with //lint:allow, which still exports the hold as a NetAcquires
+// fact) and a caller in another package that leaks the hold on an
+// early return. The leak is witnessed only through the vetx facts file
+// — the caller's unit never sees the helper's source — and vanishes
+// when the facts are withheld, proving the wiring carries it.
+func TestReleasePathCrossPackageFacts(t *testing.T) {
+	tmp := t.TempDir()
+	// The scratch module is also named piql so its packages count as
+	// module-local to the analyzers.
+	writeTree(t, tmp, map[string]string{
+		"go.mod": "module piql\n\ngo 1.24\n",
+		"lockutil/lockutil.go": `package lockutil
+
+import "sync"
+
+type Guard struct{ Mu sync.Mutex }
+
+// BeginHold locks the guard and returns holding it: an intentional
+// acquire-helper whose callers must call EndHold.
+//
+//lint:allow releasepath — acquire-helper contract: every BeginHold caller must EndHold
+func BeginHold(g *Guard) {
+	g.Mu.Lock()
+}
+
+// EndHold releases a hold taken by BeginHold.
+func EndHold(g *Guard) {
+	g.Mu.Unlock()
+}
+`,
+		"user/user.go": `package user
+
+import "piql/lockutil"
+
+// LeakyHold forgets EndHold on the error path.
+func LeakyHold(g *lockutil.Guard, bad bool) {
+	lockutil.BeginHold(g)
+	if bad {
+		return
+	}
+	lockutil.EndHold(g)
+}
+`,
+	})
+
+	// Unit 1: lockutil, facts only. The allow suppresses the
+	// acquire-helper report but the NetAcquires fact must still export.
+	luPkgs := listExport(t, tmp, "piql/lockutil")
+	lu := luPkgs["piql/lockutil"]
+	if lu == nil {
+		t.Fatal("go list did not return piql/lockutil")
+	}
+	luPackageFile := map[string]string{}
+	for path, p := range luPkgs {
+		if p.Export != "" {
+			luPackageFile[path] = p.Export
+		}
+	}
+	var luFiles []string
+	for _, f := range lu.GoFiles {
+		luFiles = append(luFiles, filepath.Join(lu.Dir, f))
+	}
+	luVetx := filepath.Join(tmp, "lockutil.vetx")
+	luCfg := writeCfg(t, tmp, "lockutil.cfg", &config{
+		ID:          "piql/lockutil",
+		Compiler:    "gc",
+		Dir:         lu.Dir,
+		ImportPath:  "piql/lockutil",
+		GoFiles:     luFiles,
+		PackageFile: luPackageFile,
+		VetxOnly:    true,
+		VetxOutput:  luVetx,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{luCfg}, &stdout, &stderr); code != 0 {
+		t.Fatalf("lockutil unit exited %d: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(luVetx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts, err := lint.DecodeFacts(data)
+	if err != nil || facts == nil {
+		t.Fatalf("lockutil vetx did not decode (err=%v)", err)
+	}
+	bh, ok := facts.Funcs["BeginHold"]
+	if !ok || len(bh.NetAcquires) != 1 || bh.NetAcquires[0] != "lockutil.Guard.Mu" {
+		t.Fatalf("BeginHold must export NetAcquires [lockutil.Guard.Mu]: %+v", bh)
+	}
+	eh, ok := facts.Funcs["EndHold"]
+	if !ok || len(eh.NetReleases) != 1 || eh.NetReleases[0] != "lockutil.Guard.Mu" {
+		t.Fatalf("EndHold must export NetReleases [lockutil.Guard.Mu]: %+v", eh)
+	}
+
+	// Unit 2: user, consuming lockutil's facts — the early return must
+	// be reported as a leak of the imported hold.
+	usPkgs := listExport(t, tmp, "piql/user")
+	us := usPkgs["piql/user"]
+	if us == nil {
+		t.Fatal("go list did not return piql/user")
+	}
+	usPackageFile := map[string]string{}
+	for path, p := range usPkgs {
+		if p.Export != "" {
+			usPackageFile[path] = p.Export
+		}
+	}
+	var usFiles []string
+	for _, f := range us.GoFiles {
+		usFiles = append(usFiles, filepath.Join(us.Dir, f))
+	}
+	usCfg := writeCfg(t, tmp, "user.cfg", &config{
+		ID:          "piql/user",
+		Compiler:    "gc",
+		Dir:         us.Dir,
+		ImportPath:  "piql/user",
+		GoFiles:     usFiles,
+		PackageFile: usPackageFile,
+		PackageVetx: map[string]string{"piql/lockutil": luVetx},
+		VetxOutput:  filepath.Join(tmp, "user.vetx"),
+	})
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{usCfg}, &stdout, &stderr); code != 2 {
+		t.Fatalf("user unit exited %d (want 2)\nstderr: %s", code, stderr.String())
+	}
+	out := stderr.String()
+	if !strings.Contains(out, "lockutil.Guard.Mu") || !strings.Contains(out, "releasepath") ||
+		!strings.Contains(out, "still held at this return") {
+		t.Fatalf("diagnostic does not witness the imported hold:\n%s", out)
+	}
+
+	// Without the facts the caller's unit has no idea BeginHold holds
+	// anything: silence here proves the report above came from the vetx.
+	usCfgNoFacts := writeCfg(t, tmp, "user-nofacts.cfg", &config{
+		ID:          "piql/user#nofacts",
+		Compiler:    "gc",
+		Dir:         us.Dir,
+		ImportPath:  "piql/user",
+		GoFiles:     usFiles,
+		PackageFile: usPackageFile,
+		VetxOutput:  filepath.Join(tmp, "user-nofacts.vetx"),
+	})
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{usCfgNoFacts}, &stdout, &stderr); code != 0 {
+		t.Fatalf("user unit without facts exited %d:\n%s", code, stderr.String())
+	}
+}
+
+// TestEscapeBudgetGate seeds a one-line heap-escape regression on a
+// row-decode path in a scratch module and proves the gate trips: lint
+// exits 2 citing the function and its budget. The clean module passes,
+// and -update rewrites the budget to the measured counts.
+func TestEscapeBudgetGate(t *testing.T) {
+	tmp := t.TempDir()
+	clean := `package codec
+
+// DecodeRow parses a length-prefixed row without allocating.
+func DecodeRow(b []byte) (int, []byte) {
+	n := int(b[0])
+	return n, b[1 : 1+n]
+}
+`
+	writeTree(t, tmp, map[string]string{
+		"go.mod":         "module piql\n\ngo 1.24\n",
+		"codec/codec.go": clean,
+		"escape.budget":  "piql/codec.DecodeRow 0\n",
+	})
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-escapebudget", "-C", tmp}, &stdout, &stderr); code != 0 {
+		t.Fatalf("clean module exited %d:\n%s", code, stderr.String())
+	}
+
+	// The regression: one line that hands a pointer to the heap.
+	leaky := `package codec
+
+var sink *int
+
+// DecodeRow parses a length-prefixed row; the regression leaks a
+// counter to the heap.
+func DecodeRow(b []byte) (int, []byte) {
+	n := int(b[0])
+	leak := new(int)
+	sink = leak
+	return n, b[1 : 1+n]
+}
+`
+	writeTree(t, tmp, map[string]string{"codec/codec.go": leaky})
+	stdout.Reset()
+	stderr.Reset()
+	code := run([]string{"-escapebudget", "-C", tmp}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("seeded escape regression exited %d (want 2)\nstderr: %s", code, stderr.String())
+	}
+	out := stderr.String()
+	if !strings.Contains(out, "piql/codec.DecodeRow") || !strings.Contains(out, "over its budget of 0") {
+		t.Fatalf("gate does not cite function and budget:\n%s", out)
+	}
+
+	// -update ratchets the budget to the measured count, after which
+	// the same tree passes.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-escapebudget", "-update", "-C", tmp}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-update exited %d:\n%s", code, stderr.String())
+	}
+	budget, err := os.ReadFile(filepath.Join(tmp, "escape.budget"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(budget), "piql/codec.DecodeRow 1") {
+		t.Fatalf("-update did not record the measured count:\n%s", budget)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-escapebudget", "-C", tmp}, &stdout, &stderr); code != 0 {
+		t.Fatalf("updated budget still fails (%d):\n%s", code, stderr.String())
+	}
+
+	// A stale entry for a function that no longer exists is an error,
+	// not a silent pass.
+	writeTree(t, tmp, map[string]string{"escape.budget": "piql/codec.Gone 0\n"})
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-escapebudget", "-C", tmp}, &stdout, &stderr); code != 1 {
+		t.Fatalf("stale budget entry exited %d (want 1):\n%s", code, stderr.String())
+	}
+}
+
+// TestStandaloneCacheReplay drives the incremental mode: a cold run
+// computes and caches per-package results, a warm run replays them
+// byte-for-byte (diagnostics included) without typechecking, and an
+// edit invalidates exactly the edited package.
+func TestStandaloneCacheReplay(t *testing.T) {
+	tmp := t.TempDir()
+	leaky := `package g
+
+import "sync"
+
+type G struct{ mu sync.Mutex }
+
+func Leak(g *G, bad bool) {
+	g.mu.Lock()
+	if bad {
+		return
+	}
+	g.mu.Unlock()
+}
+`
+	writeTree(t, tmp, map[string]string{
+		"go.mod": "module piql\n\ngo 1.24\n",
+		"g/g.go": leaky,
+	})
+	cache := filepath.Join(tmp, "lintcache")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-standalone", "-cache", cache, "-C", tmp, "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("cold run exited %d (want 2: the fixture leaks)\n%s", code, stderr.String())
+	}
+	cold := stderr.String()
+	if !strings.Contains(cold, "releasepath") {
+		t.Fatalf("cold run missing the releasepath finding:\n%s", cold)
+	}
+	entries, err := os.ReadDir(cache)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("cold run wrote no cache entries: %v", err)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-standalone", "-cache", cache, "-C", tmp, "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("warm run exited %d (want 2)\n%s", code, stderr.String())
+	}
+	if warm := stderr.String(); warm != cold {
+		t.Fatalf("warm run did not replay the cold diagnostics\ncold: %s\nwarm: %s", cold, warm)
+	}
+
+	// Fix the leak: the package's key changes, the stale entry is
+	// bypassed, and the tree goes clean.
+	writeTree(t, tmp, map[string]string{"g/g.go": strings.Replace(leaky, "if bad {\n\t\treturn\n\t}\n", "", 1)})
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-standalone", "-cache", cache, "-C", tmp, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("fixed tree exited %d:\n%s", code, stderr.String())
+	}
+
+	// A corrupt cache entry is recomputed, not trusted.
+	entries, _ = os.ReadDir(cache)
+	for _, e := range entries {
+		if err := os.WriteFile(filepath.Join(cache, e.Name()), []byte("{torn"), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-standalone", "-cache", cache, "-C", tmp, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("corrupt cache entries broke the run (%d):\n%s", code, stderr.String())
+	}
+
+	// JSON mode always emits a findings payload, clean tree included —
+	// that is what make ci archives as the artifact.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-standalone", "-cache", cache, "-json", "-C", tmp, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("json run exited %d:\n%s", code, stderr.String())
+	}
+	var payload map[string]any
+	if err := json.Unmarshal(stdout.Bytes(), &payload); err != nil {
+		t.Fatalf("clean -json run did not emit a JSON payload: %v\n%s", err, stdout.String())
 	}
 }
 

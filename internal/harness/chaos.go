@@ -225,6 +225,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	writersAlive.Store(int64(cfg.Writers))
 	for g := 0; g < cfg.Writers; g++ {
 		wg.Add(1)
+		//lint:allow goroleak — writer fleet is wg-joined below; the loop is bounded by stormDone, which the storm goroutine sets via defer. The opaque call is the retry closure, whose attempts are capped.
 		go func(g int) {
 			defer wg.Done()
 			defer writersAlive.Add(-1)
@@ -322,6 +323,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	casKey := func(i int) []byte { return []byte(fmt.Sprintf("chaos-cas-%02d", i%cfg.CASKeys)) }
 	for g := 0; g < cfg.CASWriters; g++ {
 		wg.Add(1)
+		//lint:allow goroleak — CAS fleet is wg-joined with a bounded CASOpsPerWriter loop; the opaque call is the casKey closure, which only formats a key.
 		go func(g int) {
 			defer wg.Done()
 			cl := cluster.NewClient(nil)
@@ -373,6 +375,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	// puts queue rather than park.
 	victim := 3
 	wg.Add(1)
+	//lint:allow goroleak — storm driver is wg-joined; the opaque call is the doRebalance closure over Cluster.Rebalance, which returns, and the fault schedule is finite.
 	go func() {
 		defer wg.Done()
 		defer stormDone.Store(true)

@@ -1124,6 +1124,7 @@ func (cl *Client) fanOut(fns ...func(sub *Client)) {
 		sub.ops = 0
 		sub.lastErr = nil
 		wg.Add(1)
+		//lint:allow goroleak — fan-out children are wg-joined before fanOut returns; fn is the caller's sub-operation and shares its lifetime.
 		go func(sub *Client, fn func(*Client)) {
 			defer wg.Done()
 			fn(sub)

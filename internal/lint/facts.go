@@ -2,6 +2,7 @@ package lint
 
 import (
 	"encoding/json"
+	"fmt"
 	"sort"
 )
 
@@ -43,6 +44,23 @@ type FuncFact struct {
 	// ErrTypes lists the typed errors the function can return, e.g.
 	// "*kvstore.ErrNodeDown".
 	ErrTypes []string `json:"errTypes,omitempty"`
+	// ParkRisk is goroleak's witness that a run of this function may
+	// never terminate: the first non-escapable blocking operation,
+	// unbounded loop, or function-value call on some path ("" = the
+	// analysis found a termination path everywhere). Dependents chain
+	// it through their own call sites, so a `go` statement three
+	// packages away can cite the primitive that parks.
+	ParkRisk string `json:"parkRisk,omitempty"`
+	// NetAcquires lists the canonical lock IDs the function returns
+	// holding on some exit without ever releasing — an intentional
+	// acquire-helper contract. A dependent's walk extends its held set
+	// across calls to such helpers, so releasepath and holdblock see
+	// cross-package critical sections.
+	NetAcquires []string `json:"netAcquires,omitempty"`
+	// NetReleases lists the lock IDs the function releases without a
+	// matching acquisition of its own — the releasing half of a
+	// cross-package helper pair.
+	NetReleases []string `json:"netReleases,omitempty"`
 }
 
 // LockEdge is one acquired-while-held observation: To was acquired at
@@ -68,8 +86,8 @@ type PackageFacts struct {
 }
 
 // factsVersion bumps whenever the encoding or the meaning of a fact
-// changes.
-const factsVersion = 1
+// changes. Version 2 added ParkRisk and NetAcquires/NetReleases.
+const factsVersion = 2
 
 // EncodeFacts serializes facts for a vetx file.
 func EncodeFacts(f *PackageFacts) []byte {
@@ -84,19 +102,58 @@ func EncodeFacts(f *PackageFacts) []byte {
 	return out
 }
 
-// DecodeFacts parses a vetx facts file. Empty or foreign content (the
-// zero-length acknowledgement files written for out-of-module units,
-// or files from an older tool version) decodes to nil, which readers
-// treat as "no facts".
-func DecodeFacts(data []byte) *PackageFacts {
+// DecodeFacts parses a vetx facts file. Three outcomes:
+//
+//   - (facts, nil): a well-formed file from this tool version;
+//   - (nil, nil): content to silently ignore — the zero-length
+//     acknowledgement files written for out-of-module units, or a
+//     well-formed file from a different tool version (a stale cache
+//     across upgrades is expected, not an error);
+//   - (nil, err): corrupt or truncated content. Drivers must surface
+//     this as a diagnostic and run without the facts — never panic,
+//     never trust a partial decode. The go build cache and the lint
+//     cache both replay these files long after they were written, so
+//     torn writes and truncation are inputs, not impossibilities.
+func DecodeFacts(data []byte) (*PackageFacts, error) {
 	if len(data) == 0 {
-		return nil
+		return nil, nil
 	}
 	var f PackageFacts
-	if err := json.Unmarshal(data, &f); err != nil || f.Version != factsVersion {
-		return nil
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("corrupt facts (%d bytes): %w", len(data), err)
 	}
-	return &f
+	if f.Version != factsVersion {
+		return nil, nil
+	}
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// validate rejects decoded facts whose shape would break the
+// analyzers: JSON that parses but carries nonsense (an object where a
+// fuzzer flipped a field into the wrong container) must read as
+// corrupt, not as facts.
+func (f *PackageFacts) validate() error {
+	for key, fn := range f.Funcs {
+		if key == "" {
+			return fmt.Errorf("corrupt facts: empty function key")
+		}
+		for _, lists := range [][]string{fn.Acquires, fn.ErrTypes, fn.NetAcquires, fn.NetReleases} {
+			for _, id := range lists {
+				if id == "" {
+					return fmt.Errorf("corrupt facts: empty ID in %q", key)
+				}
+			}
+		}
+	}
+	for _, e := range f.LockEdges {
+		if e.From == "" || e.To == "" {
+			return fmt.Errorf("corrupt facts: lock edge with empty endpoint")
+		}
+	}
+	return nil
 }
 
 // FactStore holds the facts of every dependency package, keyed by

@@ -3,8 +3,10 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/constant"
 	"go/token"
 	"go/types"
+	"regexp"
 	"sort"
 	"strings"
 )
@@ -49,9 +51,12 @@ import (
 //     blocking does not propagate to the spawning function (spawning
 //     does not block).
 //   - a helper that returns while still holding a lock it acquired is
-//     not modeled (no such helper exists in this codebase; locking is
-//     balanced per function, with storeLocked-style helpers documented
-//     as caller-holds).
+//     modeled only across package boundaries: its unbalanced
+//     acquisitions export as NetAcquires/NetReleases facts, which a
+//     dependent package's walk applies at the call site. Same-package
+//     helper pairs are not threaded back through the walk (the walk
+//     runs before the fixpoint); in-package discipline is covered by
+//     the direct sync-op and claim-pair tracking instead.
 type Interproc struct {
 	unit *Unit
 	pkg  *types.Package
@@ -68,13 +73,40 @@ type Interproc struct {
 	transientTypes map[string]bool
 	// hasTransientSentinel reports a package-level `var ErrTransient`.
 	hasTransientSentinel bool
+
+	// closedChans holds the canonical IDs (see chanID) of every channel
+	// some statement in the package closes: a receive or range on one
+	// of these can terminate, so it is not a park risk.
+	closedChans map[string]bool
+	// chanCaps records how each package-made channel was made; a send
+	// is only provably non-parking when every make site is buffered
+	// with a constant positive capacity.
+	chanCaps map[string]*chanCap
 }
 
-// heldLock is one held lock: its canonical ID and whether the hold is
-// exclusive (Lock) or shared (RLock).
+// chanCap accumulates the make() sites of one channel ID.
+type chanCap struct {
+	buffered   bool // some make(chan T, n) with constant n > 0
+	unbuffered bool // some make(chan T) or constant zero capacity
+	unknown    bool // some make with a non-constant capacity
+}
+
+// hold kinds: a real sync.Mutex/RWMutex, or a paired-call claim
+// (beginOp/endOp routing claims) that releasepath balances but that
+// must stay invisible to lockorder's edges and holdblock's held sets.
+const (
+	kindMutex int8 = iota
+	kindClaim
+)
+
+// heldLock is one held lock: its canonical ID, whether the hold is
+// exclusive (Lock) or shared (RLock), its kind, and whether a deferred
+// release is registered for it (so exits do not count it leaked).
 type heldLock struct {
 	id        string
 	exclusive bool
+	kind      int8
+	deferred  bool
 }
 
 // held is the multiset of locks held at a program point, in
@@ -89,24 +121,40 @@ func (h *held) clone() *held {
 
 func (h *held) acquire(l heldLock) { h.locks = append(h.locks, l) }
 
-// release removes the most recent matching hold; releasing a lock that
-// is not held is a no-op (e.g. the Unlock after a TryLock loop the
-// walker deliberately did not model).
-func (h *held) release(id string, exclusive bool) {
+// release removes the most recent matching hold and reports whether
+// one was found; releasing a lock that is not held is a no-op (e.g.
+// the Unlock after a TryLock loop the walker deliberately did not
+// model).
+func (h *held) release(id string, exclusive bool) bool {
 	for i := len(h.locks) - 1; i >= 0; i-- {
 		if h.locks[i].id == id && h.locks[i].exclusive == exclusive {
 			h.locks = append(h.locks[:i], h.locks[i+1:]...)
-			return
+			return true
 		}
 	}
+	return false
 }
 
-// ids returns the distinct held lock IDs in acquisition order.
+// markDeferred flags the most recent matching hold as covered by a
+// deferred release and reports whether one was found.
+func (h *held) markDeferred(id string, exclusive bool) bool {
+	for i := len(h.locks) - 1; i >= 0; i-- {
+		if h.locks[i].id == id && h.locks[i].exclusive == exclusive && !h.locks[i].deferred {
+			h.locks[i].deferred = true
+			return true
+		}
+	}
+	return false
+}
+
+// ids returns the distinct held mutex IDs in acquisition order.
+// Claim-kind holds are excluded: they are releasepath's business and
+// must not grow lock-order edges.
 func (h *held) ids() []string {
 	var out []string
 	seen := map[string]bool{}
 	for _, l := range h.locks {
-		if !seen[l.id] {
+		if l.kind == kindMutex && !seen[l.id] {
 			seen[l.id] = true
 			out = append(out, l.id)
 		}
@@ -114,12 +162,12 @@ func (h *held) ids() []string {
 	return out
 }
 
-// exclusiveIDs returns the distinct exclusively-held lock IDs.
+// exclusiveIDs returns the distinct exclusively-held mutex IDs.
 func (h *held) exclusiveIDs() []string {
 	var out []string
 	seen := map[string]bool{}
 	for _, l := range h.locks {
-		if l.exclusive && !seen[l.id] {
+		if l.kind == kindMutex && l.exclusive && !seen[l.id] {
 			seen[l.id] = true
 			out = append(out, l.id)
 		}
@@ -147,8 +195,31 @@ func unionHeld(a, b *held) *held {
 }
 
 // blockObs is one direct blocking operation and the locks held there.
+// park, when non-empty, is the goroleak witness: why this operation
+// has no provable escape (an unbuffered send, a receive no path
+// closes, a select with no done case). Escapable blocks — WaitGroup
+// joins, buffered sends, receives on closed channels, time.Sleep —
+// carry park == "".
 type blockObs struct {
 	desc string
+	pos  token.Pos
+	held []heldLock
+	park string
+}
+
+// spawnObs is one `go` statement: the spawned body (a pseudo-function
+// for literals, a named object otherwise, or dynamic for spawns of
+// function values).
+type spawnObs struct {
+	pos     token.Pos
+	target  *funcInfo   // literal body
+	fn      *types.Func // named callee
+	dynamic bool
+}
+
+// exitObs is one function exit (a return statement or the implicit
+// fall-through at the closing brace) and the locks held there.
+type exitObs struct {
 	pos  token.Pos
 	held []heldLock
 }
@@ -181,6 +252,20 @@ type funcInfo struct {
 	edges        []localEdge
 	acquires     map[string]bool
 
+	// release-path observations (for releasepath and the
+	// NetAcquires/NetReleases facts)
+	exits       []exitObs
+	releasedIDs map[string]bool   // ids released (or defer-released) on some path
+	netReleases map[string]bool   // ids released with no matching local hold
+	claimNames  map[string]string // claim id → human name ("routing claim kvstore.beginOp/endOp")
+
+	// goroutine-lifecycle observations (for goroleak)
+	spawns []spawnObs
+	// parkCands are the in-order park-risk witnesses found directly in
+	// the body: non-escapable blocking ops, loops with no exit, calls
+	// through function values.
+	parkCands []string
+
 	// error-return structure (for the transient fixpoint)
 	retTypes    map[string]bool // typed errors returned directly, "*pkg.T"
 	retSentinel bool            // returns ErrTransient itself
@@ -194,6 +279,11 @@ type funcInfo struct {
 	transient    bool
 	allErrTypes  map[string]bool
 	transientVia string // witness: callee chain or "returns *pkg.T"
+	// parkRisk is the goroleak witness: the first reason a run of this
+	// function may never terminate ("" = terminates as far as the
+	// analysis can tell). Propagated through local calls and imported
+	// facts like blockPath.
+	parkRisk string
 }
 
 // buildInterproc runs the walk and fixpoint over the unit's non-test
@@ -217,23 +307,44 @@ func buildInterproc(u *Unit, files []*ast.File) *Interproc {
 				continue
 			}
 			fi := &funcInfo{
-				key:      funcKey(obj),
-				display:  ip.pkg.Name() + "." + funcKey(obj),
-				decl:     fd,
-				acquires: map[string]bool{},
-				retTypes: map[string]bool{},
+				key:         funcKey(obj),
+				display:     ip.pkg.Name() + "." + funcKey(obj),
+				decl:        fd,
+				acquires:    map[string]bool{},
+				retTypes:    map[string]bool{},
+				releasedIDs: map[string]bool{},
+				netReleases: map[string]bool{},
+				claimNames:  map[string]string{},
 			}
 			ip.funcs = append(ip.funcs, fi)
 			ip.byObj[obj] = fi
 		}
 	}
+	// Channel close/capacity prepass before any body walk: escapability
+	// of a receive depends on close() sites anywhere in the package.
+	ip.chanPrepass(files)
 	// Walk after registration so local calls resolve during the walk.
 	for _, fi := range append([]*funcInfo(nil), ip.funcs...) {
 		h := &held{}
-		ip.walkStmt(fi, fi.decl.Body, h)
+		if !ip.walkStmt(fi, fi.decl.Body, h) {
+			ip.recordExit(fi, fi.decl.Body.Rbrace, h)
+		}
 	}
 	ip.fixpoint()
 	return ip
+}
+
+// recordExit notes the held set at one function exit. Loop bodies are
+// walked twice, so a repeat at the same position unions into the
+// existing record (the second pass may carry back-edge holds).
+func (ip *Interproc) recordExit(fi *funcInfo, pos token.Pos, h *held) {
+	for i, e := range fi.exits {
+		if e.pos == pos {
+			fi.exits[i].held = unionHeld(&held{locks: e.held}, h).locks
+			return
+		}
+	}
+	fi.exits = append(fi.exits, exitObs{pos: pos, held: append([]heldLock(nil), h.locks...)})
 }
 
 // funcKey renders a function the way a call site reads: "Func",
@@ -314,6 +425,214 @@ func (ip *Interproc) findTransientTypes(files []*ast.File) {
 	}
 }
 
+// ---------------------------------------------------------------------
+// Channel prepass (for goroleak escapability).
+
+// chanPrepass records, before any body walk, every channel the package
+// closes and how every package-made channel is buffered, keyed by the
+// same canonical naming scheme as locks. A receive can escape if some
+// statement in the package closes the channel; a send can escape only
+// if every make() site gives it constant positive capacity.
+func (ip *Interproc) chanPrepass(files []*ast.File) {
+	ip.closedChans = map[string]bool{}
+	ip.chanCaps = map[string]*chanCap{}
+	for _, f := range files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) {
+			switch v := n.(type) {
+			case *ast.CallExpr:
+				id, ok := ast.Unparen(v.Fun).(*ast.Ident)
+				if !ok || id.Name != "close" || len(v.Args) != 1 {
+					return
+				}
+				if _, isBuiltin := ip.info.Uses[id].(*types.Builtin); !isBuiltin {
+					return
+				}
+				ip.closedChans[ip.chanIDIn(stack, v.Args[0])] = true
+			case *ast.AssignStmt:
+				if len(v.Lhs) != len(v.Rhs) {
+					return
+				}
+				for i := range v.Rhs {
+					ip.recordChanMake(stack, v.Lhs[i], v.Rhs[i])
+				}
+			case *ast.ValueSpec:
+				if len(v.Names) != len(v.Values) {
+					return
+				}
+				for i := range v.Values {
+					ip.recordChanMake(stack, v.Names[i], v.Values[i])
+				}
+			case *ast.KeyValueExpr:
+				// Struct-literal field init: indexBuild{done: make(chan …)}.
+				key, ok := v.Key.(*ast.Ident)
+				if !ok {
+					return
+				}
+				lit := enclosingComposite(stack)
+				if lit == nil {
+					return
+				}
+				if owner := ip.compositeTypeName(lit); owner != "" {
+					ip.recordChanMakeID(owner+"."+key.Name, v.Value)
+				}
+			}
+		})
+	}
+}
+
+// enclosingComposite returns the innermost composite literal on the
+// stack (the direct parent of a KeyValueExpr being visited).
+func enclosingComposite(stack []ast.Node) *ast.CompositeLit {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if cl, ok := stack[i].(*ast.CompositeLit); ok {
+			return cl
+		}
+	}
+	return nil
+}
+
+// recordChanMake notes rhs when it is a make(chan …) assigned to lhs.
+func (ip *Interproc) recordChanMake(stack []ast.Node, lhs, rhs ast.Expr) {
+	if _, buffered, known, isChan := ip.makeChanCap(rhs); isChan {
+		id := ip.chanIDIn(stack, lhs)
+		cc := ip.chanCaps[id]
+		if cc == nil {
+			cc = &chanCap{}
+			ip.chanCaps[id] = cc
+		}
+		switch {
+		case !known:
+			cc.unknown = true
+		case buffered:
+			cc.buffered = true
+		default:
+			cc.unbuffered = true
+		}
+	}
+}
+
+// recordChanMakeID is recordChanMake with a precomputed canonical ID.
+func (ip *Interproc) recordChanMakeID(id string, rhs ast.Expr) {
+	if _, buffered, known, isChan := ip.makeChanCap(rhs); isChan {
+		cc := ip.chanCaps[id]
+		if cc == nil {
+			cc = &chanCap{}
+			ip.chanCaps[id] = cc
+		}
+		switch {
+		case !known:
+			cc.unknown = true
+		case buffered:
+			cc.buffered = true
+		default:
+			cc.unbuffered = true
+		}
+	}
+}
+
+// makeChanCap classifies a make(chan …) expression: its capacity
+// argument, whether it is constant-positive (buffered), whether the
+// capacity is statically known, and whether this is a channel make at
+// all.
+func (ip *Interproc) makeChanCap(e ast.Expr) (capArg ast.Expr, buffered, known, isChan bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, false, false, false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return nil, false, false, false
+	}
+	if _, isBuiltin := ip.info.Uses[id].(*types.Builtin); !isBuiltin {
+		return nil, false, false, false
+	}
+	t := ip.typeOf(call)
+	if t == nil {
+		return nil, false, false, false
+	}
+	if _, ok := t.Underlying().(*types.Chan); !ok {
+		return nil, false, false, false
+	}
+	if len(call.Args) < 2 {
+		return nil, false, true, true // make(chan T): unbuffered
+	}
+	capArg = call.Args[1]
+	if tv, ok := ip.info.Types[capArg]; ok && tv.Value != nil {
+		n, exact := constant.Int64Val(tv.Value)
+		return capArg, exact && n > 0, true, true
+	}
+	return capArg, false, false, true
+}
+
+// chanIDIn canonicalizes a channel expression seen during the prepass.
+func (ip *Interproc) chanIDIn(stack []ast.Node, x ast.Expr) string {
+	return ip.chanKey(x)
+}
+
+// chanID canonicalizes a channel expression inside a walked function.
+func (ip *Interproc) chanID(fi *funcInfo, x ast.Expr) string {
+	return ip.chanKey(x)
+}
+
+// chanKey names a channel so every reference to the same variable gets
+// the same key. Locals are keyed by declaration position, not by
+// enclosing function the way locks are: the common leak shape is a
+// goroutine literal sending on a channel its *enclosing* function
+// made, and the closure and the maker must agree on the channel's
+// identity for the make-site capacity to reach the send site.
+func (ip *Interproc) chanKey(x ast.Expr) string {
+	x = ast.Unparen(x)
+	if id, ok := x.(*ast.Ident); ok {
+		if obj := ip.info.ObjectOf(id); obj != nil {
+			if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+				return obj.Pkg().Name() + "." + obj.Name()
+			}
+			if obj.Pos().IsValid() {
+				return ip.pkg.Name() + "." + id.Name + "@" + ip.shortPos(obj.Pos())
+			}
+		}
+	}
+	return ip.lockIDKeyed("func", x)
+}
+
+// doneNameRe matches channel names that by convention signal shutdown;
+// receiving from one is treated as having a termination path even when
+// the close() lives in another package.
+var doneNameRe = regexp.MustCompile(`(?i)^(done|stop|quit|cancel|close|closing|closed|kill|exit|term|finish|wake)`)
+
+// doneLike reports whether a channel expression is a shutdown signal:
+// a done-named channel or a context's Done() stream.
+func (ip *Interproc) doneLike(x ast.Expr) bool {
+	switch v := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		return doneNameRe.MatchString(v.Name)
+	case *ast.SelectorExpr:
+		return doneNameRe.MatchString(v.Sel.Name)
+	case *ast.CallExpr:
+		if sel, ok := ast.Unparen(v.Fun).(*ast.SelectorExpr); ok {
+			return sel.Sel.Name == "Done"
+		}
+	}
+	return false
+}
+
+// recvEscapes reports whether a receive from x has a termination path:
+// some statement in this package closes the channel, or the channel is
+// a shutdown signal by name.
+func (ip *Interproc) recvEscapes(fi *funcInfo, x ast.Expr) bool {
+	return ip.closedChans[ip.chanID(fi, x)] || ip.doneLike(x)
+}
+
+// sendEscapes reports whether a send on x is provably non-parking:
+// every make() site of the channel is buffered with constant positive
+// capacity. (A buffered send can still park when the buffer is full;
+// the analyzers treat bounded-capacity sends as the spawner's
+// responsibility and flag only never-drained shapes.)
+func (ip *Interproc) sendEscapes(fi *funcInfo, x ast.Expr) bool {
+	cc := ip.chanCaps[ip.chanID(fi, x)]
+	return cc != nil && cc.buffered && !cc.unbuffered && !cc.unknown
+}
+
 // recvTypeName returns the bare receiver type name of a method object.
 func recvTypeName(fn *types.Func) string {
 	sig, ok := fn.Type().(*types.Signature)
@@ -381,7 +700,11 @@ func (ip *Interproc) walkStmt(fi *funcInfo, st ast.Stmt, h *held) bool {
 	case *ast.SendStmt:
 		ip.walkExpr(fi, s.Chan, h)
 		ip.walkExpr(fi, s.Value, h)
-		ip.block(fi, "channel send", s.Arrow, h)
+		park := ""
+		if !ip.sendEscapes(fi, s.Chan) {
+			park = "send on " + ip.chanID(fi, s.Chan) + " with no provable capacity"
+		}
+		ip.block(fi, "channel send", s.Arrow, h, park)
 	case *ast.AssignStmt:
 		for _, e := range s.Rhs {
 			ip.walkExpr(fi, e, h)
@@ -424,6 +747,10 @@ func (ip *Interproc) walkStmt(fi *funcInfo, st ast.Stmt, h *held) bool {
 	case *ast.ForStmt:
 		ip.walkStmt(fi, s.Init, h)
 		ip.walkExpr(fi, s.Cond, h)
+		if s.Cond == nil && !loopExits(s.Body) {
+			fi.parkCands = append(fi.parkCands,
+				"infinite for-loop with no break or return ("+ip.shortPos(s.For)+")")
+		}
 		// Two passes over the body: the second starts from the union of
 		// entry and first-iteration exit, so a lock still held across
 		// the back edge is seen by iteration-two acquisitions.
@@ -438,7 +765,11 @@ func (ip *Interproc) walkStmt(fi *funcInfo, st ast.Stmt, h *held) bool {
 		ip.walkExpr(fi, s.X, h)
 		if t := ip.typeOf(s.X); t != nil {
 			if _, isChan := t.Underlying().(*types.Chan); isChan {
-				ip.block(fi, "range over channel", s.For, h)
+				park := ""
+				if !ip.recvEscapes(fi, s.X) {
+					park = "range over " + ip.chanID(fi, s.X) + ", which no analyzed path closes"
+				}
+				ip.block(fi, "range over channel", s.For, h, park)
 			}
 		}
 		body := h.clone()
@@ -456,13 +787,28 @@ func (ip *Interproc) walkStmt(fi *funcInfo, st ast.Stmt, h *held) bool {
 		ip.walkCases(fi, s.Body, h)
 	case *ast.SelectStmt:
 		hasDefault := false
+		hasEscape := false
 		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if cc.Comm == nil {
 				hasDefault = true
+				continue
+			}
+			// A case receiving from a closed/done channel is the select's
+			// termination path.
+			if x := commRecvChan(cc.Comm); x != nil && ip.recvEscapes(fi, x) {
+				hasEscape = true
 			}
 		}
 		if !hasDefault {
-			ip.block(fi, "select with no default", s.Select, h)
+			park := ""
+			if !hasEscape {
+				park = "select with no default and no done/close case"
+			}
+			ip.block(fi, "select with no default", s.Select, h, park)
 		}
 		ip.walkCases(fi, s.Body, h)
 	case *ast.ReturnStmt:
@@ -470,6 +816,7 @@ func (ip *Interproc) walkStmt(fi *funcInfo, st ast.Stmt, h *held) bool {
 			ip.walkExpr(fi, e, h)
 		}
 		ip.recordReturn(fi, s)
+		ip.recordExit(fi, s.Pos(), h)
 		return true
 	case *ast.BranchStmt:
 		// break/continue/goto: stops fall-through here; the loop's
@@ -481,15 +828,132 @@ func (ip *Interproc) walkStmt(fi *funcInfo, st ast.Stmt, h *held) bool {
 		for _, a := range s.Call.Args {
 			ip.walkExpr(fi, a, h)
 		}
-		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
-			ip.pseudoFunc(fi, lit, "goroutine")
+		// Spawning blocks nothing here, but goroleak needs the spawned
+		// body: a literal gets its own pseudo-function, a named callee
+		// resolves through facts, anything else is a dynamic spawn.
+		// The two-pass loop walk revisits go statements; record each
+		// site once.
+		for _, sp := range fi.spawns {
+			if sp.pos == s.Pos() {
+				return false
+			}
 		}
-		// A named callee spawned on its own goroutine contributes its
-		// own summary; spawning it blocks nothing here.
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			target := ip.pseudoFunc(fi, lit, "goroutine")
+			fi.spawns = append(fi.spawns, spawnObs{pos: s.Pos(), target: target})
+		} else if fn := calleeOf(ip.info, s.Call); fn != nil {
+			fi.spawns = append(fi.spawns, spawnObs{pos: s.Pos(), fn: fn})
+		} else {
+			fi.spawns = append(fi.spawns, spawnObs{pos: s.Pos(), dynamic: true})
+		}
 	case *ast.LabeledStmt:
 		return ip.walkStmt(fi, s.Stmt, h)
 	}
 	return false
+}
+
+// loopExits reports whether a `for {` body has any way out: a return,
+// a break that targets this loop, a goto or labeled break, or a call
+// that never comes back (panic, runtime.Goexit, os.Exit, *.Fatal*).
+func loopExits(body *ast.BlockStmt) bool {
+	for _, st := range body.List {
+		if stmtExitsLoop(st, true) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmtExitsLoop scans one statement of a loop body. breakWorks is
+// false inside constructs that capture a plain break (nested loops,
+// switch/select) — a break there does not exit the outer loop.
+func stmtExitsLoop(st ast.Stmt, breakWorks bool) bool {
+	exits := func(list []ast.Stmt, bw bool) bool {
+		for _, s := range list {
+			if stmtExitsLoop(s, bw) {
+				return true
+			}
+		}
+		return false
+	}
+	switch s := st.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			return breakWorks || s.Label != nil
+		case token.GOTO:
+			return true
+		}
+		return false
+	case *ast.BlockStmt:
+		return exits(s.List, breakWorks)
+	case *ast.IfStmt:
+		if stmtExitsLoop(s.Body, breakWorks) {
+			return true
+		}
+		return s.Else != nil && stmtExitsLoop(s.Else, breakWorks)
+	case *ast.LabeledStmt:
+		return stmtExitsLoop(s.Stmt, breakWorks)
+	case *ast.ForStmt:
+		return stmtExitsLoop(s.Body, false)
+	case *ast.RangeStmt:
+		return stmtExitsLoop(s.Body, false)
+	case *ast.SwitchStmt:
+		return exits(s.Body.List, breakWorks)
+	case *ast.TypeSwitchStmt:
+		return exits(s.Body.List, breakWorks)
+	case *ast.SelectStmt:
+		return exits(s.Body.List, breakWorks)
+	case *ast.CaseClause:
+		// A break directly inside a case breaks the switch/select, not
+		// the loop.
+		return exits(s.Body, false)
+	case *ast.CommClause:
+		return exits(s.Body, false)
+	case *ast.ExprStmt:
+		return callNeverReturns(s.X)
+	}
+	return false
+}
+
+// callNeverReturns recognizes calls that terminate the goroutine (or
+// process) instead of returning: panic, runtime.Goexit, os.Exit, and
+// the *.Fatal/Fatalf family.
+func callNeverReturns(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Goexit", "Exit", "Fatal", "Fatalf", "Fatalln":
+			return true
+		}
+	}
+	return false
+}
+
+// commRecvChan returns the channel expression a select comm statement
+// receives from, or nil when the comm is a send.
+func commRecvChan(st ast.Stmt) ast.Expr {
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(s.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			return u.X
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if u, ok := ast.Unparen(s.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				return u.X
+			}
+		}
+	}
+	return nil
 }
 
 // walkCases merges switch/select clause bodies: each clause starts
@@ -526,7 +990,7 @@ func (ip *Interproc) walkCases(fi *funcInfo, body *ast.BlockStmt, h *held) {
 			if cc.Comm == nil {
 				hasDefault = true
 			}
-			ip.walkStmt(fi, cc.Comm, clauseH)
+			ip.walkComm(fi, cc.Comm, clauseH)
 			for _, st := range cc.Body {
 				if term = ip.walkStmt(fi, st, clauseH); term {
 					break
@@ -545,6 +1009,41 @@ func (ip *Interproc) walkCases(fi *funcInfo, body *ast.BlockStmt, h *held) {
 	}
 }
 
+// walkComm walks a select case's communication statement without
+// recording it as a standalone blocking operation: the select itself
+// is the block (already recorded, with a default clause making it
+// non-blocking), so routing the comm through walkStmt/walkExpr would
+// fabricate a "channel send/receive" observation inside
+// select{…: default:} shapes. Operand subexpressions still get walked
+// (they can contain calls).
+func (ip *Interproc) walkComm(fi *funcInfo, st ast.Stmt, h *held) {
+	switch s := st.(type) {
+	case nil:
+	case *ast.SendStmt:
+		ip.walkExpr(fi, s.Chan, h)
+		ip.walkExpr(fi, s.Value, h)
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(s.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			ip.walkExpr(fi, u.X, h)
+			return
+		}
+		ip.walkStmt(fi, s, h)
+	case *ast.AssignStmt:
+		for _, e := range s.Lhs {
+			ip.walkExpr(fi, e, h)
+		}
+		for _, e := range s.Rhs {
+			if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				ip.walkExpr(fi, u.X, h)
+			} else {
+				ip.walkExpr(fi, e, h)
+			}
+		}
+	default:
+		ip.walkStmt(fi, st, h)
+	}
+}
+
 // walkDefer handles defer: a deferred Unlock/RUnlock means the lock
 // stays held to the end of the body (so: do nothing); any other
 // deferred work runs at return with an unknown held set, analyzed as a
@@ -557,35 +1056,148 @@ func (ip *Interproc) walkDefer(fi *funcInfo, s *ast.DeferStmt, h *held) {
 		ip.pseudoFunc(fi, lit, "deferred func")
 		return
 	}
-	if fn := calleeOf(ip.info, s.Call); fn != nil && isSyncMethod(fn) {
+	fn := calleeOf(ip.info, s.Call)
+	if fn == nil {
+		return
+	}
+	if isSyncMethod(fn) {
 		switch fn.Name() {
 		case "Unlock", "RUnlock":
-			return // lock held through the body: already modeled by not releasing
+			// Lock held through the body, released at every return: mark
+			// the hold deferred so releasepath treats the exits as
+			// balanced.
+			if sel, ok := ast.Unparen(s.Call.Fun).(*ast.SelectorExpr); ok {
+				id := ip.lockID(fi, sel.X)
+				if h.markDeferred(id, fn.Name() == "Unlock") {
+					fi.releasedIDs[id] = true
+				}
+			}
+		}
+		return
+	}
+	// defer cl.c.endOp(rt): the claim releases on every exit.
+	if id, ok := ip.claimRelease(fn); ok {
+		if h.markDeferred(id, true) {
+			fi.releasedIDs[id] = true
+		}
+		return
+	}
+	// A deferred cross-package releasing helper (NetReleases fact)
+	// likewise covers its ids on every exit.
+	if fn.Pkg() != nil && fn.Pkg().Path() != pkgPathOf(ip.pkg) && ip.moduleLocal(fn.Pkg().Path()) {
+		if fact, ok := ip.unit.Facts.Func(fn.Pkg().Path(), funcKey(fn)); ok {
+			for _, id := range fact.NetReleases {
+				if h.markDeferred(id, true) {
+					fi.releasedIDs[id] = true
+				}
+			}
 		}
 	}
 }
 
-// block records a direct blocking operation at pos under h.
-func (ip *Interproc) block(fi *funcInfo, desc string, pos token.Pos, h *held) {
+// pkgPathOf is pkg.Path() tolerating nil.
+func pkgPathOf(p *types.Package) string {
+	if p == nil {
+		return ""
+	}
+	return p.Path()
+}
+
+// claimPairs maps a claim-acquiring call name to its releasing
+// counterpart. Claims are module-local paired calls with the semantics
+// of a resource hold — the kvstore routing claim (`beginOp` pins a
+// routing snapshot's refcount until `endOp`) is the one in this tree —
+// tracked branch-sensitively like locks but invisible to lockorder
+// and holdblock (a claim does not exclude anyone).
+var claimPairs = map[string]string{
+	"beginOp": "endOp",
+}
+
+// claimAcquire reports whether fn acquires a claim, returning the
+// claim's canonical ID ("kvstore.beginOp/endOp") and display name.
+func (ip *Interproc) claimAcquire(fn *types.Func) (id, desc string, ok bool) {
+	rel, found := claimPairs[fn.Name()]
+	if !found || fn.Pkg() == nil || !ip.moduleLocal(fn.Pkg().Path()) {
+		return "", "", false
+	}
+	id = fn.Pkg().Name() + "." + fn.Name() + "/" + rel
+	return id, "claim " + id, true
+}
+
+// claimRelease reports whether fn releases a claim, returning the
+// claim's canonical ID.
+func (ip *Interproc) claimRelease(fn *types.Func) (string, bool) {
+	if fn.Pkg() == nil || !ip.moduleLocal(fn.Pkg().Path()) {
+		return "", false
+	}
+	for acq, rel := range claimPairs {
+		if fn.Name() == rel {
+			return fn.Pkg().Name() + "." + acq + "/" + rel, true
+		}
+	}
+	return "", false
+}
+
+// block records a direct blocking operation at pos under h. park is
+// the goroleak witness when the operation has no provable escape ("" =
+// it can terminate). Inside the simulator package itself every block
+// is treated as escapable: the cooperative scheduler's park/wake
+// channel discipline is its own design, and exporting park risks from
+// sim would condemn every simulated client operation downstream.
+func (ip *Interproc) block(fi *funcInfo, desc string, pos token.Pos, h *held, park string) {
+	if ip.isSimPkg() {
+		park = ""
+	}
+	if park != "" {
+		fi.parkCands = append(fi.parkCands, park+" ("+ip.shortPos(pos)+")")
+	}
 	fi.blocksDirect = append(fi.blocksDirect, blockObs{
 		desc: desc,
 		pos:  pos,
 		held: append([]heldLock(nil), h.locks...),
+		park: park,
 	})
 }
 
+// isSimPkg reports whether the package under analysis is the simulator.
+func (ip *Interproc) isSimPkg() bool {
+	if ip.pkg == nil {
+		return false
+	}
+	path := ip.pkg.Path()
+	return path == simImportPath || strings.HasSuffix(path, "/internal/sim")
+}
+
+// shortPos renders pos as "file.go:line" for park-path witnesses.
+func (ip *Interproc) shortPos(pos token.Pos) string {
+	p := ip.unit.Fset.Position(pos)
+	name := p.Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return fmt.Sprintf("%s:%d", name, p.Line)
+}
+
 // pseudoFunc analyzes a func literal as its own function with an empty
-// held set (it runs on its own goroutine or at defer time).
-func (ip *Interproc) pseudoFunc(parent *funcInfo, lit *ast.FuncLit, kind string) {
+// held set (it runs on its own goroutine or at defer time) and returns
+// its summary (goroleak reads a spawned literal's park risk from it).
+func (ip *Interproc) pseudoFunc(parent *funcInfo, lit *ast.FuncLit, kind string) *funcInfo {
 	fi := &funcInfo{
-		key:      "",
-		display:  fmt.Sprintf("%s in %s", kind, parent.display),
-		pseudo:   true,
-		acquires: map[string]bool{},
-		retTypes: map[string]bool{},
+		key:         "",
+		display:     fmt.Sprintf("%s in %s", kind, parent.display),
+		pseudo:      true,
+		acquires:    map[string]bool{},
+		retTypes:    map[string]bool{},
+		releasedIDs: map[string]bool{},
+		netReleases: map[string]bool{},
+		claimNames:  map[string]string{},
 	}
 	ip.funcs = append(ip.funcs, fi)
-	ip.walkStmt(fi, lit.Body, &held{})
+	h := &held{}
+	if !ip.walkStmt(fi, lit.Body, h) {
+		ip.recordExit(fi, lit.Body.Rbrace, h)
+	}
+	return fi
 }
 
 // isSyncMethod reports whether fn is a method of sync.Mutex/RWMutex.
@@ -609,7 +1221,11 @@ func (ip *Interproc) walkExpr(fi *funcInfo, e ast.Expr, h *held) {
 	case *ast.UnaryExpr:
 		ip.walkExpr(fi, x.X, h)
 		if x.Op == token.ARROW {
-			ip.block(fi, "channel receive", x.OpPos, h)
+			park := ""
+			if !ip.recvEscapes(fi, x.X) {
+				park = "receive on " + ip.chanID(fi, x.X) + ", which no analyzed path closes"
+			}
+			ip.block(fi, "channel receive", x.OpPos, h, park)
 		}
 	case *ast.FuncLit:
 		ip.pseudoFunc(fi, x, "func literal")
@@ -647,28 +1263,93 @@ func (ip *Interproc) walkCall(fi *funcInfo, call *ast.CallExpr, h *held) {
 		return
 	}
 	fn := calleeOf(ip.info, call)
-	if fn == nil || fn.Pkg() == nil {
+	if fn == nil {
+		// A call through a function value: nothing blocks here that the
+		// walk can see, but its termination is unknowable, which is a
+		// park risk for any goroutine reaching this point.
+		if ip.isDynamicCall(call) {
+			fi.parkCands = append(fi.parkCands,
+				"calls a function value ("+ip.shortPos(call.Pos())+"), whose termination is not analyzable")
+		}
+		return
+	}
+	if fn.Pkg() == nil {
 		return
 	}
 	if isSyncMethod(fn) {
 		ip.walkSyncOp(fi, call, fn, h)
 		return
 	}
+	// Paired-call claims track like locks (branch-sensitively, for
+	// releasepath) but never enter the lock graph.
+	if id, desc, ok := ip.claimAcquire(fn); ok {
+		fi.claimNames[id] = desc
+		h.acquire(heldLock{id: id, exclusive: true, kind: kindClaim})
+		return
+	}
+	if id, ok := ip.claimRelease(fn); ok {
+		if h.release(id, true) {
+			fi.releasedIDs[id] = true
+		}
+		return
+	}
 	path := fn.Pkg().Path()
 	switch {
 	case path == "sync" && fn.Name() == "Wait" && recvTypeName(fn) == "Cond":
-		ip.block(fi, "sync.Cond.Wait", call.Pos(), h)
+		ip.block(fi, "sync.Cond.Wait", call.Pos(), h,
+			"sync.Cond.Wait with no analyzable wake guarantee")
 	case path == "sync" && fn.Name() == "Wait" && recvTypeName(fn) == "WaitGroup":
-		ip.block(fi, "sync.WaitGroup.Wait", call.Pos(), h)
+		// A WaitGroup join is bounded by its Add/Done discipline; the
+		// children it joins are analyzed at their own go statements.
+		ip.block(fi, "sync.WaitGroup.Wait", call.Pos(), h, "")
 	case path == "time" && fn.Name() == "Sleep":
-		ip.block(fi, "time.Sleep", call.Pos(), h)
+		ip.block(fi, "time.Sleep", call.Pos(), h, "")
 	case ip.moduleLocal(path):
+		// Apply an imported acquire/release summary to the held set:
+		// a cross-package helper that returns holding a lock
+		// (NetAcquires) extends the caller's critical section past the
+		// call; a releasing helper (NetReleases) closes it.
+		if path != pkgPathOf(ip.pkg) {
+			if fact, ok := ip.unit.Facts.Func(path, funcKey(fn)); ok {
+				for _, id := range fact.NetAcquires {
+					h.acquire(heldLock{id: id, exclusive: true})
+				}
+				for _, id := range fact.NetReleases {
+					if h.release(id, true) {
+						fi.releasedIDs[id] = true
+					}
+				}
+			}
+		}
 		fi.calls = append(fi.calls, callObs{
 			fn:   fn,
 			pos:  call.Pos(),
 			held: append([]heldLock(nil), h.locks...),
 		})
 	}
+}
+
+// isDynamicCall reports whether call invokes a function value (not a
+// named function, builtin, conversion, or literal).
+func (ip *Interproc) isDynamicCall(call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := ip.info.Types[fun]; ok && (tv.IsType() || tv.IsBuiltin()) {
+		return false
+	}
+	switch f := fun.(type) {
+	case *ast.FuncLit:
+		return false
+	case *ast.Ident:
+		switch ip.info.Uses[f].(type) {
+		case *types.Builtin, *types.TypeName:
+			return false
+		}
+	case *ast.SelectorExpr:
+		if _, isType := ip.info.Uses[f.Sel].(*types.TypeName); isType {
+			return false
+		}
+	}
+	return true
 }
 
 // moduleLocal reports whether path is in this module (facts exist or
@@ -709,9 +1390,17 @@ func (ip *Interproc) walkSyncOp(fi *funcInfo, call *ast.CallExpr, fn *types.Func
 		fi.acquires[id] = true
 		h.acquire(heldLock{id: id, exclusive: excl})
 	case "Unlock":
-		h.release(id, true)
+		if h.release(id, true) {
+			fi.releasedIDs[id] = true
+		} else {
+			fi.netReleases[id] = true
+		}
 	case "RUnlock":
-		h.release(id, false)
+		if h.release(id, false) {
+			fi.releasedIDs[id] = true
+		} else {
+			fi.netReleases[id] = true
+		}
 		// TryLock/TryRLock: ignored (see the package comment).
 	}
 }
@@ -719,6 +1408,16 @@ func (ip *Interproc) walkSyncOp(fi *funcInfo, call *ast.CallExpr, fn *types.Func
 // lockID renders the canonical name of the lock denoted by x (the
 // receiver of a Lock/Unlock call).
 func (ip *Interproc) lockID(fi *funcInfo, x ast.Expr) string {
+	fnName := fi.key
+	if fnName == "" {
+		fnName = "func"
+	}
+	return ip.lockIDKeyed(fnName, x)
+}
+
+// lockIDKeyed is lockID with the enclosing-function key supplied
+// directly (the channel prepass runs outside any funcInfo).
+func (ip *Interproc) lockIDKeyed(fnName string, x ast.Expr) string {
 	x = ast.Unparen(x)
 	switch v := x.(type) {
 	case *ast.SelectorExpr:
@@ -759,10 +1458,6 @@ func (ip *Interproc) lockID(fi *funcInfo, x ast.Expr) string {
 		}
 		// Local variable (possibly a struct embedding a mutex): scope
 		// the name to the enclosing function.
-		fnName := fi.key
-		if fnName == "" {
-			fnName = "func"
-		}
 		return ip.pkg.Name() + "." + fnName + "." + v.Name
 	default:
 		return ip.pkg.Name() + "." + types.ExprString(x)
@@ -930,11 +1625,14 @@ func (ip *Interproc) traceLocalErrVar(fi *funcInfo, name string, depth int) {
 func (ip *Interproc) calleeFact(fn *types.Func) (FuncFact, bool) {
 	if fi, ok := ip.byObj[fn]; ok {
 		return FuncFact{
-			Blocks:    fi.mayBlock,
-			BlockPath: fi.blockPath,
-			Acquires:  sortedKeys(fi.allAcquires),
-			Transient: fi.transient,
-			ErrTypes:  sortedKeys(fi.allErrTypes),
+			Blocks:      fi.mayBlock,
+			BlockPath:   fi.blockPath,
+			Acquires:    sortedKeys(fi.allAcquires),
+			Transient:   fi.transient,
+			ErrTypes:    sortedKeys(fi.allErrTypes),
+			ParkRisk:    fi.parkRisk,
+			NetAcquires: fi.netAcquireIDs(),
+			NetReleases: sortedKeys(fi.netReleases),
 		}, true
 	}
 	if fn.Pkg() == nil {
@@ -980,6 +1678,9 @@ func (ip *Interproc) fixpoint() {
 			fi.mayBlock = true
 			fi.blockPath = fi.blocksDirect[0].desc
 		}
+		if len(fi.parkCands) > 0 {
+			fi.parkRisk = fi.parkCands[0]
+		}
 		if fi.retSentinel {
 			fi.transient = true
 			fi.transientVia = "returns ErrTransient"
@@ -1013,6 +1714,13 @@ func (ip *Interproc) fixpoint() {
 						fi.allAcquires[id] = true
 						changed = true
 					}
+				}
+				if fact.ParkRisk != "" && fi.parkRisk == "" {
+					fi.parkRisk = calleeDisplay(c.fn)
+					if len(fact.ParkRisk) < 160 {
+						fi.parkRisk += " → " + fact.ParkRisk
+					}
+					changed = true
 				}
 			}
 			for _, fn := range fi.retCallees {
@@ -1063,13 +1771,17 @@ func (ip *Interproc) Facts() *PackageFacts {
 			continue
 		}
 		f := FuncFact{
-			Blocks:    fi.mayBlock,
-			BlockPath: fi.blockPath,
-			Acquires:  sortedKeys(fi.allAcquires),
-			Transient: fi.transient,
-			ErrTypes:  sortedKeys(fi.allErrTypes),
+			Blocks:      fi.mayBlock,
+			BlockPath:   fi.blockPath,
+			Acquires:    sortedKeys(fi.allAcquires),
+			Transient:   fi.transient,
+			ErrTypes:    sortedKeys(fi.allErrTypes),
+			ParkRisk:    fi.parkRisk,
+			NetAcquires: fi.netAcquireIDs(),
+			NetReleases: sortedKeys(fi.netReleases),
 		}
-		if !f.Blocks && !f.Transient && len(f.Acquires) == 0 && len(f.ErrTypes) == 0 {
+		if !f.Blocks && !f.Transient && len(f.Acquires) == 0 && len(f.ErrTypes) == 0 &&
+			f.ParkRisk == "" && len(f.NetAcquires) == 0 && len(f.NetReleases) == 0 {
 			continue
 		}
 		pf.Funcs[fi.key] = f
@@ -1094,6 +1806,27 @@ func (ip *Interproc) Facts() *PackageFacts {
 		return pf.LockEdges[i].To < pf.LockEdges[j].To
 	})
 	return pf
+}
+
+// netAcquireIDs returns the mutex IDs this function returns holding on
+// some exit without ever releasing them — the signature of an
+// intentional acquire-helper (the cross-package half of releasepath).
+// Early-return leaks (released on one path, held on another) are
+// excluded: those are bugs, not contracts, and releasepath flags them.
+func (fi *funcInfo) netAcquireIDs() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range fi.exits {
+		for _, l := range e.held {
+			if l.kind != kindMutex || l.deferred || fi.releasedIDs[l.id] || seen[l.id] {
+				continue
+			}
+			seen[l.id] = true
+			out = append(out, l.id)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // allEdges returns every local acquired-while-held edge: direct

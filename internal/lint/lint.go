@@ -42,11 +42,16 @@ import (
 	"strings"
 )
 
-// Analyzer is one named invariant check.
+// Analyzer is one named invariant check. Skip, when non-nil, excuses
+// the analyzer from a unit entirely (it is then not counted as having
+// run, so its //lint:allow directives are not audited for staleness
+// there) — escapebudget uses it to run only when the driver supplied
+// build diagnostics.
 type Analyzer struct {
 	Name string
 	Doc  string
 	Run  func(*Pass)
+	Skip func(*Unit) bool
 }
 
 // Pass is one analyzer's view of one package: parsed files (comments
@@ -81,6 +86,11 @@ type Unit struct {
 	// Facts holds dependency summaries keyed by import path (nil is
 	// treated as empty).
 	Facts *FactStore
+	// Escapes carries the compiler's attributed heap-escape decisions
+	// for this package, when the driver ran `go build -gcflags=-m`
+	// (piql-vet -escapebudget). nil in ordinary vet units, which makes
+	// the escapebudget analyzer skip itself.
+	Escapes *EscapeInfo
 }
 
 // Diagnostic is one reported violation.
@@ -96,15 +106,25 @@ func (d Diagnostic) String() string {
 
 // Reportf records a violation at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportAt(p.Fset.Position(pos), format, args...)
+}
+
+// ReportAt records a violation at an already-resolved position —
+// for diagnostics whose site comes from outside the FileSet, like the
+// compiler's escape-analysis output. Suppression directives match on
+// the position, so //lint:allow works for these too.
+func (p *Pass) ReportAt(pos token.Position, format string, args ...any) {
 	p.diags = append(p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
-		Pos:      p.Fset.Position(pos),
+		Pos:      pos,
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
 
 // Analyzers is the registry cmd/piql-vet and the tests run: the five
-// syntactic invariants plus the three interprocedural ones.
+// syntactic invariants, the five interprocedural ones (lockorder,
+// holdblock, errtaxonomy, goroleak, releasepath), and the
+// build-diagnostic escapebudget.
 var Analyzers = []*Analyzer{
 	RoutingClaim,
 	EnvelopeIntegrity,
@@ -114,6 +134,9 @@ var Analyzers = []*Analyzer{
 	LockOrder,
 	HoldBlock,
 	ErrTaxonomy,
+	GoroLeak,
+	ReleasePath,
+	EscapeBudget,
 }
 
 // ByName returns the registered analyzer with the given name, or nil.
@@ -171,6 +194,9 @@ func RunUnit(u *Unit, analyzers []*Analyzer) ([]Diagnostic, *PackageFacts) {
 	var out []Diagnostic
 	ran := map[string]bool{}
 	for _, a := range analyzers {
+		if a.Skip != nil && a.Skip(u) {
+			continue
+		}
 		ran[a.Name] = true
 		pass := &Pass{
 			Analyzer:   a,

@@ -60,6 +60,14 @@ func TestErrTaxonomy(t *testing.T) {
 	linttest.Run(t, filepath.Join("testdata", "errtaxonomy"), byName(t, "errtaxonomy"))
 }
 
+func TestGoroLeak(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "goroleak"), byName(t, "goroleak"))
+}
+
+func TestReleasePath(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "releasepath"), byName(t, "releasepath"))
+}
+
 // TestStaleAllow drives the framework-level stale-directive report: a
 // //lint:allow for an analyzer that ran but suppressed nothing is
 // itself diagnosed, at the directive's position.
@@ -81,7 +89,10 @@ func TestFactsRoundTrip(t *testing.T) {
 		},
 		LockEdges: []lint.LockEdge{{From: "a", To: "b", Pos: "x.go:1:1"}},
 	}
-	out := lint.DecodeFacts(lint.EncodeFacts(in))
+	out, err := lint.DecodeFacts(lint.EncodeFacts(in))
+	if err != nil {
+		t.Fatalf("round-trip decode: %v", err)
+	}
 	if out == nil {
 		t.Fatal("round-trip decoded to nil")
 	}
@@ -92,9 +103,13 @@ func TestFactsRoundTrip(t *testing.T) {
 	if len(out.LockEdges) != 1 || out.LockEdges[0] != (lint.LockEdge{From: "a", To: "b", Pos: "x.go:1:1"}) {
 		t.Fatalf("round-trip mangled edges: %+v", out.LockEdges)
 	}
-	// Foreign and empty payloads decode to nil (the std-unit
-	// acknowledgement files must not be mistaken for facts).
-	if lint.DecodeFacts(nil) != nil || lint.DecodeFacts([]byte("not json")) != nil {
-		t.Fatal("foreign payloads must decode to nil")
+	// Empty payloads decode to nil without error (the std-unit
+	// acknowledgement files must not be mistaken for facts); corrupt
+	// payloads are an error, never a panic and never silent.
+	if pf, err := lint.DecodeFacts(nil); pf != nil || err != nil {
+		t.Fatalf("empty payload: got %v, %v; want nil, nil", pf, err)
+	}
+	if pf, err := lint.DecodeFacts([]byte("not json")); pf != nil || err == nil {
+		t.Fatal("corrupt payload must error")
 	}
 }

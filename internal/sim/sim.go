@@ -80,6 +80,7 @@ func (e *Env) Spawn(fn func(p *Proc)) {
 	p := &Proc{env: e, wake: make(chan struct{})}
 	e.procs++
 	e.schedule(e.now, p.wake)
+	//lint:allow goroleak — sim process: the cooperative scheduler owns termination (Run wakes each process in turn and drains via yield; stopped processes Goexit).
 	go func() {
 		<-p.wake
 		if e.stopped {
