@@ -11,6 +11,13 @@
 //	piql-vet -standalone -lockgraph        # print the inferred lock hierarchy
 //	piql-vet -standalone -cache DIR ./...  # incremental: replay per-package
 //	                                       # results keyed by content+facts
+//	piql-vet -standalone -changed BASE ./... # only packages differing from
+//	                                       # the merge-base with BASE, plus
+//	                                       # their module-local dependents
+//	piql-vet -standalone -timing ./...     # append run timing (elapsed,
+//	                                       # analyzed vs replayed) to output
+//	piql-vet -standalone -dataflow FUNC    # dump FUNC's def-use chains
+//	                                       # (dataflow core debug printer)
 //	piql-vet -escapebudget [-update]       # hot-path heap-escape gate
 //	                                       # (runs go build -gcflags=-m)
 //
@@ -48,6 +55,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"piql/internal/lint"
 )
@@ -81,8 +89,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		lockgraph  bool
 		escBudget  bool
 		escUpdate  bool
+		timing     bool
 		cacheDir   string
 		chdir      string
+		dataflowFn string
+		changed    string
 		patterns   []string
 	)
 	for i := 0; i < len(args); i++ {
@@ -106,6 +117,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			escBudget = true
 		case arg == "-update" || arg == "--update":
 			escUpdate = true
+		case arg == "-timing" || arg == "--timing":
+			timing = true
 		case arg == "-cache" || arg == "--cache":
 			if i+1 >= len(args) {
 				fmt.Fprintln(stderr, "piql-vet: -cache needs a directory")
@@ -115,6 +128,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 			cacheDir = args[i]
 		case strings.HasPrefix(arg, "-cache="):
 			cacheDir = strings.TrimPrefix(arg, "-cache=")
+		case arg == "-dataflow" || arg == "--dataflow":
+			if i+1 >= len(args) {
+				fmt.Fprintln(stderr, "piql-vet: -dataflow needs a function name")
+				return 1
+			}
+			i++
+			standalone = true
+			dataflowFn = args[i]
+		case strings.HasPrefix(arg, "-dataflow="):
+			standalone = true
+			dataflowFn = strings.TrimPrefix(arg, "-dataflow=")
+		case arg == "-changed" || arg == "--changed":
+			if i+1 >= len(args) {
+				fmt.Fprintln(stderr, "piql-vet: -changed needs a git base ref")
+				return 1
+			}
+			i++
+			changed = args[i]
+		case strings.HasPrefix(arg, "-changed="):
+			changed = strings.TrimPrefix(arg, "-changed=")
 		case arg == "-C" || arg == "--C":
 			if i+1 >= len(args) {
 				fmt.Fprintln(stderr, "piql-vet: -C needs a directory")
@@ -137,7 +170,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runEscapeBudget(chdir, escUpdate, jsonOut, stdout, stderr)
 	}
 	if standalone {
-		return runStandalone(chdir, patterns, jsonOut, lockgraph, cacheDir, stdout, stderr)
+		return runStandalone(chdir, patterns, standaloneOpts{
+			jsonOut:     jsonOut,
+			lockgraph:   lockgraph,
+			timing:      timing,
+			cacheDir:    cacheDir,
+			dataflowFn:  dataflowFn,
+			changedBase: changed,
+		}, stdout, stderr)
 	}
 	if cfgPath == "" {
 		fmt.Fprintln(stderr, "piql-vet: no .cfg argument; run via go vet -vettool, or use -standalone ./...")
@@ -225,7 +265,7 @@ func runUnit(cfgPath string, jsonOut bool, stdout, stderr io.Writer) int {
 		// either already reported or not asked for.
 		return 0
 	}
-	return emit(map[string][]lint.Diagnostic{cfg.ImportPath: diags}, jsonOut, stdout, stderr)
+	return emit(map[string][]lint.Diagnostic{cfg.ImportPath: diags}, jsonOut, nil, stdout, stderr)
 }
 
 // typecheckUnit typechecks one vet unit against its dependencies'
@@ -416,7 +456,7 @@ func runEscapeBudget(chdir string, update, jsonOut bool, stdout, stderr io.Write
 				fn, measured[fn], counts[fn])
 		}
 	}
-	return emit(all, jsonOut, stdout, stderr)
+	return emit(all, jsonOut, nil, stdout, stderr)
 }
 
 func sortedKeys(m map[string]map[string]int) []string {
@@ -428,12 +468,36 @@ func sortedKeys(m map[string]map[string]int) []string {
 	return out
 }
 
+// standaloneOpts bundles the standalone driver's modes: plain, cached
+// (-cache), filtered to changed packages (-changed BASE), timed
+// (-timing), and the def-use debug printer (-dataflow FUNC).
+type standaloneOpts struct {
+	jsonOut     bool
+	lockgraph   bool
+	timing      bool
+	cacheDir    string
+	dataflowFn  string
+	changedBase string
+}
+
+// runTiming is the -timing measurement: wall-clock for the whole run
+// and how much of it was replayed from cache rather than analyzed.
+type runTiming struct {
+	ElapsedMS int64 `json:"elapsed_ms"`
+	Packages  int   `json:"packages"`
+	Analyzed  int   `json:"analyzed"`
+	Replayed  int   `json:"replayed"`
+}
+
 // runStandalone loads the whole module from source — no export data,
 // no go vet — and runs every analyzer over every package in dependency
 // order, threading facts in memory. With a cache directory it becomes
 // incremental: per-package results are replayed when neither the
-// package's files, its dependencies' facts, nor the tool changed.
-func runStandalone(chdir string, patterns []string, jsonOut, lockgraph bool, cacheDir string, stdout, stderr io.Writer) int {
+// package's files, its dependencies' facts, nor the tool changed. With
+// -changed BASE, every package still contributes facts (cache-warm
+// ones replay), but only packages differing from the merge-base with
+// BASE — or depending on one that does — report diagnostics.
+func runStandalone(chdir string, patterns []string, opts standaloneOpts, stdout, stderr io.Writer) int {
 	for _, p := range patterns {
 		if p != "./..." && p != "all" {
 			fmt.Fprintf(stderr, "piql-vet: -standalone analyzes the whole module; unsupported pattern %q (use ./...)\n", p)
@@ -444,9 +508,26 @@ func runStandalone(chdir string, patterns []string, jsonOut, lockgraph bool, cac
 	if start == "" {
 		start = "."
 	}
-	if cacheDir != "" {
-		return runCached(start, cacheDir, jsonOut, lockgraph, stdout, stderr)
+	if opts.dataflowFn != "" {
+		return runDataflowDump(start, opts.dataflowFn, stdout, stderr)
 	}
+	var affected map[string]bool
+	if opts.changedBase != "" {
+		var err error
+		affected, err = changedPackages(start, opts.changedBase, stderr)
+		if err != nil {
+			fmt.Fprintf(stderr, "piql-vet: %v\n", err)
+			return 1
+		}
+		if len(affected) == 0 {
+			fmt.Fprintf(stderr, "piql-vet: no module packages changed relative to %s\n", opts.changedBase)
+			return emit(map[string][]lint.Diagnostic{}, opts.jsonOut, nil, stdout, stderr)
+		}
+	}
+	if opts.cacheDir != "" {
+		return runCached(start, opts, affected, stdout, stderr)
+	}
+	startTime := time.Now()
 	loader, err := lint.NewLoader(start)
 	if err != nil {
 		fmt.Fprintf(stderr, "piql-vet: %v\n", err)
@@ -471,13 +552,120 @@ func runStandalone(chdir string, patterns []string, jsonOut, lockgraph bool, cac
 			edges = append(edges, facts.LockEdges...)
 		}
 	}
-	if lockgraph {
+	if opts.lockgraph {
 		fmt.Fprintln(stdout, "lock hierarchy (acquired-while-held, roots first):")
 		for _, line := range lint.LockHierarchy(lint.NewFactStore().AllLockEdges(edges)) {
 			fmt.Fprintln(stdout, "  "+line)
 		}
 	}
-	return emit(all, jsonOut, stdout, stderr)
+	filterAffected(all, affected)
+	var timing *runTiming
+	if opts.timing {
+		timing = &runTiming{
+			ElapsedMS: time.Since(startTime).Milliseconds(),
+			Packages:  len(pkgs),
+			Analyzed:  len(pkgs),
+		}
+	}
+	return emit(all, opts.jsonOut, timing, stdout, stderr)
+}
+
+// runDataflowDump is the -dataflow debug printer: it typechecks the
+// module and prints the def-use chains of every function matching the
+// given name (bare, method-key, or package-qualified).
+func runDataflowDump(start, name string, stdout, stderr io.Writer) int {
+	loader, err := lint.NewLoader(start)
+	if err != nil {
+		fmt.Fprintf(stderr, "piql-vet: %v\n", err)
+		return 1
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintf(stderr, "piql-vet: %v\n", err)
+		return 1
+	}
+	found := false
+	for _, lp := range pkgs {
+		if dump, ok := lint.DumpDefUse(lp.Unit, name); ok {
+			found = true
+			io.WriteString(stdout, dump)
+		}
+	}
+	if !found {
+		fmt.Fprintf(stderr, "piql-vet: -dataflow: no function matches %q (try a bare name, \"(*Type).Method\", or \"pkg.Func\")\n", name)
+		return 1
+	}
+	return 0
+}
+
+// changedPackages maps `git diff --name-only` against the merge-base
+// with base (plus untracked files) to the module packages whose
+// directories contain a changed file, expanded to their module-local
+// dependents — an edit to a package invalidates every package whose
+// analysis could see it through facts.
+func changedPackages(start, base string, stderr io.Writer) (map[string]bool, error) {
+	scan, err := lint.ScanModule(start)
+	if err != nil {
+		return nil, err
+	}
+	topOut, err := exec.Command("git", "-C", start, "rev-parse", "--show-toplevel").Output()
+	if err != nil {
+		return nil, fmt.Errorf("-changed needs a git checkout: %v", err)
+	}
+	top := strings.TrimSpace(string(topOut))
+	ref := base
+	if out, err := exec.Command("git", "-C", start, "merge-base", "HEAD", base).Output(); err == nil {
+		if mb := strings.TrimSpace(string(out)); mb != "" {
+			ref = mb
+		}
+	}
+	diff, err := exec.Command("git", "-C", start, "diff", "--name-only", ref, "--").Output()
+	if err != nil {
+		return nil, fmt.Errorf("git diff --name-only %s: %v", ref, err)
+	}
+	untracked, _ := exec.Command("git", "-C", start, "ls-files", "--others", "--exclude-standard").Output()
+	dirs := map[string]bool{}
+	for _, name := range strings.Split(string(diff)+"\n"+string(untracked), "\n") {
+		if name = strings.TrimSpace(name); name != "" {
+			dirs[filepath.Dir(filepath.Join(top, filepath.FromSlash(name)))] = true
+		}
+	}
+	changed := map[string]bool{}
+	for _, sp := range scan {
+		if dirs[filepath.Clean(sp.Dir)] {
+			changed[sp.ImportPath] = true
+		}
+	}
+	// Dependents closure over the module-local import edges.
+	for grew := true; grew; {
+		grew = false
+		for _, sp := range scan {
+			if changed[sp.ImportPath] {
+				continue
+			}
+			for _, dep := range sp.LocalImports {
+				if changed[dep] {
+					changed[sp.ImportPath] = true
+					grew = true
+					break
+				}
+			}
+		}
+	}
+	return changed, nil
+}
+
+// filterAffected drops diagnostics for packages outside the -changed
+// set; a nil set keeps everything.
+func filterAffected(all map[string][]lint.Diagnostic, affected map[string]bool) {
+	if affected == nil {
+		return
+	}
+	for pkg := range all {
+		if !affected[pkg] {
+			delete(all, pkg)
+		}
+	}
 }
 
 // cacheEntry is one package's cached lint result. Its key (the file
@@ -495,13 +683,15 @@ type cacheEntry struct {
 // computed from content + dependency facts, and only missed packages
 // are typechecked and analyzed. A warm clean tree replays entirely
 // from cache.
-func runCached(start, cacheDir string, jsonOut, lockgraph bool, stdout, stderr io.Writer) int {
+func runCached(start string, opts standaloneOpts, affected map[string]bool, stdout, stderr io.Writer) int {
+	startTime := time.Now()
+	replayed := 0
 	scan, err := lint.ScanModule(start)
 	if err != nil {
 		fmt.Fprintf(stderr, "piql-vet: %v\n", err)
 		return 1
 	}
-	if err := os.MkdirAll(cacheDir, 0o777); err != nil {
+	if err := os.MkdirAll(opts.cacheDir, 0o777); err != nil {
 		fmt.Fprintf(stderr, "piql-vet: %v\n", err)
 		return 1
 	}
@@ -529,7 +719,7 @@ func runCached(start, cacheDir string, jsonOut, lockgraph bool, stdout, stderr i
 			fmt.Fprintf(h, "dep %s %d\n", dep, len(factBytes[dep]))
 			h.Write(factBytes[dep])
 		}
-		entryPath := filepath.Join(cacheDir, fmt.Sprintf("%02x", h.Sum(nil))+".json")
+		entryPath := filepath.Join(opts.cacheDir, fmt.Sprintf("%02x", h.Sum(nil))+".json")
 
 		if data, err := os.ReadFile(entryPath); err == nil {
 			var ce cacheEntry
@@ -543,6 +733,7 @@ func runCached(start, cacheDir string, jsonOut, lockgraph bool, stdout, stderr i
 					if len(ce.Diags) > 0 {
 						all[sp.ImportPath] = ce.Diags
 					}
+					replayed++
 					continue
 				}
 			}
@@ -580,13 +771,23 @@ func runCached(start, cacheDir string, jsonOut, lockgraph bool, stdout, stderr i
 			}
 		}
 	}
-	if lockgraph {
+	if opts.lockgraph {
 		fmt.Fprintln(stdout, "lock hierarchy (acquired-while-held, roots first):")
 		for _, line := range lint.LockHierarchy(lint.NewFactStore().AllLockEdges(edges)) {
 			fmt.Fprintln(stdout, "  "+line)
 		}
 	}
-	return emit(all, jsonOut, stdout, stderr)
+	filterAffected(all, affected)
+	var timing *runTiming
+	if opts.timing {
+		timing = &runTiming{
+			ElapsedMS: time.Since(startTime).Milliseconds(),
+			Packages:  len(scan),
+			Analyzed:  len(scan) - replayed,
+			Replayed:  replayed,
+		}
+	}
+	return emit(all, opts.jsonOut, timing, stdout, stderr)
 }
 
 // toolSalt keys the lint cache to this build of the tool, the same way
@@ -607,8 +808,11 @@ func toolSalt() string {
 // emit prints diagnostics in the chosen format; exit status 2 when any
 // exist. JSON mode always writes the payload — an empty object on a
 // clean run — so redirecting it produces a findings artifact either
-// way.
-func emit(byPkg map[string][]lint.Diagnostic, jsonOut bool, stdout, stderr io.Writer) int {
+// way. A non-nil timing adds a "timing" entry to the JSON payload (or
+// a stderr note in text mode): comparing elapsed_ms across a cold run
+// (analyzed == packages) and a warm one (replayed == packages) is the
+// lint-timing record make lint keeps in bin/lint-findings.json.
+func emit(byPkg map[string][]lint.Diagnostic, jsonOut bool, timing *runTiming, stdout, stderr io.Writer) int {
 	n := 0
 	for _, ds := range byPkg {
 		n += len(ds)
@@ -618,7 +822,7 @@ func emit(byPkg map[string][]lint.Diagnostic, jsonOut bool, stdout, stderr io.Wr
 			Posn    string `json:"posn"`
 			Message string `json:"message"`
 		}
-		payload := map[string]map[string][]jsonDiag{}
+		payload := map[string]any{}
 		for pkg, ds := range byPkg {
 			byAnalyzer := map[string][]jsonDiag{}
 			for _, d := range ds {
@@ -629,6 +833,9 @@ func emit(byPkg map[string][]lint.Diagnostic, jsonOut bool, stdout, stderr io.Wr
 			}
 			payload[pkg] = byAnalyzer
 		}
+		if timing != nil {
+			payload["timing"] = timing
+		}
 		out, _ := json.MarshalIndent(payload, "", "\t")
 		stdout.Write(append(out, '\n'))
 		if n == 0 {
@@ -637,12 +844,20 @@ func emit(byPkg map[string][]lint.Diagnostic, jsonOut bool, stdout, stderr io.Wr
 		return 2
 	}
 	if n == 0 {
+		if timing != nil {
+			fmt.Fprintf(stderr, "piql-vet: timing: %dms, %d packages (%d analyzed, %d replayed)\n",
+				timing.ElapsedMS, timing.Packages, timing.Analyzed, timing.Replayed)
+		}
 		return 0
 	}
 	for _, ds := range byPkg {
 		for _, d := range ds {
 			fmt.Fprintf(stderr, "%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
 		}
+	}
+	if timing != nil {
+		fmt.Fprintf(stderr, "piql-vet: timing: %dms, %d packages (%d analyzed, %d replayed)\n",
+			timing.ElapsedMS, timing.Packages, timing.Analyzed, timing.Replayed)
 	}
 	return 2
 }

@@ -586,6 +586,308 @@ func Leak(g *G, bad bool) {
 	}
 }
 
+// TestAtomicMixCrossPackageFacts is the atomicmix acceptance test for
+// the facts protocol: a kvstore-like package whose only atomic
+// discipline is a function-style atomic.AddUint64 on a plain uint64
+// field, and an engine-like package that reads the same field plainly.
+// The mixed access is visible only through the AtomicFields fact in
+// the first package's vetx — the reader's unit never sees the atomic
+// site's source — and the diagnostic vanishes when the facts are
+// withheld.
+func TestAtomicMixCrossPackageFacts(t *testing.T) {
+	tmp := t.TempDir()
+	writeTree(t, tmp, map[string]string{
+		"go.mod": "module piql\n\ngo 1.24\n",
+		"kv/kv.go": `package kv
+
+import "sync/atomic"
+
+// Stats counts per-node operations; Hits is written by concurrent
+// request goroutines, so every access must be atomic.
+type Stats struct{ Hits uint64 }
+
+// Bump is the sanctioned write path.
+func Bump(s *Stats) {
+	atomic.AddUint64(&s.Hits, 1)
+}
+`,
+		"eng/eng.go": `package eng
+
+import "piql/kv"
+
+// Report reads the counter plainly — a torn read against Bump's
+// atomic writes, witnessed only through kv's AtomicFields fact.
+func Report(s *kv.Stats) uint64 {
+	return s.Hits
+}
+`,
+	})
+
+	// Unit 1: kv, facts only — the atomic.AddUint64 site must export
+	// Stats.Hits as an atomic field.
+	kvPkgs := listExport(t, tmp, "piql/kv")
+	kv := kvPkgs["piql/kv"]
+	if kv == nil {
+		t.Fatal("go list did not return piql/kv")
+	}
+	kvPackageFile := map[string]string{}
+	for path, p := range kvPkgs {
+		if p.Export != "" {
+			kvPackageFile[path] = p.Export
+		}
+	}
+	var kvFiles []string
+	for _, f := range kv.GoFiles {
+		kvFiles = append(kvFiles, filepath.Join(kv.Dir, f))
+	}
+	kvVetx := filepath.Join(tmp, "kv.vetx")
+	kvCfg := writeCfg(t, tmp, "kv.cfg", &config{
+		ID:          "piql/kv",
+		Compiler:    "gc",
+		Dir:         kv.Dir,
+		ImportPath:  "piql/kv",
+		GoFiles:     kvFiles,
+		PackageFile: kvPackageFile,
+		VetxOnly:    true,
+		VetxOutput:  kvVetx,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{kvCfg}, &stdout, &stderr); code != 0 {
+		t.Fatalf("kv unit exited %d: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(kvVetx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts, err := lint.DecodeFacts(data)
+	if err != nil || facts == nil {
+		t.Fatalf("kv vetx did not decode (err=%v)", err)
+	}
+	if len(facts.AtomicFields) != 1 || facts.AtomicFields[0] != "kv.Stats.Hits" {
+		t.Fatalf("kv must export AtomicFields [kv.Stats.Hits]: %+v", facts.AtomicFields)
+	}
+
+	// Unit 2: eng, consuming kv's facts — the plain read must be
+	// reported with the cross-package citation.
+	engPkgs := listExport(t, tmp, "piql/eng")
+	eng := engPkgs["piql/eng"]
+	if eng == nil {
+		t.Fatal("go list did not return piql/eng")
+	}
+	engPackageFile := map[string]string{}
+	for path, p := range engPkgs {
+		if p.Export != "" {
+			engPackageFile[path] = p.Export
+		}
+	}
+	var engFiles []string
+	for _, f := range eng.GoFiles {
+		engFiles = append(engFiles, filepath.Join(eng.Dir, f))
+	}
+	engCfg := writeCfg(t, tmp, "eng.cfg", &config{
+		ID:          "piql/eng",
+		Compiler:    "gc",
+		Dir:         eng.Dir,
+		ImportPath:  "piql/eng",
+		GoFiles:     engFiles,
+		PackageFile: engPackageFile,
+		PackageVetx: map[string]string{"piql/kv": kvVetx},
+		VetxOutput:  filepath.Join(tmp, "eng.vetx"),
+	})
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{engCfg}, &stdout, &stderr); code != 2 {
+		t.Fatalf("eng unit exited %d (want 2)\nstderr: %s", code, stderr.String())
+	}
+	out := stderr.String()
+	if !strings.Contains(out, "plain read of field kv.Stats.Hits") ||
+		!strings.Contains(out, "per fact from piql/kv") ||
+		!strings.Contains(out, "atomicmix") {
+		t.Fatalf("diagnostic does not witness the imported atomic field:\n%s", out)
+	}
+
+	// Without the facts the reader's unit sees an ordinary uint64
+	// field: silence proves the report came from the vetx.
+	engCfgNoFacts := writeCfg(t, tmp, "eng-nofacts.cfg", &config{
+		ID:          "piql/eng#nofacts",
+		Compiler:    "gc",
+		Dir:         eng.Dir,
+		ImportPath:  "piql/eng",
+		GoFiles:     engFiles,
+		PackageFile: engPackageFile,
+		VetxOutput:  filepath.Join(tmp, "eng-nofacts.vetx"),
+	})
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{engCfgNoFacts}, &stdout, &stderr); code != 0 {
+		t.Fatalf("eng unit without facts exited %d:\n%s", code, stderr.String())
+	}
+}
+
+// TestStandaloneCacheDirectiveEdit pins the cache-invalidation contract
+// for suppression directives: an edit whose only change is adding or
+// removing a //lint:allow comment still changes the package's content
+// hash, so the warm run recomputes instead of replaying the stale
+// verdict. (A cache keyed on anything that skipped comments would
+// replay the pre-directive diagnostics forever.)
+func TestStandaloneCacheDirectiveEdit(t *testing.T) {
+	tmp := t.TempDir()
+	leaky := `package g
+
+import "sync"
+
+type G struct{ mu sync.Mutex }
+
+// Leak returns holding the guard on the bad path.
+func Leak(g *G, bad bool) {
+	g.mu.Lock()
+	if bad {
+		return
+	}
+	g.mu.Unlock()
+}
+`
+	writeTree(t, tmp, map[string]string{
+		"go.mod": "module piql\n\ngo 1.24\n",
+		"g/g.go": leaky,
+	})
+	cache := filepath.Join(tmp, "lintcache")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-standalone", "-cache", cache, "-C", tmp, "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("cold run exited %d (want 2: the fixture leaks)\n%s", code, stderr.String())
+	}
+	cold := stderr.String()
+	if !strings.Contains(cold, "releasepath") {
+		t.Fatalf("cold run missing the releasepath finding:\n%s", cold)
+	}
+
+	// The only edit: a justified //lint:allow in Leak's doc comment.
+	allowed := strings.Replace(leaky,
+		"// Leak returns holding the guard on the bad path.\n",
+		"// Leak returns holding the guard on the bad path.\n//\n//lint:allow releasepath — intentional hold, released by the caller\n", 1)
+	writeTree(t, tmp, map[string]string{"g/g.go": allowed})
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-standalone", "-cache", cache, "-C", tmp, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("directive-only edit replayed the stale verdict (%d):\n%s", code, stderr.String())
+	}
+
+	// Reverting the directive restores the original content hash: the
+	// warm run replays the first entry byte-for-byte, diagnostics
+	// included.
+	writeTree(t, tmp, map[string]string{"g/g.go": leaky})
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-standalone", "-cache", cache, "-C", tmp, "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("reverted tree exited %d (want 2)\n%s", code, stderr.String())
+	}
+	if warm := stderr.String(); warm != cold {
+		t.Fatalf("reverted tree did not replay the cold diagnostics\ncold: %s\nwarm: %s", cold, warm)
+	}
+}
+
+// TestStandaloneChangedFilter drives -changed in a scratch git
+// checkout: two packages each carrying a violation, with only one
+// edited since the base commit — the edited package reports, the
+// untouched one stays silent, and a fully committed tree reports
+// nothing at all.
+func TestStandaloneChangedFilter(t *testing.T) {
+	if _, err := exec.LookPath("git"); err != nil {
+		t.Skip("git not available")
+	}
+	tmp := t.TempDir()
+	leak := func(pkg string) string {
+		return `package ` + pkg + `
+
+import "sync"
+
+type G struct{ mu sync.Mutex }
+
+func Leak(g *G, bad bool) {
+	g.mu.Lock()
+	if bad {
+		return
+	}
+	g.mu.Unlock()
+}
+`
+	}
+	writeTree(t, tmp, map[string]string{
+		"go.mod": "module piql\n\ngo 1.24\n",
+		"a/a.go": leak("a"),
+		"b/b.go": leak("b"),
+	})
+	git := func(args ...string) {
+		t.Helper()
+		cmd := exec.Command("git", append([]string{"-C", tmp,
+			"-c", "user.name=piql", "-c", "user.email=piql@test"}, args...)...)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("git %v: %v\n%s", args, err, out)
+		}
+	}
+	git("init", "-q")
+	git("add", ".")
+	git("commit", "-q", "-m", "base")
+
+	// Nothing differs from HEAD: both violations are filtered out.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-standalone", "-changed", "HEAD", "-C", tmp, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("committed tree exited %d:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "no module packages changed") {
+		t.Fatalf("committed tree should report an empty changed set:\n%s", stderr.String())
+	}
+
+	// Edit only a: its violation reports, b's identical one does not.
+	writeTree(t, tmp, map[string]string{"a/a.go": leak("a") + "\n// touched\n"})
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-standalone", "-changed", "HEAD", "-C", tmp, "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("edited tree exited %d (want 2)\n%s", code, stderr.String())
+	}
+	out := stderr.String()
+	if !strings.Contains(out, filepath.Join("a", "a.go")) {
+		t.Fatalf("edited package's finding missing:\n%s", out)
+	}
+	if strings.Contains(out, filepath.Join("b", "b.go")) {
+		t.Fatalf("untouched package's finding not filtered:\n%s", out)
+	}
+}
+
+// TestDataflowDump smoke-tests the -dataflow debug printer: a known
+// function dumps its def-use chains, an unknown name is an error with
+// a usage hint.
+func TestDataflowDump(t *testing.T) {
+	tmp := t.TempDir()
+	writeTree(t, tmp, map[string]string{
+		"go.mod": "module piql\n\ngo 1.24\n",
+		"g/g.go": `package g
+
+func Twice(n int) int {
+	m := n + n
+	return m
+}
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-standalone", "-dataflow", "Twice", "-C", tmp, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-dataflow Twice exited %d:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "Twice") || !strings.Contains(out, "m") {
+		t.Fatalf("dump does not show the function's def-use chains:\n%s", out)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-standalone", "-dataflow", "NoSuchFunc", "-C", tmp, "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("unknown -dataflow name exited %d (want 1)", code)
+	}
+	if !strings.Contains(stderr.String(), "no function matches") {
+		t.Fatalf("unknown name should print a hint:\n%s", stderr.String())
+	}
+}
+
 // TestStandaloneCleanTree runs the from-source mode over the whole
 // module: the tree must be clean (every finding fixed or justified),
 // and the lock hierarchy must contain the documented roots.

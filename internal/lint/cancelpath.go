@@ -1,0 +1,320 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CancelPath: every context cancel func is invoked or deferred on
+// every exit path.
+//
+// context.WithCancel/WithTimeout/WithDeadline (and their *Cause
+// variants) return a CancelFunc the caller owns: until it runs, the
+// child context stays registered with its parent and a WithTimeout
+// timer stays live. A path that returns without calling it leaks both
+// until the parent is canceled — which for request-scoped work may be
+// never. This is releasepath's invariant with a different resource,
+// and it runs as a second client of the same branch-sensitive walker
+// (dataflow.go): the walk clones the outstanding-cancel set at
+// branches, unions it at joins, and reports at the shared exit-path
+// enumeration.
+//
+// Two deliberate approximations:
+//
+//   - assigning the cancel func anywhere other than a direct call or
+//     defer — a struct field, a call argument, a return value, a
+//     capture by a nested closure — transfers the obligation to the
+//     new owner and the variable stops being tracked;
+//   - discarding the cancel func outright (`ctx, _ := ...`) is
+//     reported at the assignment: nobody can ever cancel that
+//     context.
+var CancelPath = &Analyzer{
+	Name: "cancelpath",
+	Doc:  "every context.WithCancel/WithTimeout/WithDeadline cancel func must be invoked or deferred on every exit path",
+	Run:  runCancelPath,
+}
+
+// cancelCtor reports whether call constructs a cancellable context,
+// returning the constructor's display name.
+func cancelCtor(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return "", false
+	}
+	switch fn.Name() {
+	case "WithCancel", "WithTimeout", "WithDeadline",
+		"WithCancelCause", "WithTimeoutCause", "WithDeadlineCause":
+		return "context." + fn.Name(), true
+	}
+	return "", false
+}
+
+// cancelOb is one outstanding cancel obligation.
+type cancelOb struct {
+	pos      token.Pos
+	name     string
+	ctor     string
+	released bool
+	deferred bool
+}
+
+// cancelState is the flowState: outstanding obligations by variable.
+type cancelState struct {
+	m map[*types.Var]cancelOb
+}
+
+func newCancelState() *cancelState { return &cancelState{m: map[*types.Var]cancelOb{}} }
+
+func (s *cancelState) cloneFlow() flowState {
+	out := newCancelState()
+	for k, v := range s.m {
+		out.m[k] = v
+	}
+	return out
+}
+
+// unionFlow merges sibling branches: an obligation is outstanding
+// after the join if it is outstanding in either branch, and a
+// deferred/released mark only survives when both branches carry it.
+func (s *cancelState) unionFlow(other flowState) flowState {
+	o := other.(*cancelState)
+	out := s.cloneFlow().(*cancelState)
+	for k, v := range o.m {
+		if cur, ok := out.m[k]; ok {
+			cur.released = cur.released && v.released
+			cur.deferred = cur.deferred && v.deferred
+			out.m[k] = cur
+		} else {
+			out.m[k] = v
+		}
+	}
+	return out
+}
+
+func (s *cancelState) copyFlow(other flowState) {
+	s.m = other.(*cancelState).m
+}
+
+// cancelFlow is the walker client for one function or literal body.
+type cancelFlow struct {
+	p    *Pass
+	info *types.Info
+	// xfer holds cancel vars whose obligation moved to another owner
+	// (see the pre-scan in runCancelPath); they are never tracked.
+	xfer map[types.Object]bool
+	// reported dedups diagnostics across the walker's two-pass loop
+	// revisits: exits by (pos, var), discards by pos.
+	reported  map[token.Pos]map[*types.Var]bool
+	discarded map[token.Pos]bool
+}
+
+func (c *cancelFlow) leafStmt(w *flowWalker, st ast.Stmt, fs flowState) {
+	s := fs.(*cancelState)
+	switch stmt := st.(type) {
+	case *ast.AssignStmt:
+		c.trackAssign(stmt, s)
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(stmt.X).(*ast.CallExpr); ok {
+			c.release(call, s, false)
+		}
+	case *ast.DeferStmt:
+		c.release(stmt.Call, s, true)
+	}
+}
+
+// trackAssign records ctx, cancel := context.WithCancel(...) shapes.
+func (c *cancelFlow) trackAssign(stmt *ast.AssignStmt, s *cancelState) {
+	if len(stmt.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	ctor, ok := cancelCtor(c.info, call)
+	if !ok || len(stmt.Lhs) != 2 {
+		return
+	}
+	id, ok := ast.Unparen(stmt.Lhs[1]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if id.Name == "_" {
+		if !c.discarded[id.Pos()] {
+			c.discarded[id.Pos()] = true
+			c.p.Reportf(id.Pos(),
+				"cancel func from %s is discarded; nothing can ever cancel this context (its timer and parent registration leak)", ctor)
+		}
+		return
+	}
+	obj := c.info.Defs[id]
+	if obj == nil {
+		obj = c.info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || c.xfer[obj] {
+		return
+	}
+	s.m[v] = cancelOb{pos: id.Pos(), name: id.Name, ctor: ctor}
+}
+
+// release marks a direct cancel() call (or defer cancel()).
+func (c *cancelFlow) release(call *ast.CallExpr, s *cancelState, deferred bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return
+	}
+	v, ok := c.info.Uses[id].(*types.Var)
+	if !ok {
+		return
+	}
+	if ob, tracked := s.m[v]; tracked {
+		if deferred {
+			ob.deferred = true
+		} else {
+			ob.released = true
+		}
+		s.m[v] = ob
+	}
+}
+
+func (c *cancelFlow) flowExpr(e ast.Expr, fs flowState)                 {}
+func (c *cancelFlow) flowComm(w *flowWalker, st ast.Stmt, fs flowState) {}
+func (c *cancelFlow) forObs(s *ast.ForStmt, fs flowState)               {}
+func (c *cancelFlow) rangeObs(s *ast.RangeStmt, fs flowState)           {}
+func (c *cancelFlow) selectObs(s *ast.SelectStmt, fs flowState)         {}
+func (c *cancelFlow) returnObs(s *ast.ReturnStmt, fs flowState)         {}
+
+func (c *cancelFlow) exitPath(pos token.Pos, fs flowState) {
+	s := fs.(*cancelState)
+	for v, ob := range s.m {
+		if ob.released || ob.deferred {
+			continue
+		}
+		if c.reported[pos] == nil {
+			c.reported[pos] = map[*types.Var]bool{}
+		}
+		if c.reported[pos][v] {
+			continue
+		}
+		c.reported[pos][v] = true
+		c.p.Reportf(pos,
+			"cancel func %s from %s (created at line %d) is not called on this exit path; call it or defer it so the context releases its timer and parent registration",
+			ob.name, ob.ctor, c.p.Fset.Position(ob.pos).Line)
+	}
+}
+
+func runCancelPath(p *Pass) {
+	if p.unit.Info == nil {
+		return
+	}
+	for _, f := range p.Files {
+		// Walk units: every function declaration body and every func
+		// literal body (a literal's cancels are its own; the outer walk
+		// does not descend into it).
+		var bodies []*ast.BlockStmt
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					bodies = append(bodies, d.Body)
+				}
+			case *ast.FuncLit:
+				bodies = append(bodies, d.Body)
+			}
+			return true
+		})
+		for _, body := range bodies {
+			c := &cancelFlow{
+				p:         p,
+				info:      p.unit.Info,
+				xfer:      cancelTransfers(p.unit.Info, body),
+				reported:  map[token.Pos]map[*types.Var]bool{},
+				discarded: map[token.Pos]bool{},
+			}
+			w := &flowWalker{client: c}
+			w.walkBody(body, newCancelState())
+		}
+	}
+}
+
+// cancelTransfers pre-scans a body for cancel vars whose obligation is
+// handed to another owner: any use that is not the direct callee of a
+// call or defer statement in this body (passed as an argument, stored,
+// returned, captured by a nested literal, even compared) transfers
+// responsibility, and the variable is not tracked.
+func cancelTransfers(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	created := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		stmt, ok := n.(*ast.AssignStmt)
+		if !ok || len(stmt.Rhs) != 1 || len(stmt.Lhs) != 2 {
+			return true
+		}
+		call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, ok := cancelCtor(info, call); !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(stmt.Lhs[1]).(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				created[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				created[obj] = true
+			}
+		}
+		return true
+	})
+	xfer := map[types.Object]bool{}
+	if len(created) == 0 {
+		return xfer
+	}
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && created[obj] {
+				if !directCancelCall(id, stack) {
+					xfer[obj] = true
+				}
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return xfer
+}
+
+// directCancelCall reports whether the identifier use is the callee of
+// a plain or deferred call statement, with no intervening function
+// literal (a capture inside a closure is a transfer even when the
+// closure calls it — the closure's schedule is not this function's
+// exit paths).
+func directCancelCall(id *ast.Ident, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	call, ok := stack[len(stack)-1].(*ast.CallExpr)
+	if !ok || call.Fun != ast.Node(id) {
+		return false
+	}
+	switch stack[len(stack)-2].(type) {
+	case *ast.ExprStmt, *ast.DeferStmt:
+	default:
+		return false
+	}
+	// Any enclosing literal between the walked body and the call makes
+	// it a capture. The walked body itself may be a literal's body —
+	// stack[0] is the body block, so scan above it only.
+	for _, n := range stack[:len(stack)-2] {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+	}
+	return true
+}

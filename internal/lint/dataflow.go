@@ -1,0 +1,927 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The dataflow core.
+//
+// This file owns the three pieces of machinery the flow-sensitive
+// analyzers share, extracted from the interprocedural walk so that one
+// implementation of Go control flow serves every client:
+//
+//  1. A branch-sensitive statement walker (flowWalker) over a lowered
+//     view of a function body. "Lowered" here means control flow is
+//     normalized to a handful of join shapes — if/else clone+union,
+//     two-pass loop bodies with a back-edge union, switch/select
+//     clause merges with default-totality, and a single exit
+//     enumeration (every return plus the implicit fall-through at the
+//     closing brace) — rather than a full basic-block CFG. Clients
+//     implement flowClient and thread an abstract flowState through
+//     the walk; the held-lock walk in interproc.go and the cancelpath
+//     analyzer are both clients, so exit paths are enumerated in
+//     exactly one place.
+//
+//  2. Per-function def-use chains (buildDefUse), keyed by the local
+//     *types.Var: where each local is defined (with its defining
+//     expression) and where it is read. piql-vet's -dataflow flag
+//     dumps these for a named function.
+//
+//  3. A value-provenance engine (taintFunc): a client seeds tags on
+//     expressions that mint tracked values (a routing snapshot from
+//     beginOp, the result of an atomic Load) and the engine propagates
+//     them through locals, field selections, container elements,
+//     range loops, and closures to a fixpoint. Propagation is
+//     flow-insensitive within a function (a local tainted on any path
+//     is tainted everywhere) and field-granular: the client's derive
+//     hook decides whether a tag survives a projection, which is where
+//     leaf types ([]byte key bounds, counters) drop out. There is no
+//     alias analysis: taint follows names and values, not the heap.
+
+// ---------------------------------------------------------------------
+// Branch-sensitive walker.
+
+// flowState is the abstract per-path state a client threads through
+// the walk: the held-lock multiset for interproc, the outstanding
+// cancel obligations for cancelpath.
+type flowState interface {
+	// cloneFlow returns an independent copy for a branch.
+	cloneFlow() flowState
+	// unionFlow merges a sibling branch's exit state into a fresh
+	// state: an obligation survives the merge if either branch carries
+	// it.
+	unionFlow(other flowState) flowState
+	// copyFlow overwrites this state in place with other's contents
+	// (the walker joins branches back into the caller's state).
+	copyFlow(other flowState)
+}
+
+// flowClient receives the walk's observations. The walker owns all
+// control flow; the client owns statement/expression semantics.
+type flowClient interface {
+	// leafStmt handles a non-control-flow statement (expression, send,
+	// assign, decl, inc/dec, defer, go). The walker is passed back in
+	// for clients that recurse (immediately-invoked literals).
+	leafStmt(w *flowWalker, s ast.Stmt, st flowState)
+	// flowExpr evaluates one expression for effects (conditions, tags,
+	// range operands, return results). Never called with nil.
+	flowExpr(e ast.Expr, st flowState)
+	// flowComm handles a select case's communication statement (the
+	// select itself is the blocking point, so the comm must not be
+	// recorded as a standalone operation).
+	flowComm(w *flowWalker, s ast.Stmt, st flowState)
+	// forObs / rangeObs / selectObs observe a loop or select head
+	// before its body is walked.
+	forObs(s *ast.ForStmt, st flowState)
+	rangeObs(s *ast.RangeStmt, st flowState)
+	selectObs(s *ast.SelectStmt, st flowState)
+	// returnObs observes a return statement (results already routed
+	// through flowExpr); exitPath follows immediately after.
+	returnObs(s *ast.ReturnStmt, st flowState)
+	// exitPath is the shared exit-path enumeration: called once per
+	// return statement and once for the implicit fall-through at the
+	// body's closing brace, with the state at that exit.
+	exitPath(pos token.Pos, st flowState)
+}
+
+// flowWalker drives one client through one function body.
+type flowWalker struct {
+	client flowClient
+}
+
+// walkBody walks a function (or pseudo-function) body, recording the
+// implicit fall-through exit at the closing brace when control can
+// reach it.
+func (w *flowWalker) walkBody(body *ast.BlockStmt, st flowState) {
+	if !w.stmt(body, st) {
+		w.client.exitPath(body.Rbrace, st)
+	}
+}
+
+func (w *flowWalker) expr(e ast.Expr, st flowState) {
+	if e != nil {
+		w.client.flowExpr(e, st)
+	}
+}
+
+// stmt walks one statement, mutating st, and reports whether control
+// cannot fall through (return / branch).
+func (w *flowWalker) stmt(st ast.Stmt, fs flowState) bool {
+	switch s := st.(type) {
+	case nil:
+		return false
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			if w.stmt(inner, fs) {
+				return true
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		w.stmt(s.Init, fs)
+		w.expr(s.Cond, fs)
+		thenSt := fs.cloneFlow()
+		thenTerm := w.stmt(s.Body, thenSt)
+		elseSt := fs.cloneFlow()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = w.stmt(s.Else, elseSt)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			fs.copyFlow(elseSt)
+		case elseTerm:
+			fs.copyFlow(thenSt)
+		default:
+			fs.copyFlow(thenSt.unionFlow(elseSt))
+		}
+	case *ast.ForStmt:
+		w.stmt(s.Init, fs)
+		w.expr(s.Cond, fs)
+		w.client.forObs(s, fs)
+		// Two passes over the body: the second starts from the union of
+		// entry and first-iteration exit, so an obligation still open
+		// across the back edge is seen by iteration-two statements.
+		body := fs.cloneFlow()
+		w.stmt(s.Body, body)
+		w.stmt(s.Post, body)
+		again := fs.unionFlow(body)
+		w.stmt(s.Body, again)
+		w.stmt(s.Post, again)
+		fs.copyFlow(fs.unionFlow(again))
+	case *ast.RangeStmt:
+		w.expr(s.X, fs)
+		w.client.rangeObs(s, fs)
+		body := fs.cloneFlow()
+		w.stmt(s.Body, body)
+		again := fs.unionFlow(body)
+		w.stmt(s.Body, again)
+		fs.copyFlow(fs.unionFlow(again))
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, fs)
+		w.expr(s.Tag, fs)
+		w.cases(s.Body, fs)
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, fs)
+		w.stmt(s.Assign, fs)
+		w.cases(s.Body, fs)
+	case *ast.SelectStmt:
+		w.client.selectObs(s, fs)
+		w.cases(s.Body, fs)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, fs)
+		}
+		w.client.returnObs(s, fs)
+		w.client.exitPath(s.Pos(), fs)
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto: stops fall-through here; the loop's
+		// union pass accounts for the continuation.
+		return true
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, fs)
+	default:
+		w.client.leafStmt(w, st, fs)
+	}
+	return false
+}
+
+// cases merges switch/select clause bodies: each clause starts from
+// the pre-state; the post-state is the union of every clause exit that
+// falls through, plus the pre-state unless a default clause makes the
+// dispatch total.
+func (w *flowWalker) cases(body *ast.BlockStmt, fs flowState) {
+	var out flowState
+	hasDefault := false
+	merge := func(x flowState) {
+		if out == nil {
+			out = x
+		} else {
+			out = out.unionFlow(x)
+		}
+	}
+	for _, c := range body.List {
+		clauseSt := fs.cloneFlow()
+		term := false
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cc.List {
+				w.expr(e, clauseSt)
+			}
+			for _, st := range cc.Body {
+				if term = w.stmt(st, clauseSt); term {
+					break
+				}
+			}
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			if cc.Comm != nil {
+				w.client.flowComm(w, cc.Comm, clauseSt)
+			}
+			for _, st := range cc.Body {
+				if term = w.stmt(st, clauseSt); term {
+					break
+				}
+			}
+		}
+		if !term {
+			merge(clauseSt)
+		}
+	}
+	if !hasDefault {
+		merge(fs.cloneFlow())
+	}
+	if out != nil {
+		fs.copyFlow(out)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Loop/termination utilities shared by walker clients.
+
+// loopExits reports whether a `for {` body has any way out: a return,
+// a break that targets this loop, a goto or labeled break, or a call
+// that never comes back (panic, runtime.Goexit, os.Exit, *.Fatal*).
+func loopExits(body *ast.BlockStmt) bool {
+	for _, st := range body.List {
+		if stmtExitsLoop(st, true) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmtExitsLoop scans one statement of a loop body. breakWorks is
+// false inside constructs that capture a plain break (nested loops,
+// switch/select) — a break there does not exit the outer loop.
+func stmtExitsLoop(st ast.Stmt, breakWorks bool) bool {
+	exits := func(list []ast.Stmt, bw bool) bool {
+		for _, s := range list {
+			if stmtExitsLoop(s, bw) {
+				return true
+			}
+		}
+		return false
+	}
+	switch s := st.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			return breakWorks || s.Label != nil
+		case token.GOTO:
+			return true
+		}
+		return false
+	case *ast.BlockStmt:
+		return exits(s.List, breakWorks)
+	case *ast.IfStmt:
+		if stmtExitsLoop(s.Body, breakWorks) {
+			return true
+		}
+		return s.Else != nil && stmtExitsLoop(s.Else, breakWorks)
+	case *ast.LabeledStmt:
+		return stmtExitsLoop(s.Stmt, breakWorks)
+	case *ast.ForStmt:
+		return stmtExitsLoop(s.Body, false)
+	case *ast.RangeStmt:
+		return stmtExitsLoop(s.Body, false)
+	case *ast.SwitchStmt:
+		return exits(s.Body.List, breakWorks)
+	case *ast.TypeSwitchStmt:
+		return exits(s.Body.List, breakWorks)
+	case *ast.SelectStmt:
+		return exits(s.Body.List, breakWorks)
+	case *ast.CaseClause:
+		// A break directly inside a case breaks the switch/select, not
+		// the loop.
+		return exits(s.Body, false)
+	case *ast.CommClause:
+		return exits(s.Body, false)
+	case *ast.ExprStmt:
+		return callNeverReturns(s.X)
+	}
+	return false
+}
+
+// callNeverReturns recognizes calls that terminate the goroutine (or
+// process) instead of returning: panic, runtime.Goexit, os.Exit, and
+// the *.Fatal/Fatalf family.
+func callNeverReturns(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Goexit", "Exit", "Fatal", "Fatalf", "Fatalln":
+			return true
+		}
+	}
+	return false
+}
+
+// commRecvChan returns the channel expression a select comm statement
+// receives from, or nil when the comm is a send.
+func commRecvChan(st ast.Stmt) ast.Expr {
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(s.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			return u.X
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if u, ok := ast.Unparen(s.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				return u.X
+			}
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Def-use chains.
+
+// defSite is one definition of a local: where, and the defining
+// expression when there is one (nil for parameters and zero-value
+// declarations). forRange marks definitions minted by a range clause.
+type defSite struct {
+	pos      token.Pos
+	rhs      ast.Expr
+	forRange bool
+}
+
+// defUse holds one function's def-use chains, keyed by the local
+// variable object.
+type defUse struct {
+	decl *ast.FuncDecl
+	objs []*types.Var // stable (declaration-position) order
+	defs map[*types.Var][]defSite
+	uses map[*types.Var][]token.Pos
+}
+
+// localVarOf resolves an identifier to the local variable it denotes
+// inside decl (parameters and receivers included), or nil.
+func localVarOf(info *types.Info, decl *ast.FuncDecl, id *ast.Ident) *types.Var {
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if v.Pos() < decl.Pos() || v.Pos() > decl.End() {
+		return nil
+	}
+	return v
+}
+
+// buildDefUse computes def-use chains for one function declaration.
+func buildDefUse(info *types.Info, decl *ast.FuncDecl) *defUse {
+	du := &defUse{
+		decl: decl,
+		defs: map[*types.Var][]defSite{},
+		uses: map[*types.Var][]token.Pos{},
+	}
+	seen := map[*types.Var]bool{}
+	note := func(v *types.Var) {
+		if !seen[v] {
+			seen[v] = true
+			du.objs = append(du.objs, v)
+		}
+	}
+	addDef := func(v *types.Var, d defSite) {
+		note(v)
+		du.defs[v] = append(du.defs[v], d)
+	}
+	// Parameters, receiver, and named results are definitions with no
+	// defining expression.
+	fields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if v := localVarOf(info, decl, name); v != nil {
+					addDef(v, defSite{pos: name.Pos()})
+				}
+			}
+		}
+	}
+	fields(decl.Recv)
+	fields(decl.Type.Params)
+	fields(decl.Type.Results)
+	if decl.Body == nil {
+		return du
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				v := localVarOf(info, decl, id)
+				if v == nil {
+					continue
+				}
+				var rhs ast.Expr
+				if len(s.Rhs) == len(s.Lhs) {
+					rhs = s.Rhs[i]
+				} else if len(s.Rhs) == 1 {
+					rhs = s.Rhs[0] // tuple: all LHS share the call/comma-ok source
+				}
+				addDef(v, defSite{pos: id.Pos(), rhs: rhs})
+			}
+		case *ast.ValueSpec:
+			for i, name := range s.Names {
+				if name.Name == "_" {
+					continue
+				}
+				v := localVarOf(info, decl, name)
+				if v == nil {
+					continue
+				}
+				var rhs ast.Expr
+				if i < len(s.Values) {
+					rhs = s.Values[i]
+				}
+				addDef(v, defSite{pos: name.Pos(), rhs: rhs})
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{s.Key, s.Value} {
+				if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+					if v := localVarOf(info, decl, id); v != nil {
+						addDef(v, defSite{pos: id.Pos(), rhs: s.X, forRange: true})
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := s.X.(*ast.Ident); ok {
+				if v := localVarOf(info, decl, id); v != nil {
+					addDef(v, defSite{pos: id.Pos(), rhs: s.X})
+				}
+			}
+		case *ast.Ident:
+			if _, isUse := info.Uses[s]; isUse {
+				if v := localVarOf(info, decl, s); v != nil {
+					note(v)
+					du.uses[v] = append(du.uses[v], s.Pos())
+				}
+			}
+		}
+		return true
+	})
+	sort.SliceStable(du.objs, func(i, j int) bool { return du.objs[i].Pos() < du.objs[j].Pos() })
+	return du
+}
+
+// dump renders the chains for the -dataflow debug printer.
+func (du *defUse) dump(fset *token.FileSet, out *strings.Builder) {
+	short := func(pos token.Pos) string {
+		p := fset.Position(pos)
+		name := p.Filename
+		if i := strings.LastIndexByte(name, '/'); i >= 0 {
+			name = name[i+1:]
+		}
+		return fmt.Sprintf("%s:%d", name, p.Line)
+	}
+	render := func(e ast.Expr) string {
+		var buf bytes.Buffer
+		if err := printer.Fprint(&buf, fset, e); err != nil {
+			return "?"
+		}
+		s := buf.String()
+		s = strings.Join(strings.Fields(s), " ")
+		if len(s) > 60 {
+			s = s[:57] + "..."
+		}
+		return s
+	}
+	for _, v := range du.objs {
+		fmt.Fprintf(out, "  %s %s\n", v.Name(), v.Type())
+		for _, d := range du.defs[v] {
+			switch {
+			case d.forRange:
+				fmt.Fprintf(out, "    def %s  <- range %s\n", short(d.pos), render(d.rhs))
+			case d.rhs != nil:
+				fmt.Fprintf(out, "    def %s  <- %s\n", short(d.pos), render(d.rhs))
+			default:
+				fmt.Fprintf(out, "    def %s  (param)\n", short(d.pos))
+			}
+		}
+		if us := du.uses[v]; len(us) > 0 {
+			parts := make([]string, len(us))
+			for i, p := range us {
+				parts[i] = short(p)
+			}
+			fmt.Fprintf(out, "    use %s\n", strings.Join(parts, ", "))
+		}
+	}
+}
+
+// sharedMemoryWrite reports whether an lvalue path can reach memory
+// shared with other holders of the root: an explicit or implicit
+// pointer dereference, or an element of a map or slice. A chain of
+// direct field selections on struct values mutates only the local
+// copy — `p := *x.Load(); p.f = v; x.Store(&p)` is the copy-on-write
+// idiom working as intended, not a write through the published value.
+func sharedMemoryWrite(info *types.Info, lhs ast.Expr) bool {
+	typeOf := func(e ast.Expr) types.Type {
+		if tv, ok := info.Types[e]; ok {
+			return tv.Type
+		}
+		return nil
+	}
+	for {
+		switch x := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = x.X
+		case *ast.StarExpr:
+			return true
+		case *ast.SelectorExpr:
+			// Selecting through a pointer dereferences it implicitly.
+			if t := typeOf(x.X); t != nil {
+				if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+					return true
+				}
+			}
+			lhs = x.X
+		case *ast.IndexExpr:
+			if t := typeOf(x.X); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map, *types.Slice, *types.Pointer:
+					return true
+				}
+			}
+			lhs = x.X // array value: the element write stays in the value
+		case *ast.SliceExpr:
+			return true
+		default:
+			return false // bare root reached through value projections only
+		}
+	}
+}
+
+// funcReturns calls fn for each return statement belonging to body
+// itself, not descending into nested function literals (a closure's
+// return is not the enclosing function's exit).
+func funcReturns(body *ast.BlockStmt, fn func(*ast.ReturnStmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			fn(r)
+		}
+		return true
+	})
+}
+
+// DumpDefUse renders the def-use chains of the named function for the
+// piql-vet -dataflow debug printer. name matches the bare function
+// name ("beginOp"), the method key ("(*Cluster).beginOp"), or either
+// prefixed with the package name ("kvstore.beginOp"). Returns false
+// when the unit has no type information or no declaration matches.
+func DumpDefUse(unit *Unit, name string) (string, bool) {
+	if unit.Info == nil {
+		return "", false
+	}
+	pkgName := ""
+	if unit.Pkg != nil {
+		pkgName = unit.Pkg.Name()
+	}
+	var out strings.Builder
+	found := false
+	for _, f := range unit.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			fn, _ := unit.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			key := funcKey(fn)
+			if name != key && name != fd.Name.Name &&
+				(pkgName == "" || (name != pkgName+"."+key && name != pkgName+"."+fd.Name.Name)) {
+				continue
+			}
+			found = true
+			p := unit.Fset.Position(fd.Pos())
+			fmt.Fprintf(&out, "func %s.%s (%s:%d)\n", pkgName, key, p.Filename, p.Line)
+			buildDefUse(unit.Info, fd).dump(unit.Fset, &out)
+		}
+	}
+	return out.String(), found
+}
+
+// ---------------------------------------------------------------------
+// Value provenance.
+
+// provTag is one provenance tag: which tracked source the value
+// derives from (id is the canonical resource — a claim pair, an atomic
+// field), a human witness fragment, and where the derivation started.
+type provTag struct {
+	id   string
+	what string
+	pos  token.Pos
+}
+
+// provClient parameterizes the taint engine.
+type provClient interface {
+	// seed returns a tag when e itself mints a tracked value (a
+	// beginOp call, an atomic Load).
+	seed(e ast.Expr) (provTag, bool)
+	// derive decides whether a tag survives a projection or derivation
+	// yielding type t (field select, index, deref, element, binary
+	// op). Returning false cuts propagation — the field-granularity
+	// policy lives here.
+	derive(tag provTag, t types.Type) (provTag, bool)
+	// call decides the tag of a call's result. recvTag/argTag are the
+	// tags on the receiver expression and the first tainted argument
+	// (nil when untainted); fn is the resolved callee or nil.
+	call(call *ast.CallExpr, fn *types.Func, recvTag, argTag *provTag) (provTag, bool)
+}
+
+// funcTaint is the provenance result for one function body: the set
+// of tainted locals and an expression resolver.
+type funcTaint struct {
+	info *types.Info
+	c    provClient
+	body *ast.BlockStmt
+	objs map[types.Object]provTag
+}
+
+// taintFunc propagates the client's seeds through body to a fixpoint.
+// Flow-insensitive: a local tainted on any path is treated as tainted
+// at every use.
+func taintFunc(info *types.Info, body *ast.BlockStmt, c provClient) *funcTaint {
+	ft := &funcTaint{info: info, c: c, body: body, objs: map[types.Object]provTag{}}
+	for pass := 0; pass < 32; pass++ {
+		if !ft.propagateOnce() {
+			break
+		}
+	}
+	return ft
+}
+
+// mark taints the object an identifier binds (definition or use).
+func (ft *funcTaint) mark(id *ast.Ident, tag provTag) bool {
+	if id == nil || id.Name == "_" {
+		return false
+	}
+	obj := ft.info.Defs[id]
+	if obj == nil {
+		obj = ft.info.Uses[id]
+	}
+	if obj == nil {
+		return false
+	}
+	if _, done := ft.objs[obj]; done {
+		return false
+	}
+	ft.objs[obj] = tag
+	return true
+}
+
+func (ft *funcTaint) typeOf(e ast.Expr) types.Type {
+	if tv, ok := ft.info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// propagateOnce runs one taint pass over every binding form and
+// reports whether anything new was tainted.
+func (ft *funcTaint) propagateOnce() bool {
+	changed := false
+	ast.Inspect(ft.body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue // stores to fields/elements are the analyzers' business
+				}
+				var rhs ast.Expr
+				if len(s.Rhs) == len(s.Lhs) {
+					rhs = s.Rhs[i]
+				} else if len(s.Rhs) == 1 {
+					rhs = s.Rhs[0]
+				}
+				if rhs == nil {
+					continue
+				}
+				if tag, ok := ft.exprTag(rhs); ok {
+					if t := ft.typeOf(lhs); t != nil {
+						if dt, keep := ft.c.derive(tag, t); keep {
+							changed = ft.mark(id, dt) || changed
+						}
+					} else {
+						changed = ft.mark(id, tag) || changed
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range s.Names {
+				if i < len(s.Values) {
+					if tag, ok := ft.exprTag(s.Values[i]); ok {
+						changed = ft.mark(name, tag) || changed
+					}
+				} else if len(s.Values) == 1 {
+					if tag, ok := ft.exprTag(s.Values[0]); ok {
+						changed = ft.mark(name, tag) || changed
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if tag, ok := ft.exprTag(s.X); ok {
+				for _, e := range []ast.Expr{s.Key, s.Value} {
+					id, isID := e.(*ast.Ident)
+					if !isID {
+						continue
+					}
+					if t := ft.typeOf(e); t != nil {
+						if dt, keep := ft.c.derive(tag, t); keep {
+							changed = ft.mark(id, dt) || changed
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// exprTag resolves the provenance tag of one expression.
+func (ft *funcTaint) exprTag(e ast.Expr) (provTag, bool) {
+	if e == nil {
+		return provTag{}, false
+	}
+	if tag, ok := ft.c.seed(e); ok {
+		return tag, true
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := ft.info.Uses[x]; obj != nil {
+			tag, ok := ft.objs[obj]
+			return tag, ok
+		}
+	case *ast.ParenExpr:
+		return ft.exprTag(x.X)
+	case *ast.SelectorExpr:
+		if tag, ok := ft.exprTag(x.X); ok {
+			return ft.deriveAs(tag, e)
+		}
+	case *ast.IndexExpr:
+		// Taint flows through the container, not the subscript: an
+		// element of a tainted slice is tainted; indexing an untainted
+		// map by a tainted key is not.
+		if tag, ok := ft.exprTag(x.X); ok {
+			return ft.deriveAs(tag, e)
+		}
+	case *ast.SliceExpr:
+		if tag, ok := ft.exprTag(x.X); ok {
+			return ft.deriveAs(tag, e)
+		}
+	case *ast.StarExpr:
+		if tag, ok := ft.exprTag(x.X); ok {
+			return ft.deriveAs(tag, e)
+		}
+	case *ast.UnaryExpr:
+		if tag, ok := ft.exprTag(x.X); ok {
+			return ft.deriveAs(tag, e)
+		}
+	case *ast.BinaryExpr:
+		if tag, ok := ft.exprTag(x.X); ok {
+			return ft.deriveAs(tag, e)
+		}
+		if tag, ok := ft.exprTag(x.Y); ok {
+			return ft.deriveAs(tag, e)
+		}
+	case *ast.TypeAssertExpr:
+		if tag, ok := ft.exprTag(x.X); ok {
+			return ft.deriveAs(tag, e)
+		}
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, isKV := el.(*ast.KeyValueExpr); isKV {
+				el = kv.Value
+			}
+			if tag, ok := ft.exprTag(el); ok {
+				return ft.deriveAs(tag, e)
+			}
+		}
+	case *ast.CallExpr:
+		var recvTag, argTag *provTag
+		if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+			if tag, tOK := ft.exprTag(sel.X); tOK {
+				recvTag = &tag
+			}
+		}
+		for _, a := range x.Args {
+			if tag, tOK := ft.exprTag(a); tOK {
+				argTag = &tag
+				break
+			}
+		}
+		// The client is consulted even when nothing flowing in is
+		// tainted: a call can mint taint by itself when the callee's
+		// summary or fact says its result is tracked (an acquire
+		// helper, a Load-returning helper).
+		fn := calleeOf(ft.info, x)
+		if recvTag == nil && argTag == nil && fn == nil {
+			return provTag{}, false
+		}
+		return ft.c.call(x, fn, recvTag, argTag)
+	case *ast.FuncLit:
+		// A closure over a tainted local carries the taint: storing,
+		// returning, or spawning it smuggles the value out.
+		var found provTag
+		ok := false
+		ast.Inspect(x.Body, func(n ast.Node) bool {
+			if ok {
+				return false
+			}
+			id, isID := n.(*ast.Ident)
+			if !isID {
+				return true
+			}
+			obj := ft.info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if tag, tainted := ft.objs[obj]; tainted {
+				// Only free variables count: a var declared inside the
+				// literal is the literal's own business.
+				if obj.Pos() < x.Pos() || obj.Pos() > x.End() {
+					found, ok = tag, true
+				}
+			}
+			return true
+		})
+		if ok {
+			return provTag{id: found.id, what: found.what + ", captured by closure", pos: found.pos}, true
+		}
+	}
+	return provTag{}, false
+}
+
+// deriveAs routes a projection through the client's derive policy
+// using the projected expression's type.
+func (ft *funcTaint) deriveAs(tag provTag, e ast.Expr) (provTag, bool) {
+	t := ft.typeOf(e)
+	if t == nil {
+		return tag, true
+	}
+	return ft.c.derive(tag, t)
+}
+
+// leafValueType reports whether t is plain leaf data whose copies do
+// not pin the tracked resource: basic types, strings, []byte/[]rune
+// and other basic-element slices/arrays, and time-like values. The
+// default derive policy for both snapshot and atomic provenance cuts
+// at these — escaping a key bound or an epoch counter copies bytes,
+// it does not retain the snapshot.
+func leafValueType(t types.Type) bool {
+	return leafValueDepth(t, 3)
+}
+
+func leafValueDepth(t types.Type, depth int) bool {
+	if depth == 0 {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return true
+	case *types.Slice:
+		return leafValueDepth(u.Elem(), depth-1)
+	case *types.Array:
+		return leafValueDepth(u.Elem(), depth-1)
+	}
+	return false
+}

@@ -61,6 +61,16 @@ type FuncFact struct {
 	// matching acquisition of its own — the releasing half of a
 	// cross-package helper pair.
 	NetReleases []string `json:"netReleases,omitempty"`
+	// AtomicResults lists the atomic-field IDs whose Load()ed value the
+	// function may return. A caller treats such a result as
+	// atomically-published state: plain writes through it are atomicmix
+	// violations even though the Load happened a package away.
+	AtomicResults []string `json:"atomicResults,omitempty"`
+	// SnapshotTainted reports that some result derives from a claimed
+	// routing snapshot (beginOp) the function does not itself release —
+	// the acquire-helper shape. Callers inherit the scoping obligation:
+	// snapshotescape seeds its provenance at calls to such functions.
+	SnapshotTainted bool `json:"snapshotTainted,omitempty"`
 }
 
 // LockEdge is one acquired-while-held observation: To was acquired at
@@ -83,11 +93,22 @@ type PackageFacts struct {
 	Funcs   map[string]FuncFact `json:"funcs,omitempty"`
 	// LockEdges are the package's acquired-while-held observations.
 	LockEdges []LockEdge `json:"lockEdges,omitempty"`
+	// AtomicFields lists the canonical IDs ("pkg.Struct.field") of this
+	// package's fields that are accessed atomically: fields of a
+	// sync/atomic type, and plain-typed fields some site touches with a
+	// sync/atomic function call. atomicmix uses the fact to flag plain
+	// accesses from other packages, where the declaring package's
+	// atomic call sites are invisible.
+	AtomicFields []string `json:"atomicFields,omitempty"`
 }
 
 // factsVersion bumps whenever the encoding or the meaning of a fact
-// changes. Version 2 added ParkRisk and NetAcquires/NetReleases.
-const factsVersion = 2
+// changes. Version 2 added ParkRisk and NetAcquires/NetReleases;
+// version 3 added AtomicFields, AtomicResults, and SnapshotTainted
+// (the dataflow-analyzer facts). Decode-compat is by design version
+// skew: DecodeFacts returns (nil, nil) for any other version, so a
+// stale cache reads as "no facts", never as wrong facts.
+const factsVersion = 3
 
 // EncodeFacts serializes facts for a vetx file.
 func EncodeFacts(f *PackageFacts) []byte {
@@ -140,12 +161,17 @@ func (f *PackageFacts) validate() error {
 		if key == "" {
 			return fmt.Errorf("corrupt facts: empty function key")
 		}
-		for _, lists := range [][]string{fn.Acquires, fn.ErrTypes, fn.NetAcquires, fn.NetReleases} {
+		for _, lists := range [][]string{fn.Acquires, fn.ErrTypes, fn.NetAcquires, fn.NetReleases, fn.AtomicResults} {
 			for _, id := range lists {
 				if id == "" {
 					return fmt.Errorf("corrupt facts: empty ID in %q", key)
 				}
 			}
+		}
+	}
+	for _, id := range f.AtomicFields {
+		if id == "" {
+			return fmt.Errorf("corrupt facts: empty atomic-field ID")
 		}
 	}
 	for _, e := range f.LockEdges {
@@ -180,6 +206,29 @@ func (s *FactStore) Pkg(path string) *PackageFacts {
 		return nil
 	}
 	return s.pkgs[path]
+}
+
+// AtomicFields returns every atomic-field ID in the store mapped to
+// the exporting package's import path (first exporter wins, in sorted
+// path order, for deterministic fact citations).
+func (s *FactStore) AtomicFields() map[string]string {
+	out := map[string]string{}
+	if s == nil {
+		return out
+	}
+	var paths []string
+	for p := range s.pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		for _, id := range s.pkgs[p].AtomicFields {
+			if _, ok := out[id]; !ok {
+				out[id] = p
+			}
+		}
+	}
+	return out
 }
 
 // Func looks up one function's fact by package path and key.

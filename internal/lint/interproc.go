@@ -82,6 +82,28 @@ type Interproc struct {
 	// is only provably non-parking when every make site is buffered
 	// with a constant positive capacity.
 	chanCaps map[string]*chanCap
+
+	// atomicFields holds the canonical IDs of this package's
+	// atomically-accessed fields (sync/atomic-typed, or plain-typed but
+	// touched via sync/atomic calls); atomicSanctioned marks the
+	// &x.field selector nodes that appear inside those sanctioned
+	// sync/atomic calls. Both feed the atomicmix analyzer and the
+	// AtomicFields fact (see atomicmix.go for the prepass).
+	atomicFields     map[string]bool
+	atomicSanctioned map[ast.Node]bool
+	// atomicFindings / snapshotFindings are the provenance violations
+	// the prepasses collected; the atomicmix and snapshotescape
+	// analyzers report them (directive suppression happens at report
+	// time, in the framework).
+	atomicFindings   []provFinding
+	snapshotFindings []provFinding
+}
+
+// provFinding is one provenance violation found during a prepass,
+// emitted later by the owning analyzer.
+type provFinding struct {
+	pos token.Pos
+	msg string
 }
 
 // chanCap accumulates the make() sites of one channel ID.
@@ -284,6 +306,13 @@ type funcInfo struct {
 	// analysis can tell). Propagated through local calls and imported
 	// facts like blockPath.
 	parkRisk string
+
+	// dataflow-prepass results (atomicmix / snapshotescape facts):
+	// atomic-field IDs whose loaded value this function may return, and
+	// the claim ID whose snapshot it returns without releasing (the
+	// acquire-helper shape; "" = none).
+	atomicResults   map[string]bool
+	snapshotTaintID string
 }
 
 // buildInterproc runs the walk and fixpoint over the unit's non-test
@@ -331,6 +360,11 @@ func buildInterproc(u *Unit, files []*ast.File) *Interproc {
 		}
 	}
 	ip.fixpoint()
+	// Dataflow prepasses after the walk: snapshot provenance needs the
+	// walk's releasedIDs, and both need the fixpoint-free per-function
+	// view only.
+	ip.atomicPrepass(files)
+	ip.snapshotPrepass()
 	return ip
 }
 
@@ -681,20 +715,36 @@ func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
 
 // ---------------------------------------------------------------------
 // The walk.
+//
+// Control flow lives in the shared branch-sensitive walker
+// (dataflow.go); this section is the held-lock client: *held is the
+// flowState, ipFlow supplies the statement/expression semantics.
 
-// walkStmt analyzes one statement, mutating h, and reports whether
-// control cannot fall through (return / branch).
+func (h *held) cloneFlow() flowState            { return h.clone() }
+func (h *held) unionFlow(o flowState) flowState { return unionHeld(h, o.(*held)) }
+func (h *held) copyFlow(o flowState)            { *h = *o.(*held) }
+
+// ipFlow adapts one function's held-lock walk onto the shared walker.
+type ipFlow struct {
+	ip *Interproc
+	fi *funcInfo
+}
+
+// walkStmt drives the shared walker with this package's held-lock
+// client, preserving the pre-refactor entry point (walkCall reuses it
+// for immediately-invoked literals).
 func (ip *Interproc) walkStmt(fi *funcInfo, st ast.Stmt, h *held) bool {
+	w := &flowWalker{client: &ipFlow{ip: ip, fi: fi}}
+	return w.stmt(st, h)
+}
+
+func (c *ipFlow) flowExpr(e ast.Expr, fs flowState) {
+	c.ip.walkExpr(c.fi, e, fs.(*held))
+}
+
+func (c *ipFlow) leafStmt(w *flowWalker, st ast.Stmt, fs flowState) {
+	ip, fi, h := c.ip, c.fi, fs.(*held)
 	switch s := st.(type) {
-	case nil:
-		return false
-	case *ast.BlockStmt:
-		for _, inner := range s.List {
-			if ip.walkStmt(fi, inner, h) {
-				return true
-			}
-		}
-		return false
 	case *ast.ExprStmt:
 		ip.walkExpr(fi, s.X, h)
 	case *ast.SendStmt:
@@ -724,104 +774,6 @@ func (ip *Interproc) walkStmt(fi *funcInfo, st ast.Stmt, h *held) bool {
 		}
 	case *ast.IncDecStmt:
 		ip.walkExpr(fi, s.X, h)
-	case *ast.IfStmt:
-		ip.walkStmt(fi, s.Init, h)
-		ip.walkExpr(fi, s.Cond, h)
-		thenH := h.clone()
-		thenTerm := ip.walkStmt(fi, s.Body, thenH)
-		elseH := h.clone()
-		elseTerm := false
-		if s.Else != nil {
-			elseTerm = ip.walkStmt(fi, s.Else, elseH)
-		}
-		switch {
-		case thenTerm && elseTerm:
-			return true
-		case thenTerm:
-			*h = *elseH
-		case elseTerm:
-			*h = *thenH
-		default:
-			*h = *unionHeld(thenH, elseH)
-		}
-	case *ast.ForStmt:
-		ip.walkStmt(fi, s.Init, h)
-		ip.walkExpr(fi, s.Cond, h)
-		if s.Cond == nil && !loopExits(s.Body) {
-			fi.parkCands = append(fi.parkCands,
-				"infinite for-loop with no break or return ("+ip.shortPos(s.For)+")")
-		}
-		// Two passes over the body: the second starts from the union of
-		// entry and first-iteration exit, so a lock still held across
-		// the back edge is seen by iteration-two acquisitions.
-		body := h.clone()
-		ip.walkStmt(fi, s.Body, body)
-		ip.walkStmt(fi, s.Post, body)
-		again := unionHeld(h, body)
-		ip.walkStmt(fi, s.Body, again)
-		ip.walkStmt(fi, s.Post, again)
-		*h = *unionHeld(h, again)
-	case *ast.RangeStmt:
-		ip.walkExpr(fi, s.X, h)
-		if t := ip.typeOf(s.X); t != nil {
-			if _, isChan := t.Underlying().(*types.Chan); isChan {
-				park := ""
-				if !ip.recvEscapes(fi, s.X) {
-					park = "range over " + ip.chanID(fi, s.X) + ", which no analyzed path closes"
-				}
-				ip.block(fi, "range over channel", s.For, h, park)
-			}
-		}
-		body := h.clone()
-		ip.walkStmt(fi, s.Body, body)
-		again := unionHeld(h, body)
-		ip.walkStmt(fi, s.Body, again)
-		*h = *unionHeld(h, again)
-	case *ast.SwitchStmt:
-		ip.walkStmt(fi, s.Init, h)
-		ip.walkExpr(fi, s.Tag, h)
-		ip.walkCases(fi, s.Body, h)
-	case *ast.TypeSwitchStmt:
-		ip.walkStmt(fi, s.Init, h)
-		ip.walkStmt(fi, s.Assign, h)
-		ip.walkCases(fi, s.Body, h)
-	case *ast.SelectStmt:
-		hasDefault := false
-		hasEscape := false
-		for _, c := range s.Body.List {
-			cc, ok := c.(*ast.CommClause)
-			if !ok {
-				continue
-			}
-			if cc.Comm == nil {
-				hasDefault = true
-				continue
-			}
-			// A case receiving from a closed/done channel is the select's
-			// termination path.
-			if x := commRecvChan(cc.Comm); x != nil && ip.recvEscapes(fi, x) {
-				hasEscape = true
-			}
-		}
-		if !hasDefault {
-			park := ""
-			if !hasEscape {
-				park = "select with no default and no done/close case"
-			}
-			ip.block(fi, "select with no default", s.Select, h, park)
-		}
-		ip.walkCases(fi, s.Body, h)
-	case *ast.ReturnStmt:
-		for _, e := range s.Results {
-			ip.walkExpr(fi, e, h)
-		}
-		ip.recordReturn(fi, s)
-		ip.recordExit(fi, s.Pos(), h)
-		return true
-	case *ast.BranchStmt:
-		// break/continue/goto: stops fall-through here; the loop's
-		// union pass accounts for the continuation.
-		return true
 	case *ast.DeferStmt:
 		ip.walkDefer(fi, s, h)
 	case *ast.GoStmt:
@@ -835,7 +787,7 @@ func (ip *Interproc) walkStmt(fi *funcInfo, st ast.Stmt, h *held) bool {
 		// site once.
 		for _, sp := range fi.spawns {
 			if sp.pos == s.Pos() {
-				return false
+				return
 			}
 		}
 		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
@@ -846,177 +798,74 @@ func (ip *Interproc) walkStmt(fi *funcInfo, st ast.Stmt, h *held) bool {
 		} else {
 			fi.spawns = append(fi.spawns, spawnObs{pos: s.Pos(), dynamic: true})
 		}
-	case *ast.LabeledStmt:
-		return ip.walkStmt(fi, s.Stmt, h)
 	}
-	return false
 }
 
-// loopExits reports whether a `for {` body has any way out: a return,
-// a break that targets this loop, a goto or labeled break, or a call
-// that never comes back (panic, runtime.Goexit, os.Exit, *.Fatal*).
-func loopExits(body *ast.BlockStmt) bool {
-	for _, st := range body.List {
-		if stmtExitsLoop(st, true) {
-			return true
-		}
+func (c *ipFlow) forObs(s *ast.ForStmt, fs flowState) {
+	if s.Cond == nil && !loopExits(s.Body) {
+		c.fi.parkCands = append(c.fi.parkCands,
+			"infinite for-loop with no break or return ("+c.ip.shortPos(s.For)+")")
 	}
-	return false
 }
 
-// stmtExitsLoop scans one statement of a loop body. breakWorks is
-// false inside constructs that capture a plain break (nested loops,
-// switch/select) — a break there does not exit the outer loop.
-func stmtExitsLoop(st ast.Stmt, breakWorks bool) bool {
-	exits := func(list []ast.Stmt, bw bool) bool {
-		for _, s := range list {
-			if stmtExitsLoop(s, bw) {
-				return true
+func (c *ipFlow) rangeObs(s *ast.RangeStmt, fs flowState) {
+	ip, fi, h := c.ip, c.fi, fs.(*held)
+	if t := ip.typeOf(s.X); t != nil {
+		if _, isChan := t.Underlying().(*types.Chan); isChan {
+			park := ""
+			if !ip.recvEscapes(fi, s.X) {
+				park = "range over " + ip.chanID(fi, s.X) + ", which no analyzed path closes"
 			}
+			ip.block(fi, "range over channel", s.For, h, park)
 		}
-		return false
 	}
-	switch s := st.(type) {
-	case *ast.ReturnStmt:
-		return true
-	case *ast.BranchStmt:
-		switch s.Tok {
-		case token.BREAK:
-			return breakWorks || s.Label != nil
-		case token.GOTO:
-			return true
-		}
-		return false
-	case *ast.BlockStmt:
-		return exits(s.List, breakWorks)
-	case *ast.IfStmt:
-		if stmtExitsLoop(s.Body, breakWorks) {
-			return true
-		}
-		return s.Else != nil && stmtExitsLoop(s.Else, breakWorks)
-	case *ast.LabeledStmt:
-		return stmtExitsLoop(s.Stmt, breakWorks)
-	case *ast.ForStmt:
-		return stmtExitsLoop(s.Body, false)
-	case *ast.RangeStmt:
-		return stmtExitsLoop(s.Body, false)
-	case *ast.SwitchStmt:
-		return exits(s.Body.List, breakWorks)
-	case *ast.TypeSwitchStmt:
-		return exits(s.Body.List, breakWorks)
-	case *ast.SelectStmt:
-		return exits(s.Body.List, breakWorks)
-	case *ast.CaseClause:
-		// A break directly inside a case breaks the switch/select, not
-		// the loop.
-		return exits(s.Body, false)
-	case *ast.CommClause:
-		return exits(s.Body, false)
-	case *ast.ExprStmt:
-		return callNeverReturns(s.X)
-	}
-	return false
 }
 
-// callNeverReturns recognizes calls that terminate the goroutine (or
-// process) instead of returning: panic, runtime.Goexit, os.Exit, and
-// the *.Fatal/Fatalf family.
-func callNeverReturns(e ast.Expr) bool {
-	call, ok := ast.Unparen(e).(*ast.CallExpr)
-	if !ok {
-		return false
-	}
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		return fun.Name == "panic"
-	case *ast.SelectorExpr:
-		switch fun.Sel.Name {
-		case "Goexit", "Exit", "Fatal", "Fatalf", "Fatalln":
-			return true
-		}
-	}
-	return false
-}
-
-// commRecvChan returns the channel expression a select comm statement
-// receives from, or nil when the comm is a send.
-func commRecvChan(st ast.Stmt) ast.Expr {
-	switch s := st.(type) {
-	case *ast.ExprStmt:
-		if u, ok := ast.Unparen(s.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
-			return u.X
-		}
-	case *ast.AssignStmt:
-		if len(s.Rhs) == 1 {
-			if u, ok := ast.Unparen(s.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
-				return u.X
-			}
-		}
-	}
-	return nil
-}
-
-// walkCases merges switch/select clause bodies: each clause starts
-// from the pre-state; the post-state is the union of every clause exit
-// that falls through, plus the pre-state unless a default clause makes
-// the dispatch total.
-func (ip *Interproc) walkCases(fi *funcInfo, body *ast.BlockStmt, h *held) {
-	out := (*held)(nil)
+func (c *ipFlow) selectObs(s *ast.SelectStmt, fs flowState) {
+	ip, fi, h := c.ip, c.fi, fs.(*held)
 	hasDefault := false
-	merge := func(x *held) {
-		if out == nil {
-			out = x
-		} else {
-			out = unionHeld(out, x)
+	hasEscape := false
+	for _, cl := range s.Body.List {
+		cc, ok := cl.(*ast.CommClause)
+		if !ok {
+			continue
 		}
-	}
-	for _, c := range body.List {
-		clauseH := h.clone()
-		term := false
-		switch cc := c.(type) {
-		case *ast.CaseClause:
-			if cc.List == nil {
-				hasDefault = true
-			}
-			for _, e := range cc.List {
-				ip.walkExpr(fi, e, clauseH)
-			}
-			for _, st := range cc.Body {
-				if term = ip.walkStmt(fi, st, clauseH); term {
-					break
-				}
-			}
-		case *ast.CommClause:
-			if cc.Comm == nil {
-				hasDefault = true
-			}
-			ip.walkComm(fi, cc.Comm, clauseH)
-			for _, st := range cc.Body {
-				if term = ip.walkStmt(fi, st, clauseH); term {
-					break
-				}
-			}
+		if cc.Comm == nil {
+			hasDefault = true
+			continue
 		}
-		if !term {
-			merge(clauseH)
+		// A case receiving from a closed/done channel is the select's
+		// termination path.
+		if x := commRecvChan(cc.Comm); x != nil && ip.recvEscapes(fi, x) {
+			hasEscape = true
 		}
 	}
 	if !hasDefault {
-		merge(h.clone())
-	}
-	if out != nil {
-		*h = *out
+		park := ""
+		if !hasEscape {
+			park = "select with no default and no done/close case"
+		}
+		ip.block(fi, "select with no default", s.Select, h, park)
 	}
 }
 
-// walkComm walks a select case's communication statement without
+func (c *ipFlow) returnObs(s *ast.ReturnStmt, fs flowState) {
+	c.ip.recordReturn(c.fi, s)
+}
+
+func (c *ipFlow) exitPath(pos token.Pos, fs flowState) {
+	c.ip.recordExit(c.fi, pos, fs.(*held))
+}
+
+// flowComm walks a select case's communication statement without
 // recording it as a standalone blocking operation: the select itself
 // is the block (already recorded, with a default clause making it
-// non-blocking), so routing the comm through walkStmt/walkExpr would
-// fabricate a "channel send/receive" observation inside
+// non-blocking), so routing the comm through the walker's leaf path
+// would fabricate a "channel send/receive" observation inside
 // select{…: default:} shapes. Operand subexpressions still get walked
 // (they can contain calls).
-func (ip *Interproc) walkComm(fi *funcInfo, st ast.Stmt, h *held) {
+func (c *ipFlow) flowComm(w *flowWalker, st ast.Stmt, fs flowState) {
+	ip, fi, h := c.ip, c.fi, fs.(*held)
 	switch s := st.(type) {
 	case nil:
 	case *ast.SendStmt:
@@ -1027,7 +876,7 @@ func (ip *Interproc) walkComm(fi *funcInfo, st ast.Stmt, h *held) {
 			ip.walkExpr(fi, u.X, h)
 			return
 		}
-		ip.walkStmt(fi, s, h)
+		w.stmt(s, fs)
 	case *ast.AssignStmt:
 		for _, e := range s.Lhs {
 			ip.walkExpr(fi, e, h)
@@ -1040,7 +889,7 @@ func (ip *Interproc) walkComm(fi *funcInfo, st ast.Stmt, h *held) {
 			}
 		}
 	default:
-		ip.walkStmt(fi, st, h)
+		w.stmt(st, fs)
 	}
 }
 
@@ -1771,21 +1620,25 @@ func (ip *Interproc) Facts() *PackageFacts {
 			continue
 		}
 		f := FuncFact{
-			Blocks:      fi.mayBlock,
-			BlockPath:   fi.blockPath,
-			Acquires:    sortedKeys(fi.allAcquires),
-			Transient:   fi.transient,
-			ErrTypes:    sortedKeys(fi.allErrTypes),
-			ParkRisk:    fi.parkRisk,
-			NetAcquires: fi.netAcquireIDs(),
-			NetReleases: sortedKeys(fi.netReleases),
+			Blocks:          fi.mayBlock,
+			BlockPath:       fi.blockPath,
+			Acquires:        sortedKeys(fi.allAcquires),
+			Transient:       fi.transient,
+			ErrTypes:        sortedKeys(fi.allErrTypes),
+			ParkRisk:        fi.parkRisk,
+			NetAcquires:     fi.netAcquireIDs(),
+			NetReleases:     sortedKeys(fi.netReleases),
+			AtomicResults:   sortedKeys(fi.atomicResults),
+			SnapshotTainted: fi.snapshotTaintID != "",
 		}
 		if !f.Blocks && !f.Transient && len(f.Acquires) == 0 && len(f.ErrTypes) == 0 &&
-			f.ParkRisk == "" && len(f.NetAcquires) == 0 && len(f.NetReleases) == 0 {
+			f.ParkRisk == "" && len(f.NetAcquires) == 0 && len(f.NetReleases) == 0 &&
+			len(f.AtomicResults) == 0 && !f.SnapshotTainted {
 			continue
 		}
 		pf.Funcs[fi.key] = f
 	}
+	pf.AtomicFields = sortedKeys(ip.atomicFields)
 	seen := map[[2]string]bool{}
 	for _, e := range ip.allEdges() {
 		k := [2]string{e.from, e.to}

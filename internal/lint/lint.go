@@ -123,8 +123,9 @@ func (p *Pass) ReportAt(pos token.Position, format string, args ...any) {
 
 // Analyzers is the registry cmd/piql-vet and the tests run: the five
 // syntactic invariants, the five interprocedural ones (lockorder,
-// holdblock, errtaxonomy, goroleak, releasepath), and the
-// build-diagnostic escapebudget.
+// holdblock, errtaxonomy, goroleak, releasepath), the build-diagnostic
+// escapebudget, and the three dataflow analyzers built on the dataflow
+// core (atomicmix, snapshotescape, cancelpath).
 var Analyzers = []*Analyzer{
 	RoutingClaim,
 	EnvelopeIntegrity,
@@ -137,6 +138,9 @@ var Analyzers = []*Analyzer{
 	GoroLeak,
 	ReleasePath,
 	EscapeBudget,
+	AtomicMix,
+	SnapshotEscape,
+	CancelPath,
 }
 
 // ByName returns the registered analyzer with the given name, or nil.

@@ -68,6 +68,18 @@ func TestReleasePath(t *testing.T) {
 	linttest.Run(t, filepath.Join("testdata", "releasepath"), byName(t, "releasepath"))
 }
 
+func TestAtomicMix(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "atomicmix"), byName(t, "atomicmix"))
+}
+
+func TestSnapshotEscape(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "snapshotescape"), byName(t, "snapshotescape"))
+}
+
+func TestCancelPath(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "cancelpath"), byName(t, "cancelpath"))
+}
+
 // TestStaleAllow drives the framework-level stale-directive report: a
 // //lint:allow for an analyzer that ran but suppressed nothing is
 // itself diagnosed, at the directive's position.
@@ -86,8 +98,13 @@ func TestFactsRoundTrip(t *testing.T) {
 				Transient: true,
 				ErrTypes:  []string{"*kvstore.ErrNodeDown"},
 			},
+			"beginOp": {
+				AtomicResults:   []string{"kvstore.Cluster.routing"},
+				SnapshotTainted: true,
+			},
 		},
-		LockEdges: []lint.LockEdge{{From: "a", To: "b", Pos: "x.go:1:1"}},
+		LockEdges:    []lint.LockEdge{{From: "a", To: "b", Pos: "x.go:1:1"}},
+		AtomicFields: []string{"kvstore.Cluster.routing", "kvstore.node.leases"},
 	}
 	out, err := lint.DecodeFacts(lint.EncodeFacts(in))
 	if err != nil {
@@ -102,6 +119,13 @@ func TestFactsRoundTrip(t *testing.T) {
 	}
 	if len(out.LockEdges) != 1 || out.LockEdges[0] != (lint.LockEdge{From: "a", To: "b", Pos: "x.go:1:1"}) {
 		t.Fatalf("round-trip mangled edges: %+v", out.LockEdges)
+	}
+	if bo, ok := out.Funcs["beginOp"]; !ok || !bo.SnapshotTainted ||
+		len(bo.AtomicResults) != 1 || bo.AtomicResults[0] != "kvstore.Cluster.routing" {
+		t.Fatalf("round-trip mangled dataflow facts: %+v", bo)
+	}
+	if len(out.AtomicFields) != 2 {
+		t.Fatalf("round-trip mangled AtomicFields: %+v", out.AtomicFields)
 	}
 	// Empty payloads decode to nil without error (the std-unit
 	// acknowledgement files must not be mistaken for facts); corrupt

@@ -1,0 +1,267 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SnapshotEscape: a value derived from beginOp's claimed routing
+// snapshot must not outlive the matching endOp.
+//
+// beginOp pins a routing table's refcount so Rebalance's drain waits
+// for in-flight operations; endOp unpins it. The claim therefore
+// bounds the snapshot's lifetime: after endOp the table may be retired
+// and its contents describe a routing epoch that no longer exists.
+// Three escape shapes break the bound:
+//
+//   - storing a snapshot-derived value to a heap location (a struct
+//     field, a package variable, anything reachable through a
+//     parameter);
+//   - capturing one in a goroutine spawned from the claim scope (the
+//     goroutine may run after endOp);
+//   - returning one from a function that itself releases the claim
+//     (the caller receives a pointer into a table it holds no claim
+//     on).
+//
+// A function that returns snapshot-derived state *without* releasing
+// the claim is the intended acquire-helper shape (beginOp itself is
+// one); it exports a SnapshotTainted fact so its callers' walks seed
+// provenance at the call site. Provenance is tracked by the dataflow
+// core through locals, fields, container elements, range clauses, and
+// closures; it stops at leaf data (epochs, key bounds — copies of
+// bytes do not pin the table) and at sub-objects guarded by their own
+// mutex. No alias analysis: a value smuggled through a heap cell the
+// analysis cannot name is not tracked.
+var SnapshotEscape = &Analyzer{
+	Name: "snapshotescape",
+	Doc:  "values derived from a claimed routing snapshot must not be stored, captured by goroutines, or returned past endOp",
+	Run:  runSnapshotEscape,
+}
+
+func runSnapshotEscape(p *Pass) {
+	if p.ip == nil {
+		return
+	}
+	for _, f := range p.ip.snapshotFindings {
+		p.Reportf(f.pos, "%s", f.msg)
+	}
+}
+
+// snapProv is the provenance policy for claimed snapshots: seeds at
+// claim-acquiring calls (beginOp) and at calls to helpers whose
+// SnapshotTainted fact (or same-package summary) marks their results
+// as snapshot-derived.
+type snapProv struct {
+	ip *Interproc
+}
+
+func (p *snapProv) seed(e ast.Expr) (provTag, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return provTag{}, false
+	}
+	fn := calleeOf(p.ip.info, call)
+	if fn == nil {
+		return provTag{}, false
+	}
+	if id, _, ok := p.ip.claimAcquire(fn); ok {
+		return provTag{id: id, what: "derived from the routing snapshot claimed by " + fn.Name(), pos: call.Pos()}, true
+	}
+	return provTag{}, false
+}
+
+func (p *snapProv) derive(tag provTag, t types.Type) (provTag, bool) {
+	if leafValueType(t) || ownLockGuarded(t) {
+		return tag, false
+	}
+	return tag, true
+}
+
+func (p *snapProv) call(call *ast.CallExpr, fn *types.Func, recvTag, argTag *provTag) (provTag, bool) {
+	if fn != nil && fn.Pkg() != nil && p.ip.moduleLocal(fn.Pkg().Path()) {
+		if fi, ok := p.ip.byObj[fn]; ok && fi.snapshotTaintID != "" {
+			return provTag{
+				id:   fi.snapshotTaintID,
+				what: "derived from the routing snapshot claimed via " + fn.Name(),
+				pos:  call.Pos(),
+			}, true
+		}
+		if fn.Pkg().Path() != pkgPathOf(p.ip.pkg) {
+			if fact, ok := p.ip.unit.Facts.Func(fn.Pkg().Path(), funcKey(fn)); ok && fact.SnapshotTainted {
+				return provTag{
+					what: "derived from a routing snapshot claimed via " + funcKey(fn) + " (per fact from " + fn.Pkg().Path() + ")",
+					pos:  call.Pos(),
+				}, true
+			}
+		}
+	}
+	// A method on a snapshot-derived value yields derived state; the
+	// engine filters each result through derive. Builtins that pass
+	// values through (append) keep the argument's tag.
+	if recvTag != nil {
+		return *recvTag, true
+	}
+	if argTag != nil && fn == nil {
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+			return *argTag, true
+		}
+	}
+	return provTag{}, false
+}
+
+// snapshotPrepass runs snapshot provenance over every named function:
+// records the escape findings (stores, goroutine captures, returns
+// past endOp) and each function's SnapshotTainted summary. Two
+// rounds, like atomicPrepass, so same-package helper summaries seed
+// their callers regardless of declaration order.
+func (ip *Interproc) snapshotPrepass() {
+	for round := 0; round < 2; round++ {
+		final := round == 1
+		for _, fi := range ip.funcs {
+			if fi.pseudo || fi.decl == nil || fi.decl.Body == nil {
+				continue
+			}
+			ft := taintFunc(ip.info, fi.decl.Body, &snapProv{ip: ip})
+			ip.snapshotSummary(fi, ft)
+			if final {
+				ip.snapshotEscapes(fi, ft)
+			}
+		}
+	}
+}
+
+// snapshotSummary computes fi's SnapshotTainted fact: it returns a
+// snapshot-derived value and does not release the claim on any path —
+// the acquire-helper shape whose callers inherit the scoping
+// obligation.
+func (ip *Interproc) snapshotSummary(fi *funcInfo, ft *funcTaint) {
+	fi.snapshotTaintID = ""
+	funcReturns(fi.decl.Body, func(r *ast.ReturnStmt) {
+		for _, res := range r.Results {
+			tag, ok := ft.exprTag(res)
+			if !ok || tag.id == "" {
+				continue
+			}
+			if !fi.releasedIDs[tag.id] {
+				fi.snapshotTaintID = tag.id
+			}
+		}
+	})
+}
+
+// snapshotEscapes records the three escape shapes for one function.
+func (ip *Interproc) snapshotEscapes(fi *funcInfo, ft *funcTaint) {
+	add := func(pos token.Pos, msg string) {
+		ip.snapshotFindings = append(ip.snapshotFindings, provFinding{pos: pos, msg: msg})
+	}
+	// Returns past the matching endOp: the function releases the claim
+	// (directly or deferred), so the returned value outlives it.
+	funcReturns(fi.decl.Body, func(r *ast.ReturnStmt) {
+		for _, res := range r.Results {
+			tag, ok := ft.exprTag(res)
+			if !ok || tag.id == "" || !fi.releasedIDs[tag.id] {
+				continue
+			}
+			add(r.Pos(), "value "+tag.what+" (claimed at "+ip.shortPos(tag.pos)+
+				") is returned past the matching endOp; the routing table may be retired before the caller reads it")
+		}
+	})
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			// Stores to heap locations: a projected lvalue whose root is
+			// a parameter, receiver, or package-level variable.
+			for i, lhs := range s.Lhs {
+				var rhs ast.Expr
+				if len(s.Rhs) == len(s.Lhs) {
+					rhs = s.Rhs[i]
+				} else if len(s.Rhs) == 1 {
+					rhs = s.Rhs[0]
+				}
+				if rhs == nil {
+					continue
+				}
+				tag, ok := ft.exprTag(rhs)
+				if !ok {
+					continue
+				}
+				if loc, heap := ip.heapLHS(fi, ft, lhs); heap {
+					add(s.Pos(), "value "+tag.what+" (claimed at "+ip.shortPos(tag.pos)+
+						") is stored to "+loc+", escaping the beginOp/endOp scope that pins the table")
+				}
+			}
+		case *ast.GoStmt:
+			// Goroutine captures: a tainted argument, or a literal whose
+			// free variables include a tainted local.
+			var tag provTag
+			captured := false
+			for _, a := range s.Call.Args {
+				if t, ok := ft.exprTag(a); ok {
+					tag, captured = t, true
+					break
+				}
+			}
+			if !captured {
+				if t, ok := ft.exprTag(s.Call.Fun); ok {
+					tag, captured = t, true
+				}
+			}
+			if captured {
+				add(s.Pos(), "value "+tag.what+" (claimed at "+ip.shortPos(tag.pos)+
+					") is captured by a spawned goroutine, which may run after endOp releases the claim")
+			}
+		}
+		return true
+	})
+}
+
+// heapLHS classifies an assignment target: true when it names a
+// heap-reachable location — a package-level variable, or a projection
+// (field/element/deref) rooted at a parameter, receiver, or package
+// variable. Writes into purely local structures are not escapes the
+// analysis can prove (no alias analysis), and writes into the
+// snapshot itself are atomicmix's business.
+func (ip *Interproc) heapLHS(fi *funcInfo, ft *funcTaint, lhs ast.Expr) (string, bool) {
+	root, projected := projectionRoot(lhs)
+	id, ok := ast.Unparen(root).(*ast.Ident)
+	if !ok {
+		// A projection rooted at a call/composite — conservative: not
+		// a provable escape target.
+		return "", false
+	}
+	obj := ip.info.Uses[id]
+	if obj == nil {
+		obj = ip.info.Defs[id]
+	}
+	v, isVar := obj.(*types.Var)
+	if !isVar {
+		return "", false
+	}
+	pkgLevel := v.Parent() == ip.pkg.Scope()
+	if !projected {
+		if pkgLevel {
+			return "package variable " + v.Name(), true
+		}
+		return "", false // rebinding a local
+	}
+	// A projected write whose root is itself snapshot-derived mutates
+	// the snapshot, not an outliving location: that is atomicmix's
+	// finding. (The check must come after the rebinding case — storing
+	// to a package variable taints the variable in the flow-insensitive
+	// engine, which must not suppress the escape report.)
+	if _, rootTainted := ft.objs[obj]; rootTainted {
+		return "", false
+	}
+	if pkgLevel {
+		return "package variable " + v.Name(), true
+	}
+	// Parameters and receivers are declared before the body starts. A
+	// value-typed one written through value projections only is a local
+	// copy, not caller-visible memory.
+	if fi.decl.Body != nil && v.Pos() < fi.decl.Body.Pos() && v.Pos() >= fi.decl.Pos() &&
+		sharedMemoryWrite(ip.info, lhs) {
+		return "caller-visible state through " + v.Name(), true
+	}
+	return "", false
+}

@@ -1,0 +1,111 @@
+// Test fixture for the atomicmix analyzer: a field accessed atomically
+// anywhere must never be read or written plainly. Rule 1 covers
+// sync/atomic-typed fields (copying or overwriting the cell), rule 2
+// covers plain-typed fields touched by function-style atomics, rule 3
+// covers plain writes through a value obtained from an atomic Load —
+// directly or via a helper whose AtomicResults summary marks its
+// return as loaded.
+package atomicmixfix
+
+import "sync/atomic"
+
+type payload struct {
+	owners []string
+	limit  int
+}
+
+type box struct {
+	val atomic.Pointer[payload]
+	n   atomic.Int64
+}
+
+// okMethods: the typed-atomic API — Load/Store receivers and
+// address-taking — is the sanctioned surface.
+func okMethods(b *box, p *payload) *payload {
+	b.val.Store(p)
+	b.n.Add(1)
+	ptr := &b.val
+	return ptr.Load()
+}
+
+// badCopyCell: copying the atomic value forks the cell — the copy's
+// Store is invisible to readers of the original.
+func badCopyCell(b *box) int64 {
+	n := b.n // want `plain read of atomic field atomicmixfix\.box\.n copies the atomic cell; every access must go through its Load/Store/CAS methods`
+	return n.Load()
+}
+
+// badOverwriteCell: assigning over the cell races with every method
+// call on it.
+func badOverwriteCell(b *box) {
+	b.n = atomic.Int64{} // want `plain write of atomic field atomicmixfix\.box\.n overwrites the atomic cell`
+}
+
+// counter is rule 2: hits is plain-typed, but bump touches it with
+// function-style atomics, so it is an atomic field everywhere.
+type counter struct {
+	hits uint64
+}
+
+func bump(c *counter) {
+	atomic.AddUint64(&c.hits, 1) // sanctioned: the atomic site itself
+}
+
+func badPlainRead(c *counter) uint64 {
+	return c.hits // want `plain read of field atomicmixfix\.counter\.hits, which is accessed with sync/atomic operations; mixed plain/atomic access tears`
+}
+
+func badPlainInc(c *counter) {
+	c.hits++ // want `plain write of field atomicmixfix\.counter\.hits, which is accessed with sync/atomic operations`
+}
+
+// badWriteThroughLoad is rule 3: the Load result is a published
+// snapshot other goroutines read concurrently; mutating it in place
+// breaks copy-on-write.
+func badWriteThroughLoad(b *box) {
+	p := b.val.Load()
+	p.limit = 7 // want `plain write through a value loaded from atomic field atomicmixfix\.box\.val \(Load at atomicmix\.go:\d+\): atomically-published state is copy-on-write`
+}
+
+// loadVal is an acquire-helper: its AtomicResults summary marks the
+// return as loaded, so callers' writes are caught too.
+func loadVal(b *box) *payload {
+	return b.val.Load()
+}
+
+func badWriteViaHelper(b *box) {
+	p := loadVal(b)
+	p.owners = append(p.owners, "n1") // want `plain write through a value loaded from atomic field atomicmixfix\.box\.val via loadVal`
+}
+
+// okCopyOnWrite: the sanctioned mutation — copy, modify, Store.
+func okCopyOnWrite(b *box) {
+	old := b.val.Load()
+	next := &payload{owners: append([]string(nil), old.owners...), limit: old.limit + 1}
+	b.val.Store(next)
+}
+
+// okValueCopyMutation: dereferencing the Load into a struct value
+// copies it; the field write lands in the copy and republishing takes
+// a Store — copy-on-write spelled with a value.
+func okValueCopyMutation(b *box) {
+	p := *b.val.Load()
+	p.limit = 9
+	b.val.Store(&p)
+}
+
+// badSliceElemThroughCopy: the struct copy still shares its slice's
+// backing array with the published value — an element write tears.
+func badSliceElemThroughCopy(b *box) {
+	p := *b.val.Load()
+	p.owners[0] = "mutated" // want `plain write through a value loaded from atomic field atomicmixfix\.box\.val`
+}
+
+// okLeafCopy: copying leaf data out of a loaded snapshot copies bytes;
+// it does not alias the published value.
+func okLeafCopy(b *box) int {
+	p := b.val.Load()
+	limit := p.limit
+	limit++
+	return limit
+}

@@ -1,0 +1,122 @@
+// Test fixture for the cancelpath analyzer: every cancel func from
+// context.WithCancel/WithTimeout/WithDeadline must be invoked or
+// deferred on every exit path. Discarding the cancel func is reported
+// at the assignment; handing it to another owner (returned, passed,
+// captured by a closure) transfers the obligation and ends tracking.
+package cancelpathfix
+
+import (
+	"context"
+	"time"
+)
+
+func work(ctx context.Context) { _ = ctx }
+
+// leakEarlyReturn: the error path returns without canceling — the
+// child context and its timer stay registered until the parent dies.
+func leakEarlyReturn(parent context.Context, bad bool) int {
+	ctx, cancel := context.WithCancel(parent)
+	work(ctx)
+	if bad {
+		return 0 // want `cancel func cancel from context\.WithCancel \(created at line \d+\) is not called on this exit path`
+	}
+	cancel()
+	return 1
+}
+
+// leakFallThrough: one branch cancels, the fall-through exit does not.
+func leakFallThrough(parent context.Context, bad bool) {
+	ctx, cancel := context.WithCancel(parent)
+	work(ctx)
+	if !bad {
+		cancel()
+	}
+} // want `cancel func cancel from context\.WithCancel \(created at line \d+\) is not called on this exit path`
+
+// leakTimeout: the timer variant leaks its timer too.
+func leakTimeout(parent context.Context, d time.Duration, bad bool) int {
+	ctx, cancel := context.WithTimeout(parent, d)
+	work(ctx)
+	if bad {
+		return 0 // want `cancel func cancel from context\.WithTimeout \(created at line \d+\) is not called on this exit path`
+	}
+	cancel()
+	return 1
+}
+
+// discard: nothing can ever cancel this context.
+func discard(parent context.Context, d time.Duration) context.Context {
+	ctx, _ := context.WithTimeout(parent, d) // want `cancel func from context\.WithTimeout is discarded; nothing can ever cancel this context`
+	return ctx
+}
+
+// okDeferred: the defer idiom covers every exit, early returns
+// included.
+func okDeferred(parent context.Context, bad bool) int {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	work(ctx)
+	if bad {
+		return 0
+	}
+	return 1
+}
+
+// okAllPaths: both exits cancel explicitly.
+func okAllPaths(parent context.Context, bad bool) {
+	ctx, cancel := context.WithCancel(parent)
+	work(ctx)
+	if bad {
+		cancel()
+		return
+	}
+	cancel()
+}
+
+// okHandoffReturn: returning the cancel func transfers the obligation
+// to the caller.
+func okHandoffReturn(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	return ctx, cancel
+}
+
+func register(stop context.CancelFunc) { _ = stop }
+
+// okHandoffArg: passing the cancel func to another owner transfers the
+// obligation.
+func okHandoffArg(parent context.Context) context.Context {
+	ctx, cancel := context.WithCancel(parent)
+	register(cancel)
+	return ctx
+}
+
+// okClosureOwns: a closure capture transfers ownership — the closure's
+// schedule is not this function's exit paths.
+func okClosureOwns(parent context.Context) func() {
+	ctx, cancel := context.WithCancel(parent)
+	work(ctx)
+	return func() { cancel() }
+}
+
+// okLoopPerIteration: creation and cancel balanced inside each
+// iteration leaves nothing outstanding at the function exit.
+func okLoopPerIteration(parent context.Context, n int) {
+	for i := 0; i < n; i++ {
+		ctx, cancel := context.WithCancel(parent)
+		work(ctx)
+		cancel()
+	}
+}
+
+// cancelInsideLiteral: obligations created inside a literal body are
+// the literal's own and are checked against its exits.
+func cancelInsideLiteral(parent context.Context, bad bool) func() {
+	return func() {
+		ctx, cancel := context.WithCancel(parent)
+		work(ctx)
+		if bad {
+			return // want `cancel func cancel from context\.WithCancel \(created at line \d+\) is not called on this exit path`
+		}
+		cancel()
+	}
+}

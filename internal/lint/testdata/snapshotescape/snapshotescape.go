@@ -1,0 +1,113 @@
+// Test fixture for the snapshotescape analyzer: a value derived from
+// beginOp's claimed routing snapshot must not outlive the matching
+// endOp. Heap stores, goroutine captures, and returns past the release
+// are flagged; leaf copies (epochs, key bounds) and claim-scoped use
+// stay silent. A helper that returns the snapshot without releasing is
+// the sanctioned acquire shape and taints its callers instead.
+package snapescfix
+
+type node struct{ addr string }
+
+type table struct {
+	epoch  int64
+	owners []string
+	nodes  map[string]*node
+}
+
+type cluster struct {
+	cur *table
+}
+
+// beginOp/endOp shims: claimPairs in interproc.go matches by name on
+// module-local functions, so the fixture carries the claim contract.
+func beginOp(c *cluster) *table  { return c.cur }
+func endOp(c *cluster, t *table) { _ = t }
+func use(t *table)               { _ = t }
+
+var sink *table
+
+// badStoreGlobal: the snapshot outlives the claim through a package
+// variable — after endOp the table may be retired under it.
+func badStoreGlobal(c *cluster) {
+	rt := beginOp(c)
+	sink = rt // want `derived from the routing snapshot claimed by beginOp \(claimed at snapshotescape\.go:\d+\) is stored to package variable sink, escaping the beginOp/endOp scope`
+	endOp(c, rt)
+}
+
+// holder models caller-visible state reachable through a receiver.
+type holder struct{ last *table }
+
+// badStoreField: same escape through a receiver field.
+func (h *holder) badStoreField(c *cluster) {
+	rt := beginOp(c)
+	h.last = rt // want `is stored to caller-visible state through h, escaping the beginOp/endOp scope`
+	endOp(c, rt)
+}
+
+// badStoreParam: and through an out-parameter.
+func badStoreParam(c *cluster, out **table) {
+	rt := beginOp(c)
+	*out = rt // want `is stored to caller-visible state through out, escaping the beginOp/endOp scope`
+	endOp(c, rt)
+}
+
+// badGoroutineCapture: the spawned goroutine may run after endOp
+// releases the claim.
+func badGoroutineCapture(c *cluster) {
+	rt := beginOp(c)
+	go func() { // want `is captured by a spawned goroutine, which may run after endOp releases the claim`
+		use(rt)
+	}()
+	endOp(c, rt)
+}
+
+// badReturnPastRelease: the function releases the claim itself, then
+// hands the caller a pointer into a table nobody pins.
+func badReturnPastRelease(c *cluster) *table {
+	rt := beginOp(c)
+	endOp(c, rt)
+	return rt // want `is returned past the matching endOp; the routing table may be retired before the caller reads it`
+}
+
+// snapshot is the sanctioned acquire-helper shape: it returns the
+// claimed snapshot without releasing, so the claim transfers to the
+// caller and the function's SnapshotTainted summary seeds callers.
+func snapshot(c *cluster) *table {
+	return beginOp(c)
+}
+
+// badStoreViaHelper: a snapshot obtained through the helper escapes the
+// same way — provenance seeds at the helper call via its summary.
+func badStoreViaHelper(c *cluster) {
+	rt := snapshot(c)
+	sink = rt // want `derived from the routing snapshot claimed via snapshot .* is stored to package variable sink`
+	use(rt)
+}
+
+// okScopedUse: derived values used inside the claim scope are the
+// point of the claim.
+func okScopedUse(c *cluster, key string) *node {
+	rt := beginOp(c)
+	n := rt.nodes[key]
+	use(rt)
+	endOp(c, rt)
+	_ = n
+	return nil
+}
+
+// okLeafCopy: an epoch is bytes; copying it out does not pin the
+// table.
+func okLeafCopy(c *cluster) int64 {
+	rt := beginOp(c)
+	e := rt.epoch
+	endOp(c, rt)
+	return e
+}
+
+// okOwnerNames: slices of basic element type are leaf data too.
+func okOwnerNames(c *cluster) []string {
+	rt := beginOp(c)
+	names := append([]string(nil), rt.owners...)
+	endOp(c, rt)
+	return names
+}
